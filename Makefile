@@ -1,0 +1,44 @@
+# Development entry points. Everything is plain `go` underneath; the
+# targets just document the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench experiments experiments-quick fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# One benchmark per paper table/figure plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation artefact at full size (minutes).
+experiments:
+	$(GO) run ./cmd/fvcbench all
+
+# Reduced sizes for a fast sanity pass (seconds).
+experiments-quick:
+	$(GO) run ./cmd/fvcbench -quick all
+
+# Short fuzz pass over every fuzz target.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzNormalizeAngle -fuzztime=15s ./internal/geom/
+	$(GO) test -run=NONE -fuzz=FuzzAngularDistance -fuzztime=15s ./internal/geom/
+	$(GO) test -run=NONE -fuzz=FuzzSectorContains -fuzztime=15s ./internal/geom/
+	$(GO) test -run=NONE -fuzz=FuzzMinArcCoverageDepth -fuzztime=15s ./internal/geom/
+	$(GO) test -run=NONE -fuzz=FuzzParseProfile -fuzztime=15s ./internal/sensor/
+	$(GO) test -run=NONE -fuzz=FuzzCameraCovers -fuzztime=15s ./internal/sensor/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,183 @@
+// Benchmarks regenerating every table and figure of the paper (via the
+// figures registry, one benchmark per DESIGN.md experiment) plus
+// micro-benchmarks of the hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks execute in Quick mode so a full -bench pass
+// stays in the minutes range; `cmd/fvcbench` (without -quick) produces
+// the full-size tables recorded in EXPERIMENTS.md.
+package fullview_test
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"fullview"
+	"fullview/internal/figures"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	exp, err := figures.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := figures.Options{Seed: 2012, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := exp.Run(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per evaluation artefact (DESIGN.md experiment index).
+
+func BenchmarkFig7CSAvsTheta(b *testing.B)        { benchExperiment(b, "fig7") }
+func BenchmarkFig8CSAvsN(b *testing.B)            { benchExperiment(b, "fig8") }
+func BenchmarkThm1Necessary(b *testing.B)         { benchExperiment(b, "thm1") }
+func BenchmarkThm2Sufficient(b *testing.B)        { benchExperiment(b, "thm2") }
+func BenchmarkPoissonPNPS(b *testing.B)           { benchExperiment(b, "poisson") }
+func BenchmarkOneCoverageDegeneracy(b *testing.B) { benchExperiment(b, "onecov") }
+func BenchmarkKCoverageComparison(b *testing.B)   { benchExperiment(b, "kcov") }
+func BenchmarkSensingAreaDecisive(b *testing.B)   { benchExperiment(b, "area") }
+func BenchmarkConditionGap(b *testing.B)          { benchExperiment(b, "gap") }
+func BenchmarkPointFailureProb(b *testing.B)      { benchExperiment(b, "pointprob") }
+func BenchmarkBarrier(b *testing.B)               { benchExperiment(b, "barrier") }
+func BenchmarkProbSense(b *testing.B)             { benchExperiment(b, "probsense") }
+func BenchmarkDeterministicVsRandom(b *testing.B) { benchExperiment(b, "construct") }
+func BenchmarkFaultTolerance(b *testing.B)        { benchExperiment(b, "fault") }
+func BenchmarkOrientationOptimizer(b *testing.B)  { benchExperiment(b, "orientopt") }
+func BenchmarkDutyCycleLifetime(b *testing.B)     { benchExperiment(b, "dutycycle") }
+func BenchmarkActivationScheduling(b *testing.B)  { benchExperiment(b, "schedule") }
+func BenchmarkHeterogeneousCSA(b *testing.B)      { benchExperiment(b, "hetcsa") }
+
+// Micro-benchmarks of the building blocks.
+
+func benchNetwork(b *testing.B, n int) (*fullview.Network, *fullview.Checker) {
+	b.Helper()
+	profile, err := fullview.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := fullview.DeployUniform(fullview.UnitTorus, profile, n, fullview.NewRNG(1, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	checker, err := fullview.NewChecker(net, math.Pi/4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, checker
+}
+
+func BenchmarkDeployUniform1000(b *testing.B) {
+	profile, err := fullview.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := fullview.NewRNG(1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fullview.DeployUniform(fullview.UnitTorus, profile, 1000, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeployPoisson1000(b *testing.B) {
+	profile, err := fullview.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := fullview.NewRNG(1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fullview.DeployPoisson(fullview.UnitTorus, profile, 1000, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullViewCheck1000(b *testing.B) {
+	_, checker := benchNetwork(b, 1000)
+	r := fullview.NewRNG(2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker.FullViewCovered(fullview.V(r.Float64(), r.Float64()))
+	}
+}
+
+func BenchmarkPointReport1000(b *testing.B) {
+	_, checker := benchNetwork(b, 1000)
+	r := fullview.NewRNG(2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker.Report(fullview.V(r.Float64(), r.Float64()))
+	}
+}
+
+func BenchmarkCheckerConstruction10000(b *testing.B) {
+	net, _ := benchNetwork(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fullview.NewChecker(net, math.Pi/4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSurveyDenseGrid500(b *testing.B) {
+	_, checker := benchNetwork(b, 500)
+	grid, err := fullview.DenseGrid(fullview.UnitTorus, 500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker.SurveyRegion(grid)
+	}
+}
+
+func BenchmarkCSAEvaluation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := fullview.CSANecessary(1000, math.Pi/4); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fullview.CSASufficient(1000, math.Pi/4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPoissonTheoremEvaluation(b *testing.B) {
+	profile, err := fullview.NewProfile(
+		fullview.GroupSpec{Fraction: 0.5, Radius: 0.1, Aperture: math.Pi / 2},
+		fullview.GroupSpec{Fraction: 0.5, Radius: 0.2, Aperture: math.Pi / 4},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fullview.PoissonPN(profile, 1000, math.Pi/4); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fullview.PoissonPS(profile, 1000, math.Pi/4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBarrierSurvey(b *testing.B) {
+	_, checker := benchNetwork(b, 2000)
+	line := fullview.HorizontalBarrier(0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fullview.SurveyBarrier(checker, line, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command fvcbench regenerates the paper's tables and figures and the
+// repository's validation experiments (DESIGN.md E1–E18).
+//
+// Usage:
+//
+//	fvcbench [flags] <experiment>|all
+//	fvcbench -list
+//
+// Flags:
+//
+//	-quick        shrink populations and trial counts (seconds, not minutes)
+//	-seed N       master RNG seed (default 2012)
+//	-trials N     override the per-cell Monte-Carlo trial count
+//	-parallel N   cap worker goroutines (default GOMAXPROCS)
+//	-list         list registered experiments and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fullview/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fvcbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fvcbench", flag.ContinueOnError)
+	var (
+		quick    = fs.Bool("quick", false, "shrink populations and trial counts")
+		seed     = fs.Uint64("seed", 0, "master RNG seed (0 = default 2012)")
+		trials   = fs.Int("trials", 0, "override per-cell trial count (0 = experiment default)")
+		parallel = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		list     = fs.Bool("list", false, "list experiments and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: fvcbench [flags] <experiment>|all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range figures.All() {
+			fmt.Fprintf(stdout, "%-10s %-4s %s\n", e.Name, e.ID, e.Description)
+		}
+		return nil
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment name, got %d args", fs.NArg())
+	}
+
+	opts := figures.Options{
+		Seed:        *seed,
+		Trials:      *trials,
+		Parallelism: *parallel,
+		Quick:       *quick,
+	}
+	name := fs.Arg(0)
+	if name == "all" {
+		return figures.RunAll(stdout, opts)
+	}
+	e, err := figures.Lookup(name)
+	if err != nil {
+		return fmt.Errorf("%w (use -list to see experiments)", err)
+	}
+	return e.Run(stdout, opts)
+}

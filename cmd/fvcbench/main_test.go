@@ -1,0 +1,71 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fullview/internal/figures"
+)
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, e := range figures.All() {
+		if !strings.Contains(out, e.Name) {
+			t.Errorf("list output missing %q", e.Name)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "fig7"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 7") {
+		t.Error("fig7 output missing its table")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"nope"}, &b)
+	if !errors.Is(err, figures.ErrUnknownExperiment) {
+		t.Errorf("error = %v, want ErrUnknownExperiment", err)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Error("no-arg invocation should fail")
+	}
+}
+
+func TestRunTooManyArgs(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"fig7", "fig8"}, &b); err == nil {
+		t.Error("two experiment names should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func TestRunHonorsTrialsOverride(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-trials", "2", "thm1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "2 trials/cell") {
+		t.Errorf("trials override not reflected in output:\n%s", b.String())
+	}
+}

@@ -1,0 +1,113 @@
+// Command fvccsa evaluates the paper's critical sensing areas and
+// related design quantities for one network configuration: how much
+// per-camera sensing area a uniform random deployment of n cameras needs
+// before full-view coverage with effective angle θ becomes (im)possible.
+//
+// Usage:
+//
+//	fvccsa -n 1000 -theta 0.25
+//
+// Angles are given as fractions of π: -theta 0.25 means θ = π/4 and
+// -phi 0.5 means φ = π/2. The radius column reports the sensing radius a
+// camera with aperture φ needs for its sector area to reach each CSA.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"fullview/internal/analytic"
+	"fullview/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fvccsa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fvccsa", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 1000, "number of deployed cameras")
+		thetaPi  = fs.Float64("theta", 0.25, "effective angle θ as a fraction of π, in (0, 1]")
+		aperture = fs.Float64("phi", 0.5, "camera aperture φ as a fraction of π, in (0, 2]")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *thetaPi <= 0 || *thetaPi > 1 {
+		return errors.New("-theta must be in (0, 1] (fraction of π)")
+	}
+	if *aperture <= 0 || *aperture > 2 {
+		return errors.New("-phi must be in (0, 2] (fraction of π)")
+	}
+	theta := *thetaPi * math.Pi
+	phi := *aperture * math.Pi
+
+	nec, err := analytic.CSANecessary(*n, theta)
+	if err != nil {
+		return err
+	}
+	suf, err := analytic.CSASufficient(*n, theta)
+	if err != nil {
+		return err
+	}
+	oneCov, err := analytic.OneCoverageCSA(*n)
+	if err != nil {
+		return err
+	}
+	k := analytic.KNecessary(theta)
+	kCov, err := analytic.KCoverageSufficientArea(*n, k)
+	if err != nil {
+		return err
+	}
+
+	table := report.NewTable(
+		fmt.Sprintf("Critical sensing areas — n = %d, θ = %.4gπ", *n, *thetaPi),
+		"quantity", "value", "radius at phi",
+	)
+	radius := func(area float64) string {
+		return report.F(math.Sqrt(2 * area / phi))
+	}
+	rows := []struct {
+		name string
+		area float64
+	}{
+		{name: fmt.Sprintf("s_Nc — necessary CSA (%d sectors)", k), area: nec},
+		{name: fmt.Sprintf("s_Sc — sufficient CSA (%d sectors)", analytic.KSufficient(theta)), area: suf},
+		{name: "1-coverage CSA (θ = π degeneracy)", area: oneCov},
+		{name: fmt.Sprintf("k-coverage area, k = %d", k), area: kCov},
+	}
+	for _, row := range rows {
+		if err := table.AddRow(row.name, report.F(row.area), radius(row.area)); err != nil {
+			return err
+		}
+	}
+	if _, err := table.WriteTo(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"\nInterpretation: with weighted sensing area s_c below s_Nc the region cannot be\n"+
+			"full-view covered asymptotically; above s_Sc it is w.h.p.; between them coverage\n"+
+			"depends on the realization (paper, Section VI-C). Radius column assumes φ = %.4gπ.\n",
+		*aperture); err != nil {
+		return err
+	}
+
+	// The inverse question: the quality this fleet could promise if the
+	// cameras carried the sufficient CSA's sensing area at θ = π/4.
+	if best, err := analytic.BestGuaranteedTheta(suf, *n); err == nil {
+		_, err = fmt.Fprintf(w,
+			"A fleet of %d cameras with per-camera sensing area %s can guarantee full-view\n"+
+				"coverage down to θ = %.4gπ (BestGuaranteedTheta).\n",
+			*n, report.F(suf), best/math.Pi)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"s_Nc", "s_Sc", "1-coverage", "k-coverage", "n = 1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCustomParameters(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "500", "-theta", "0.5", "-phi", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "n = 500") || !strings.Contains(out, "0.5π") {
+		t.Errorf("custom parameters not reflected:\n%s", out)
+	}
+	// θ = π/2 ⇒ 2 necessary sectors, 4 sufficient sectors.
+	if !strings.Contains(out, "(2 sectors)") || !strings.Contains(out, "(4 sectors)") {
+		t.Errorf("sector counts wrong:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadTheta(t *testing.T) {
+	var b strings.Builder
+	for _, theta := range []string{"0", "-0.25", "1.5"} {
+		if err := run([]string{"-theta", theta}, &b); err == nil {
+			t.Errorf("theta %s accepted", theta)
+		}
+	}
+}
+
+func TestRunRejectsBadPhi(t *testing.T) {
+	var b strings.Builder
+	for _, phi := range []string{"0", "-1", "2.5"} {
+		if err := run([]string{"-phi", phi}, &b); err == nil {
+			t.Errorf("phi %s accepted", phi)
+		}
+	}
+}
+
+func TestRunRejectsBadN(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "1"}, &b); err == nil {
+		t.Error("n=1 accepted")
+	}
+}

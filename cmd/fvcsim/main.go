@@ -1,0 +1,191 @@
+// Command fvcsim deploys one camera network and reports its full-view
+// coverage: region statistics over the paper's dense grid, the analytic
+// expectations for comparison, optional barrier coverage, and an
+// optional SVG coverage map.
+//
+// Usage:
+//
+//	fvcsim -n 1000 -theta 0.25 -r 0.15 -phi 0.5 -deploy uniform -seed 1
+//	fvcsim -n 2000 -theta 0.25 -barrier 0.5 -svg map.svg
+//	fvcsim -n 1000 -groups "0.3:0.2:0.33,0.7:0.1:0.5"
+//
+// Angles are fractions of π (-theta 0.25 ⇒ θ = π/4; -phi 0.5 ⇒ φ = π/2).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"fullview/internal/analytic"
+	"fullview/internal/barrier"
+	"fullview/internal/core"
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/report"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+	"fullview/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fvcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fvcsim", flag.ContinueOnError)
+	var (
+		n          = fs.Int("n", 1000, "number of cameras (or Poisson density)")
+		thetaPi    = fs.Float64("theta", 0.25, "effective angle θ as a fraction of π")
+		radius     = fs.Float64("r", 0.15, "sensing radius")
+		phiPi      = fs.Float64("phi", 0.5, "aperture φ as a fraction of π")
+		groups     = fs.String("groups", "", `heterogeneous profile "frac:r:phiPi,..." (overrides -r/-phi)`)
+		deployment = fs.String("deploy", "uniform", "deployment scheme: uniform or poisson")
+		seed       = fs.Uint64("seed", 2012, "RNG seed")
+		gridSide   = fs.Int("grid", 0, "grid side override (0 = paper dense grid)")
+		barrierY   = fs.Float64("barrier", -1, "also survey a horizontal barrier at this height (negative = off)")
+		svgPath    = fs.String("svg", "", "write an SVG coverage map to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *thetaPi <= 0 || *thetaPi > 1 {
+		return errors.New("-theta must be in (0, 1] (fraction of π)")
+	}
+	theta := *thetaPi * math.Pi
+
+	var (
+		profile sensor.Profile
+		err     error
+	)
+	if *groups != "" {
+		profile, err = sensor.ParseProfile(*groups)
+	} else {
+		profile, err = sensor.Homogeneous(*radius, *phiPi*math.Pi)
+	}
+	if err != nil {
+		return err
+	}
+	r := rng.New(*seed, 0)
+	var net *sensor.Network
+	switch *deployment {
+	case "uniform":
+		net, err = deploy.Uniform(geom.UnitTorus, profile, *n, r)
+	case "poisson":
+		net, err = deploy.Poisson(geom.UnitTorus, profile, float64(*n), r)
+	default:
+		return fmt.Errorf("unknown deployment %q (want uniform or poisson)", *deployment)
+	}
+	if err != nil {
+		return err
+	}
+
+	checker, err := core.NewChecker(net, theta)
+	if err != nil {
+		return err
+	}
+	side := *gridSide
+	if side <= 0 {
+		side, err = deploy.DenseGridSide(*n)
+		if err != nil {
+			return err
+		}
+	}
+	points, err := deploy.GridPoints(geom.UnitTorus, side)
+	if err != nil {
+		return err
+	}
+	stats := checker.SurveyRegion(points)
+
+	table := report.NewTable(
+		fmt.Sprintf("fvcsim — %s deployment, %d cameras, θ = %.4gπ, grid %d×%d",
+			*deployment, net.Len(), *thetaPi, side, side),
+		"quantity", "value",
+	)
+	nec, err := analytic.CSANecessary(*n, theta)
+	if err != nil {
+		return err
+	}
+	suf, err := analytic.CSASufficient(*n, theta)
+	if err != nil {
+		return err
+	}
+	rows := [][2]string{
+		{"weighted sensing area s_c", report.F(profile.WeightedSensingArea())},
+		{"necessary CSA s_Nc(n)", report.F(nec)},
+		{"sufficient CSA s_Sc(n)", report.F(suf)},
+		{"grid points", report.I(stats.Points)},
+		{"full-view covered fraction", report.F4(stats.FullViewFraction())},
+		{"necessary-condition fraction", report.F4(stats.NecessaryFraction())},
+		{"sufficient-condition fraction", report.F4(stats.SufficientFraction())},
+		{"whole grid full-view covered", fmt.Sprintf("%v", stats.AllFullView())},
+		{"min / mean covering count", fmt.Sprintf("%d / %s", stats.MinCovering, report.F4(stats.MeanCovering))},
+		{"expected covering count (n*s_c)", report.F4(analytic.ExpectedCoverageCount(profile, *n))},
+	}
+	for _, row := range rows {
+		if err := table.AddRow(row[0], row[1]); err != nil {
+			return err
+		}
+	}
+	if _, err := table.WriteTo(w); err != nil {
+		return err
+	}
+
+	if !stats.AllFullView() {
+		if p, dir, found := checker.FirstFullViewGap(points); found {
+			if _, err := fmt.Fprintf(w, "\nfirst uncovered grid point: %v (unsafe facing direction %.4f rad)\n", p, dir); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *barrierY >= 0 {
+		if *barrierY > 1 {
+			return errors.New("-barrier must be within [0, 1]")
+		}
+		bstats, err := barrier.Survey(checker, barrier.Horizontal(*barrierY), 0.01)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w,
+			"\nbarrier y=%.3f: covered=%v full-view fraction=%.4f weak fraction=%.4f\n",
+			*barrierY, bstats.Covered, bstats.FullViewFraction(), bstats.WeakFraction()); err != nil {
+			return err
+		}
+	}
+
+	if *svgPath != "" {
+		scene, err := viz.NewScene(net, theta, viz.Options{
+			HeatmapSide: 40,
+			ShowCameras: net.Len() <= 2000, // sector outlines drown past that
+			MarkHoles:   true,
+		})
+		if err != nil {
+			return err
+		}
+		if *barrierY >= 0 {
+			scene.AddBarrier([]geom.Vec{geom.V(0, *barrierY), geom.V(1, *barrierY)})
+		}
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			return fmt.Errorf("create svg: %w", err)
+		}
+		if _, err := scene.WriteTo(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write svg: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close svg: %w", err)
+		}
+		if _, err := fmt.Fprintf(w, "\ncoverage map written to %s\n", *svgPath); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunUniformDefaults(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "200", "-grid", "15"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"uniform deployment", "200 cameras", "full-view covered fraction",
+		"necessary CSA", "sufficient CSA", "grid 15×15",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPoisson(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "200", "-deploy", "poisson", "-grid", "10"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "poisson deployment") {
+		t.Errorf("output missing poisson banner:\n%s", b.String())
+	}
+}
+
+func TestRunWithBarrier(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "300", "-r", "0.3", "-grid", "10", "-barrier", "0.5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "barrier y=0.500") {
+		t.Errorf("output missing barrier report:\n%s", b.String())
+	}
+}
+
+func TestRunReportsGapWhenSparse(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "10", "-r", "0.05", "-grid", "10"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "first uncovered grid point") {
+		t.Errorf("sparse run should report a gap:\n%s", b.String())
+	}
+}
+
+func TestRunDeterministicAcrossSeeds(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-n", "100", "-grid", "10", "-seed", "7"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "100", "-grid", "10", "-seed", "7"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different output")
+	}
+	var c strings.Builder
+	if err := run([]string{"-n", "100", "-grid", "10", "-seed", "8"}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical output (suspicious)")
+	}
+}
+
+func TestRunHeterogeneousGroups(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "200", "-groups", "0.5:0.2:0.5,0.5:0.1:0.25", "-grid", "10"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "weighted sensing area") {
+		t.Errorf("heterogeneous run missing output:\n%s", b.String())
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	path := t.TempDir() + "/map.svg"
+	var b strings.Builder
+	if err := run([]string{"-n", "150", "-grid", "8", "-svg", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "coverage map written to") {
+		t.Error("missing svg confirmation line")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read svg: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") || !strings.Contains(string(data), "</svg>") {
+		t.Error("svg file malformed")
+	}
+}
+
+func TestRunRejectsBadGroups(t *testing.T) {
+	var b strings.Builder
+	for _, groups := range []string{"nonsense", "0.5:0.1:0.5", "1:0.1"} {
+		if err := run([]string{"-groups", groups}, &b); err == nil {
+			t.Errorf("groups %q accepted", groups)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var b strings.Builder
+	cases := [][]string{
+		{"-theta", "0"},
+		{"-theta", "1.5"},
+		{"-deploy", "lattice"},
+		{"-n", "200", "-barrier", "1.5"},
+		{"-r", "-0.1"},
+	}
+	for _, args := range cases {
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

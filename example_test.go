@@ -1,0 +1,134 @@
+package fullview_test
+
+import (
+	"fmt"
+	"math"
+
+	"fullview"
+)
+
+// ExampleNewChecker demonstrates the basic point-coverage workflow: four
+// cameras surrounding a point at the cardinal directions full-view cover
+// it exactly down to θ = π/4.
+func ExampleNewChecker() {
+	p := fullview.V(0.5, 0.5)
+	var cams []fullview.Camera
+	for i := 0; i < 4; i++ {
+		bearing := float64(i) * math.Pi / 2
+		cams = append(cams, fullview.Camera{
+			Pos:      fullview.V(0.5+0.1*math.Cos(bearing), 0.5+0.1*math.Sin(bearing)),
+			Orient:   math.Pi + bearing, // face back toward p
+			Radius:   0.2,
+			Aperture: math.Pi / 2,
+		})
+	}
+	net, err := fullview.NewNetwork(fullview.UnitTorus, cams)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, theta := range []float64{math.Pi / 4, math.Pi / 8} {
+		checker, err := fullview.NewChecker(net, theta)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("θ = π/%d: covered = %v\n", int(math.Round(math.Pi/theta)), checker.FullViewCovered(p))
+	}
+	// Output:
+	// θ = π/4: covered = true
+	// θ = π/8: covered = false
+}
+
+// ExampleCSANecessary evaluates Theorem 1 at the paper's Figure 7
+// operating point.
+func ExampleCSANecessary() {
+	csa, err := fullview.CSANecessary(1000, math.Pi/4)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("s_Nc(1000) at θ=π/4: %.4f\n", csa)
+	// Output:
+	// s_Nc(1000) at θ=π/4: 0.0409
+}
+
+// ExampleKNecessary shows the sector counts behind the two geometric
+// conditions.
+func ExampleKNecessary() {
+	theta := math.Pi / 4
+	fmt.Println("necessary sectors: ", fullview.KNecessary(theta))
+	fmt.Println("sufficient sectors:", fullview.KSufficient(theta))
+	// Output:
+	// necessary sectors:  4
+	// sufficient sectors: 8
+}
+
+// ExamplePoissonPN evaluates Theorem 3 for a homogeneous airdrop.
+func ExamplePoissonPN() {
+	profile, err := fullview.Homogeneous(0.1, math.Pi/2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	pn, err := fullview.PoissonPN(profile, 2000, math.Pi/4)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("P_N at density 2000: %.3f\n", pn)
+	// Output:
+	// P_N at density 2000: 0.923
+}
+
+// ExampleProfile_ScaleToArea sizes a heterogeneous mix to hit a target
+// weighted sensing area without changing its shape.
+func ExampleProfile_ScaleToArea() {
+	mix, err := fullview.NewProfile(
+		fullview.GroupSpec{Fraction: 0.5, Radius: 0.1, Aperture: math.Pi / 2},
+		fullview.GroupSpec{Fraction: 0.5, Radius: 0.2, Aperture: math.Pi / 4},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	scaled, err := mix.ScaleToArea(0.05)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("weighted sensing area: %.2f\n", scaled.WeightedSensingArea())
+	// Output:
+	// weighted sensing area: 0.05
+}
+
+// ExampleNewDeterministicPlan sizes and verifies a placement with a
+// built-in full-view guarantee.
+func ExampleNewDeterministicPlan() {
+	theta := math.Pi / 3
+	plan, err := fullview.NewDeterministicPlan(fullview.UnitTorus, theta, 4)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("cameras: %d (%d per cell)\n", plan.TotalCameras(), plan.CamerasPerCell)
+	net, err := fullview.BuildDeterministic(plan, fullview.UnitTorus)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	checker, err := fullview.NewChecker(net, theta)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	grid, err := fullview.GridPoints(fullview.UnitTorus, 20)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("region covered:", checker.SurveyRegion(grid).AllFullView())
+	// Output:
+	// cameras: 96 (6 per cell)
+	// region covered: true
+}

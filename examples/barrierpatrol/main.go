@@ -1,0 +1,114 @@
+// Barrier patrol: a border strip must capture the face of anyone who
+// crosses it — full-view *barrier* coverage, the extension the paper
+// proposes as future work. The example finds the smallest airdropped
+// fleet that covers a belt barrier, then stress-tests the winning fleet
+// under foggy (probabilistic) sensing.
+//
+// Run with:
+//
+//	go run ./examples/barrierpatrol
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"fullview"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "barrierpatrol:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const theta = math.Pi / 4
+
+	profile, err := fullview.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		return err
+	}
+	line := fullview.HorizontalBarrier(0.5)
+	fmt.Printf("barrier: horizontal belt at y=0.5, length %.2f; θ=π/4, cameras r=0.15 φ=π/2\n\n",
+		line.Length())
+
+	// Double n until the barrier is covered in 5/5 deployments, then
+	// report the first size that succeeds.
+	fmt.Println("fleet size sweep (5 random deployments each):")
+	winner := 0
+	for n := 250; n <= 16000 && winner == 0; n *= 2 {
+		covered := 0
+		for trial := 0; trial < 5; trial++ {
+			net, err := fullview.DeployUniform(fullview.UnitTorus, profile, n,
+				fullview.NewRNG(uint64(n), uint64(trial)))
+			if err != nil {
+				return err
+			}
+			checker, err := fullview.NewChecker(net, theta)
+			if err != nil {
+				return err
+			}
+			stats, err := fullview.SurveyBarrier(checker, line, 0.01)
+			if err != nil {
+				return err
+			}
+			if stats.Covered {
+				covered++
+			}
+		}
+		fmt.Printf("  n=%6d: barrier covered in %d/5 deployments\n", n, covered)
+		if covered == 5 {
+			winner = n
+		}
+	}
+	if winner == 0 {
+		return fmt.Errorf("no fleet size up to 16000 covered the barrier reliably")
+	}
+	winnerNet, err := fullview.DeployUniform(fullview.UnitTorus, profile, winner,
+		fullview.NewRNG(uint64(winner), 0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n→ n=%d reliably full-view covers the barrier\n", winner)
+
+	// Compare with whole-area requirements: a barrier is much cheaper
+	// than the full region.
+	suf, err := fullview.CSASufficient(winner, theta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("(for the whole region, n=%d would need s_c ≥ %.5f; the fleet has %.5f)\n",
+		winner, suf, profile.WeightedSensingArea())
+
+	// Fog check: under probabilistic sensing, what frontal-capture
+	// probability does an adversarial crosser face at the weakest point?
+	fmt.Println("\nfog stress test on the winning deployment (exp-decay sensing):")
+	samples, err := line.Sample(0.05)
+	if err != nil {
+		return err
+	}
+	for _, decay := range []float64{0.5, 2, 8, 32} {
+		eval, err := fullview.NewProbEvaluator(winnerNet,
+			fullview.ExpDecayModel{CertainFraction: 0.1, Decay: decay}, theta)
+		if err != nil {
+			return err
+		}
+		worst := 1.0
+		for _, p := range samples {
+			prof, err := eval.Evaluate(p, 90)
+			if err != nil {
+				return err
+			}
+			if prof.WorstProb < worst {
+				worst = prof.WorstProb
+			}
+		}
+		fmt.Printf("  decay λ=%.1f: weakest barrier point catches a face with prob ≥ %.3f\n",
+			decay, worst)
+	}
+	fmt.Println("\n→ budget extra density if the deployment must survive heavy fog")
+	return nil
+}

@@ -1,0 +1,89 @@
+// Intruder tracking: the payoff of full-view coverage in motion. An
+// intruder walks several routes through the estate facing its direction
+// of travel; we measure on which stretches a camera captured it
+// near-frontally (a recognisable shot) and compare a fleet below the
+// sufficient CSA with one above it.
+//
+// Run with:
+//
+//	go run ./examples/intruder
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"fullview"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "intruder:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const theta = math.Pi / 4
+
+	routes := []struct {
+		name string
+		path []fullview.Vec
+	}{
+		{name: "straight dash", path: []fullview.Vec{
+			fullview.V(0.05, 0.50), fullview.V(0.95, 0.50),
+		}},
+		{name: "L-shaped sneak", path: []fullview.Vec{
+			fullview.V(0.10, 0.10), fullview.V(0.10, 0.80), fullview.V(0.85, 0.80),
+		}},
+		{name: "zig-zag", path: []fullview.Vec{
+			fullview.V(0.05, 0.05), fullview.V(0.35, 0.60), fullview.V(0.60, 0.20), fullview.V(0.95, 0.85),
+		}},
+	}
+
+	for _, fleet := range []struct {
+		name string
+		n    int
+	}{
+		{name: "under-provisioned (n=200)", n: 200},
+		{name: "fully provisioned (n=3000)", n: 3000},
+	} {
+		profile, err := fullview.Homogeneous(0.18, math.Pi/2)
+		if err != nil {
+			return err
+		}
+		suf, err := fullview.CSASufficient(fleet.n, theta)
+		if err != nil {
+			return err
+		}
+		net, err := fullview.DeployUniform(fullview.UnitTorus, profile, fleet.n, fullview.NewRNG(99, uint64(fleet.n)))
+		if err != nil {
+			return err
+		}
+		checker, err := fullview.NewChecker(net, theta)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: s_c = %.4f vs s_Sc = %.4f\n",
+			fleet.name, profile.WeightedSensingArea(), suf)
+
+		for _, route := range routes {
+			tr, err := fullview.NewTrajectory(route.path...)
+			if err != nil {
+				return err
+			}
+			report, err := fullview.TrackTarget(checker, tr, 0.01)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-15s length %.2f: frontal capture on %5.1f%% of the route, longest blind stretch %.3f\n",
+				route.name, tr.Length(), 100*report.CapturedFraction, report.LongestGap)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("the blind stretches are where an intruder can cross without a single")
+	fmt.Println("recognisable frame — exactly what full-view coverage (s_c ≥ s_Sc) eliminates")
+	return nil
+}

@@ -1,0 +1,96 @@
+// Quickstart: deploy a random camera network on the unit torus, test
+// full-view coverage of the paper's dense grid, and compare what you got
+// against the critical sensing areas of Theorems 1 and 2.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"fullview"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		n        = 1000        // cameras to deploy
+		radius   = 0.25        // sensing radius r
+		aperture = math.Pi / 2 // angle of view φ
+		theta    = math.Pi / 4 // effective angle θ: how frontal a view must be
+	)
+
+	// A homogeneous fleet: every camera has the same r and φ.
+	profile, err := fullview.Homogeneous(radius, aperture)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deploying %d cameras (r=%.2f, φ=π/2): sensing area s=%.4f each\n",
+		n, radius, profile.WeightedSensingArea())
+
+	// Where does this fleet sit relative to the paper's thresholds?
+	nec, err := fullview.CSANecessary(n, theta)
+	if err != nil {
+		return err
+	}
+	suf, err := fullview.CSASufficient(n, theta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("critical sensing areas at θ=π/4: necessary %.4f, sufficient %.4f\n", nec, suf)
+	switch s := profile.WeightedSensingArea(); {
+	case s < nec:
+		fmt.Println("→ below the necessary CSA: full-view coverage is asymptotically impossible")
+	case s > suf:
+		fmt.Println("→ above the sufficient CSA: full-view coverage holds w.h.p.")
+	default:
+		fmt.Println("→ between the CSAs: coverage depends on the deployment realization")
+	}
+
+	// Deploy uniformly at random (fixed seed ⇒ reproducible run).
+	net, err := fullview.DeployUniform(fullview.UnitTorus, profile, n, fullview.NewRNG(2012, 0))
+	if err != nil {
+		return err
+	}
+	checker, err := fullview.NewChecker(net, theta)
+	if err != nil {
+		return err
+	}
+
+	// Is this specific point guaranteed a frontal capture?
+	p := fullview.V(0.5, 0.5)
+	rep := checker.Report(p)
+	fmt.Printf("\npoint %v: %d cameras cover it, widest viewing gap %.3f rad\n",
+		p, rep.NumCovering, rep.MaxGap)
+	fmt.Printf("full-view covered: %v (necessary %v, sufficient %v)\n",
+		rep.FullView, rep.Necessary, rep.Sufficient)
+
+	// Region-level verdict over the paper's dense grid.
+	grid, err := fullview.DenseGrid(fullview.UnitTorus, n)
+	if err != nil {
+		return err
+	}
+	stats := checker.SurveyRegion(grid)
+	fmt.Printf("\ndense grid (%d points): full-view %.2f%%, necessary %.2f%%, sufficient %.2f%%\n",
+		stats.Points,
+		100*stats.FullViewFraction(),
+		100*stats.NecessaryFraction(),
+		100*stats.SufficientFraction())
+	if stats.AllFullView() {
+		fmt.Println("the whole region is full-view covered: every face gets captured")
+	} else {
+		gp, dir, _ := checker.FirstFullViewGap(grid)
+		fmt.Printf("coverage hole at %v: an object facing %.3f rad escapes frontal capture\n", gp, dir)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package fullview
+
+import (
+	"fullview/internal/analytic"
+	"fullview/internal/construct"
+	"fullview/internal/core"
+	"fullview/internal/holes"
+	"fullview/internal/lifetime"
+	"fullview/internal/orient"
+	"fullview/internal/schedule"
+	"fullview/internal/track"
+)
+
+// Fault-tolerance and operations types.
+type (
+	// MultiplicityStats summarizes full-view multiplicity over points.
+	MultiplicityStats = core.MultiplicityStats
+	// Hole is a connected cluster of uncovered grid points.
+	Hole = holes.Hole
+	// HealResult reports a hole-healing run.
+	HealResult = holes.Result
+	// DeterministicPlan sizes the ring construction that guarantees
+	// full-view coverage deterministically.
+	DeterministicPlan = construct.Plan
+	// Trajectory is a moving target's path for frontal-capture analysis.
+	Trajectory = track.Trajectory
+	// TrackReport summarizes where a target's face was captured along a
+	// trajectory.
+	TrackReport = track.Report
+	// TrackCapture is one per-sample capture verdict.
+	TrackCapture = track.Capture
+	// OrientResult reports an orientation-optimization run.
+	OrientResult = orient.Result
+	// FailureSchedule is one realization of exponential battery
+	// failures over a network.
+	FailureSchedule = lifetime.FailureSchedule
+)
+
+// SampleAwake returns the duty-cycled sub-network: each camera awake
+// independently with probability p this epoch.
+func SampleAwake(net *Network, p float64, r *RNG) (*Network, error) {
+	return lifetime.SampleAwake(net, p, r)
+}
+
+// NewFailureSchedule draws i.i.d. Exponential(1/meanLifetime) failure
+// times for every camera.
+func NewFailureSchedule(net *Network, meanLifetime float64, r *RNG) (*FailureSchedule, error) {
+	return lifetime.NewFailureSchedule(net, meanLifetime, r)
+}
+
+// MinimalCover selects a small camera subset whose activation satisfies
+// the sufficient condition (hence full-view covers) every point of a
+// gridSide×gridSide grid — greedy set cover, deterministic.
+func MinimalCover(net *Network, theta float64, gridSide int) ([]int, error) {
+	return schedule.MinimalCover(net, theta, gridSide)
+}
+
+// ActivationShifts partitions the cameras into disjoint shifts, each of
+// which full-view covers the grid; rotating shifts multiplies network
+// lifetime by their count.
+func ActivationShifts(net *Network, theta float64, gridSide int) ([][]int, error) {
+	return schedule.Shifts(net, theta, gridSide)
+}
+
+// Subnetwork materializes the network consisting of the given camera
+// indices.
+func Subnetwork(net *Network, indices []int) (*Network, error) {
+	return schedule.Subnetwork(net, indices)
+}
+
+// OptimizeOrientations re-aims the network's cameras (positions fixed)
+// to maximize the number of full-view-covered probe points, with at most
+// budget re-aimings. Deterministic greedy local search; see package
+// orient for the heuristic's characteristics.
+func OptimizeOrientations(net *Network, theta float64, probeSide, budget int) (OrientResult, error) {
+	return orient.Optimize(net, theta, probeSide, budget)
+}
+
+// NewTrajectory builds a target path from at least two waypoints.
+func NewTrajectory(waypoints ...Vec) (Trajectory, error) {
+	return track.NewTrajectory(waypoints...)
+}
+
+// TrackTarget walks a target along the trajectory (facing its direction
+// of travel) and reports where a camera captured it frontally, i.e.
+// within the checker's θ of head-on.
+func TrackTarget(checker *Checker, tr Trajectory, step float64) (TrackReport, error) {
+	return track.Run(checker, tr, step)
+}
+
+// RequiredNSufficient returns the smallest n for which a homogeneous
+// per-camera sensing area s meets the sufficient CSA — the inverse
+// design question of Theorem 2.
+func RequiredNSufficient(s, theta float64) (int, error) {
+	return analytic.RequiredNSufficient(s, theta)
+}
+
+// BestGuaranteedTheta returns the smallest effective angle θ (the best
+// face-capture quality) a fleet of n cameras with per-camera sensing
+// area s can guarantee w.h.p. — Theorem 2 inverted in the quality
+// direction.
+func BestGuaranteedTheta(s float64, n int) (float64, error) {
+	return analytic.BestGuaranteedTheta(s, n)
+}
+
+// FindHoles sweeps a gridSide×gridSide grid and returns the connected
+// full-view coverage holes, largest first.
+func FindHoles(checker *Checker, gridSide int) ([]Hole, error) {
+	return holes.Find(checker, gridSide)
+}
+
+// PatchHole proposes a ring of cameras that covers the hole (plus pad)
+// when added to the network.
+func PatchHole(t Torus, h Hole, theta, pad float64) ([]Camera, error) {
+	return holes.Patch(t, h, theta, pad)
+}
+
+// HealNetwork repeatedly finds and patches holes until a
+// gridSide×gridSide sweep is fully covered or maxRounds is exhausted.
+func HealNetwork(net *Network, theta float64, gridSide, maxRounds int) (HealResult, error) {
+	return holes.Heal(net, theta, gridSide, maxRounds)
+}
+
+// NewDeterministicPlan sizes a deterministic ring deployment guaranteeing
+// full-view coverage of torus t with effective angle theta, tiling the
+// region cellsPerSide×cellsPerSide.
+func NewDeterministicPlan(t Torus, theta float64, cellsPerSide int) (DeterministicPlan, error) {
+	return construct.NewPlan(t, theta, cellsPerSide)
+}
+
+// BuildDeterministic builds the plan's network on torus t.
+func BuildDeterministic(p DeterministicPlan, t Torus) (*Network, error) {
+	return p.Build(t)
+}

@@ -1,0 +1,284 @@
+package fullview_test
+
+import (
+	"math"
+	"testing"
+
+	"fullview"
+)
+
+func TestPublicMultiplicitySurface(t *testing.T) {
+	profile, err := fullview.Homogeneous(0.25, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fullview.DeployUniform(fullview.UnitTorus, profile, 1500, fullview.NewRNG(4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := fullview.NewChecker(net, math.Pi/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth, _ := checker.FullViewMultiplicity(fullview.V(0.5, 0.5))
+	if depth < 0 {
+		t.Errorf("multiplicity = %d", depth)
+	}
+	grid, err := fullview.GridPoints(fullview.UnitTorus, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := checker.SurveyMultiplicity(grid)
+	if ms.Points != 100 {
+		t.Errorf("Points = %d", ms.Points)
+	}
+	if frac := ms.FaultTolerantFraction(1); frac < 0 || frac > 1 {
+		t.Errorf("FaultTolerantFraction = %v", frac)
+	}
+}
+
+func TestPublicHealingSurface(t *testing.T) {
+	profile, err := fullview.Homogeneous(0.2, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fullview.DeployUniform(fullview.UnitTorus, profile, 120, fullview.NewRNG(6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := math.Pi / 3
+	checker, err := fullview.NewChecker(net, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := fullview.FindHoles(checker, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 {
+		t.Fatal("sparse network should have holes")
+	}
+	patch, err := fullview.PatchHole(fullview.UnitTorus, found[0], theta, 1.0/15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(patch) == 0 {
+		t.Fatal("patch empty")
+	}
+	res, err := fullview.HealNetwork(net, theta, 15, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healed, err := fullview.NewChecker(res.Network, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, err := fullview.FindHoles(healed, 15); err != nil || len(again) != 0 {
+		t.Errorf("healed network still has %d holes (err %v)", len(again), err)
+	}
+}
+
+func TestPublicLifetimeSurface(t *testing.T) {
+	profile, err := fullview.Homogeneous(0.25, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fullview.DeployUniform(fullview.UnitTorus, profile, 400, fullview.NewRNG(21, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	awake, err := fullview.SampleAwake(net, 0.5, fullview.NewRNG(22, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if awake.Len() == 0 || awake.Len() == net.Len() {
+		t.Errorf("p=0.5 kept %d of %d cameras", awake.Len(), net.Len())
+	}
+	fs, err := fullview.NewFailureSchedule(net, 5, fullview.NewRNG(23, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive, err := fs.AliveAt(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alive.Len() >= net.Len() {
+		t.Errorf("no failures by the mean lifetime: %d of %d", alive.Len(), net.Len())
+	}
+}
+
+func TestPublicScheduleSurface(t *testing.T) {
+	profile, err := fullview.Homogeneous(0.3, 2*math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fullview.DeployUniform(fullview.UnitTorus, profile, 2000, fullview.NewRNG(31, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := math.Pi / 2
+	cover, err := fullview.MinimalCover(net, theta, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) == 0 || len(cover) > net.Len()/4 {
+		t.Errorf("cover size %d of %d", len(cover), net.Len())
+	}
+	shifts, err := fullview.ActivationShifts(net, theta, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shifts) < 2 {
+		t.Errorf("only %d shifts", len(shifts))
+	}
+	sub, err := fullview.Subnetwork(net, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != len(cover) {
+		t.Errorf("subnetwork size %d, want %d", sub.Len(), len(cover))
+	}
+}
+
+func TestPublicTrackingSurface(t *testing.T) {
+	profile, err := fullview.Homogeneous(0.3, 2*math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fullview.DeployUniform(fullview.UnitTorus, profile, 2500, fullview.NewRNG(41, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := fullview.NewChecker(net, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := fullview.NewTrajectory(fullview.V(0.1, 0.1), fullview.V(0.9, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := fullview.TrackTarget(checker, tr, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CapturedFraction <= 0 {
+		t.Errorf("captured fraction = %v in a dense network", report.CapturedFraction)
+	}
+	if len(report.Captures) == 0 {
+		t.Error("no capture samples")
+	}
+}
+
+func TestPublicOrientSurface(t *testing.T) {
+	profile, err := fullview.Homogeneous(0.2, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fullview.DeployUniform(fullview.UnitTorus, profile, 60, fullview.NewRNG(51, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fullview.OptimizeOrientations(net, math.Pi/3, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After < res.Before {
+		t.Errorf("optimization decreased coverage %d → %d", res.Before, res.After)
+	}
+	if res.Network.Len() != net.Len() {
+		t.Error("optimizer changed the camera count")
+	}
+}
+
+func TestPublicDesignSolvers(t *testing.T) {
+	theta, err := fullview.BestGuaranteedTheta(0.1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if theta <= 0 || theta > math.Pi {
+		t.Errorf("BestGuaranteedTheta = %v", theta)
+	}
+	// Consistency with the n-inversion: deploying the returned quality's
+	// sufficient area needs at most 1000 cameras.
+	n, err := fullview.RequiredNSufficient(0.1, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 1000 {
+		t.Errorf("RequiredNSufficient(0.1, θ*) = %d > 1000", n)
+	}
+}
+
+func TestPublicSafeDirectionFraction(t *testing.T) {
+	profile, err := fullview.Homogeneous(0.2, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fullview.DeployUniform(fullview.UnitTorus, profile, 500, fullview.NewRNG(61, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := fullview.NewChecker(net, math.Pi/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fullview.V(0.5, 0.5)
+	frac := checker.SafeDirectionFraction(p)
+	if frac < 0 || frac > 1 {
+		t.Errorf("SafeDirectionFraction = %v", frac)
+	}
+	if (frac >= 1-1e-9) != checker.FullViewCovered(p) {
+		t.Errorf("fraction %v inconsistent with coverage", frac)
+	}
+}
+
+func TestPublicProfileParsing(t *testing.T) {
+	p, err := fullview.ParseProfile("0.5:0.1:0.5,0.5:0.2:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumGroups() != 2 {
+		t.Errorf("NumGroups = %d", p.NumGroups())
+	}
+	round, err := fullview.ParseProfile(fullview.FormatProfile(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round.NumGroups() != 2 {
+		t.Error("round trip changed the profile")
+	}
+}
+
+func TestPublicDeterministicSurface(t *testing.T) {
+	theta := math.Pi / 4
+	plan, err := fullview.NewDeterministicPlan(fullview.UnitTorus, theta, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fullview.BuildDeterministic(plan, fullview.UnitTorus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Len() != plan.TotalCameras() {
+		t.Errorf("built %d, plan %d", net.Len(), plan.TotalCameras())
+	}
+	checker, err := fullview.NewChecker(net, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := fullview.GridPoints(fullview.UnitTorus, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := checker.SurveyRegion(grid); !stats.AllFullView() {
+		t.Error("deterministic plan did not cover the grid")
+	}
+	n, err := fullview.RequiredNSufficient(plan.SensingArea(), theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= plan.TotalCameras() {
+		t.Errorf("random deployment (%d) should cost more than deterministic (%d)",
+			n, plan.TotalCameras())
+	}
+}

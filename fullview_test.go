@@ -1,0 +1,205 @@
+package fullview_test
+
+import (
+	"math"
+	"testing"
+
+	"fullview"
+)
+
+// TestQuickstartFlow exercises the documented public API end to end.
+func TestQuickstartFlow(t *testing.T) {
+	profile, err := fullview.Homogeneous(0.25, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fullview.DeployUniform(fullview.UnitTorus, profile, 800, fullview.NewRNG(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Len() != 800 {
+		t.Fatalf("deployed %d sensors", net.Len())
+	}
+	checker, err := fullview.NewChecker(net, math.Pi/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := fullview.DenseGrid(fullview.UnitTorus, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := checker.SurveyRegion(grid)
+	if stats.Points != len(grid) {
+		t.Fatalf("stats over %d points, want %d", stats.Points, len(grid))
+	}
+	if f := stats.FullViewFraction(); f < 0 || f > 1 {
+		t.Errorf("fraction out of range: %v", f)
+	}
+	// Ordering invariant via the public API too.
+	if stats.SufficientFraction() > stats.FullViewFraction() ||
+		stats.FullViewFraction() > stats.NecessaryFraction() {
+		t.Error("condition ordering violated")
+	}
+}
+
+func TestPublicAnalyticSurface(t *testing.T) {
+	nec, err := fullview.CSANecessary(1000, math.Pi/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suf, err := fullview.CSASufficient(1000, math.Pi/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(nec > 0 && suf > nec) {
+		t.Errorf("CSAs inconsistent: nec=%v suf=%v", nec, suf)
+	}
+	one, err := fullview.OneCoverageCSA(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kcov, err := fullview.KCoverageSufficientArea(1000, fullview.KNecessary(math.Pi/4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(one > 0 && kcov > one) {
+		t.Errorf("baselines inconsistent: one=%v kcov=%v", one, kcov)
+	}
+	if fullview.KNecessary(math.Pi/4) != 4 || fullview.KSufficient(math.Pi/4) != 8 {
+		t.Error("sector counts wrong")
+	}
+
+	profile, err := fullview.NewProfile(
+		fullview.GroupSpec{Fraction: 0.5, Radius: 0.1, Aperture: math.Pi / 2},
+		fullview.GroupSpec{Fraction: 0.5, Radius: 0.2, Aperture: math.Pi / 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail, err := fullview.UniformNecessaryFailure(profile, 1000, math.Pi/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sufFail, err := fullview.UniformSufficientFailure(profile, 1000, math.Pi/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail < 0 || fail > 1 || sufFail < fail {
+		t.Errorf("uniform failure probs inconsistent: %v %v", fail, sufFail)
+	}
+	pn, err := fullview.PoissonPN(profile, 1000, math.Pi/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := fullview.PoissonPS(profile, 1000, math.Pi/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn < 0 || pn > 1 || ps > pn {
+		t.Errorf("Poisson probs inconsistent: P_N=%v P_S=%v", pn, ps)
+	}
+	if got := fullview.ExpectedCoverageCount(profile, 1000); got <= 0 {
+		t.Errorf("ExpectedCoverageCount = %v", got)
+	}
+}
+
+func TestPublicBarrierSurface(t *testing.T) {
+	profile, err := fullview.Homogeneous(0.3, 2*math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fullview.DeployUniform(fullview.UnitTorus, profile, 2000, fullview.NewRNG(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := fullview.NewChecker(net, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := fullview.SurveyBarrier(checker, fullview.HorizontalBarrier(0.4), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Covered {
+		t.Errorf("dense omnidirectional network should cover the barrier: %+v", stats)
+	}
+	diag, err := fullview.NewBarrier(fullview.V(0, 0), fullview.V(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(diag.Length()-math.Sqrt2) > 1e-12 {
+		t.Errorf("diagonal length = %v", diag.Length())
+	}
+}
+
+func TestPublicProbSenseSurface(t *testing.T) {
+	profile, err := fullview.Homogeneous(0.25, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fullview.DeployUniform(fullview.UnitTorus, profile, 500, fullview.NewRNG(9, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := fullview.NewProbEvaluator(net,
+		fullview.ExpDecayModel{CertainFraction: 0.6, Decay: 2}, math.Pi/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := eval.Evaluate(fullview.V(0.5, 0.5), 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.WorstProb < 0 || prof.WorstProb > 1 || prof.MeanProb < prof.WorstProb {
+		t.Errorf("profile inconsistent: %+v", prof)
+	}
+}
+
+func TestPublicLatticeAndCustomNetwork(t *testing.T) {
+	profile, err := fullview.Homogeneous(0.2, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := fullview.SquareLattice(fullview.UnitTorus, profile, 6, fullview.NewRNG(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq.Len() != 36 {
+		t.Errorf("square lattice size = %d", sq.Len())
+	}
+	tri, err := fullview.TriangularLattice(fullview.UnitTorus, profile, 0.2, fullview.NewRNG(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.Len() == 0 {
+		t.Error("triangular lattice empty")
+	}
+	custom, err := fullview.NewNetwork(fullview.UnitTorus, []fullview.Camera{
+		{Pos: fullview.V(0.5, 0.5), Orient: 0, Radius: 0.2, Aperture: math.Pi / 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.Len() != 1 {
+		t.Error("custom network assembly failed")
+	}
+	tor, err := fullview.NewTorus(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.Side() != 2 {
+		t.Errorf("Side = %v", tor.Side())
+	}
+	pois, err := fullview.DeployPoisson(fullview.UnitTorus, profile, 100, fullview.NewRNG(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pois.Len()
+	pts, err := fullview.GridPoints(fullview.UnitTorus, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 16 {
+		t.Errorf("GridPoints = %d", len(pts))
+	}
+}

@@ -1,0 +1,3 @@
+module fullview
+
+go 1.22

@@ -1,0 +1,124 @@
+// Package analytic implements the paper's closed-form results: the
+// critical sensing areas of Theorems 1 and 2, the per-point condition
+// probabilities under uniform deployment (Equations 2 and 13), the
+// Poisson-deployment probabilities of Theorems 3 and 4, and the
+// 1-coverage / k-coverage baselines of Section VII.
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fullview/internal/geom"
+)
+
+// Validation errors.
+var (
+	ErrBadTheta = errors.New("analytic: effective angle θ must be in (0, π]")
+	ErrSmallN   = errors.New("analytic: n must be at least 2")
+	ErrBadK     = errors.New("analytic: k must be at least 1")
+)
+
+// KNecessary returns ⌈π/θ⌉ — the number of sectors (and the exponent in
+// the necessary-condition probability) for effective angle θ. Exact
+// divisors of the circle are handled robustly (θ = π/4 gives exactly 4).
+func KNecessary(theta float64) int {
+	return geom.SectorCount(2 * theta)
+}
+
+// KSufficient returns ⌈2π/θ⌉ — the sector count and exponent for the
+// sufficient condition.
+func KSufficient(theta float64) int {
+	return geom.SectorCount(theta)
+}
+
+func validateThetaN(n int, theta float64) error {
+	if !(theta > 0) || theta > math.Pi {
+		return fmt.Errorf("%w: got %v", ErrBadTheta, theta)
+	}
+	if n < 2 {
+		return fmt.Errorf("%w: got %d", ErrSmallN, n)
+	}
+	return nil
+}
+
+// oneMinusPow returns 1 − (1 − x)^(1/k) without catastrophic
+// cancellation for tiny x: (1−x)^(1/k) = exp(log1p(−x)/k), and
+// 1 − exp(y) = −expm1(y).
+func oneMinusPow(x float64, k int) float64 {
+	return -math.Expm1(math.Log1p(-x) / float64(k))
+}
+
+// CSANecessary returns s_Nc(n), the critical sensing area for the
+// necessary condition of full-view coverage under uniform deployment
+// (Theorem 1):
+//
+//	s_Nc(n) = −(π/(θn)) · ln( 1 − (1 − 1/(n·ln n))^(1/⌈π/θ⌉) )
+//
+// When the weighted sensing area s_c = Σ c_y s_y falls below this order,
+// some dense-grid point fails the necessary condition with probability
+// bounded away from zero; above it, all points meet the condition w.h.p.
+func CSANecessary(n int, theta float64) (float64, error) {
+	if err := validateThetaN(n, theta); err != nil {
+		return 0, err
+	}
+	x := 1 / (float64(n) * math.Log(float64(n)))
+	inner := oneMinusPow(x, KNecessary(theta))
+	return -math.Pi / (theta * float64(n)) * math.Log(inner), nil
+}
+
+// CSASufficient returns s_Sc(n), the critical sensing area for the
+// sufficient condition of full-view coverage under uniform deployment
+// (Theorem 2):
+//
+//	s_Sc(n) = −(2π/(θn)) · ln( 1 − (1 − 1/(n·ln n))^(1/⌈2π/θ⌉) )
+//
+// A network whose weighted sensing area exceeds this order full-view
+// covers the region w.h.p.
+func CSASufficient(n int, theta float64) (float64, error) {
+	if err := validateThetaN(n, theta); err != nil {
+		return 0, err
+	}
+	x := 1 / (float64(n) * math.Log(float64(n)))
+	inner := oneMinusPow(x, KSufficient(theta))
+	return -2 * math.Pi / (theta * float64(n)) * math.Log(inner), nil
+}
+
+// OneCoverageCSA returns the critical sensing area for traditional
+// 1-coverage under uniform deployment, (ln n + ln ln n)/n — equation
+// (19): the θ = π degeneration of CSANecessary, matching the critical
+// effective sensing radius of Wang et al. [18] via πR*² .
+func OneCoverageCSA(n int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("%w: got %d", ErrSmallN, n)
+	}
+	ln := math.Log(float64(n))
+	return (ln + math.Log(ln)) / float64(n), nil
+}
+
+// CriticalESR returns R*(n) = √((ln n + ln ln n)/(π n)), the critical
+// effective sensing radius for 1-coverage of disk sensors (Wang et al.
+// [18], Theorem 4.1), quoted in Section VII-A.
+func CriticalESR(n int) (float64, error) {
+	csa, err := OneCoverageCSA(n)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(csa / math.Pi), nil
+}
+
+// KCoverageSufficientArea returns s_K(n) = (ln n + k·ln ln n)/n, the
+// per-sensor sensing area sufficient for asymptotic k-coverage of
+// uniformly deployed disk sensors (Kumar et al. [6], as reduced in
+// Section VII-B with p = 1 and u(n) ignored).
+func KCoverageSufficientArea(n, k int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("%w: got %d", ErrSmallN, n)
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("%w: got %d", ErrBadK, k)
+	}
+	ln := math.Log(float64(n))
+	return (ln + float64(k)*math.Log(ln)) / float64(n), nil
+}

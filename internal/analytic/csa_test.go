@@ -1,0 +1,252 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestKNecessaryKSufficient(t *testing.T) {
+	tests := []struct {
+		name  string
+		theta float64
+		wantN int
+		wantS int
+	}{
+		{name: "theta pi", theta: math.Pi, wantN: 1, wantS: 2},
+		{name: "theta half pi", theta: math.Pi / 2, wantN: 2, wantS: 4},
+		{name: "theta quarter pi", theta: math.Pi / 4, wantN: 4, wantS: 8},
+		{name: "theta 0.3 pi", theta: 0.3 * math.Pi, wantN: 4, wantS: 7},
+		{name: "theta 0.1 pi", theta: 0.1 * math.Pi, wantN: 10, wantS: 20},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := KNecessary(tt.theta); got != tt.wantN {
+				t.Errorf("KNecessary(%v) = %d, want %d", tt.theta, got, tt.wantN)
+			}
+			if got := KSufficient(tt.theta); got != tt.wantS {
+				t.Errorf("KSufficient(%v) = %d, want %d", tt.theta, got, tt.wantS)
+			}
+		})
+	}
+}
+
+func TestCSAValidation(t *testing.T) {
+	if _, err := CSANecessary(1, math.Pi/4); !errors.Is(err, ErrSmallN) {
+		t.Errorf("n=1: error = %v, want ErrSmallN", err)
+	}
+	for _, theta := range []float64{0, -1, math.Pi + 0.1, math.NaN()} {
+		if _, err := CSANecessary(100, theta); !errors.Is(err, ErrBadTheta) {
+			t.Errorf("theta=%v: error = %v, want ErrBadTheta", theta, err)
+		}
+		if _, err := CSASufficient(100, theta); !errors.Is(err, ErrBadTheta) {
+			t.Errorf("sufficient theta=%v: error = %v, want ErrBadTheta", theta, err)
+		}
+	}
+}
+
+// TestCSANecessaryDegeneratesToOneCoverage checks equation (19): at
+// θ = π the necessary CSA is exactly the 1-coverage critical sensing
+// area (ln n + ln ln n)/n.
+func TestCSANecessaryDegeneratesToOneCoverage(t *testing.T) {
+	for _, n := range []int{10, 100, 1000, 100000} {
+		got, err := CSANecessary(n, math.Pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := OneCoverageCSA(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12*want {
+			t.Errorf("n=%d: CSANecessary(π) = %v, OneCoverageCSA = %v", n, got, want)
+		}
+	}
+}
+
+// TestSufficientRoughlyTwiceNecessary checks Section VI-C: s_Sc ≈ 2·s_Nc,
+// "mainly due to the difference of their coefficient".
+func TestSufficientRoughlyTwiceNecessary(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000} {
+		for _, theta := range []float64{math.Pi / 4, math.Pi / 3, math.Pi / 2} {
+			nec, err := CSANecessary(n, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			suf, err := CSASufficient(n, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if suf <= nec {
+				t.Errorf("n=%d θ=%v: sufficient CSA %v not above necessary %v", n, theta, suf, nec)
+			}
+			ratio := suf / nec
+			if ratio < 1.5 || ratio > 2.5 {
+				t.Errorf("n=%d θ=%v: ratio = %v, want ≈ 2", n, theta, ratio)
+			}
+		}
+	}
+}
+
+// TestCSAFig7Shape checks Figure 7's qualitative claims: for fixed
+// n = 1000 both CSAs decrease as θ grows from 0.1π to 0.5π, roughly
+// like 1/θ.
+func TestCSAFig7Shape(t *testing.T) {
+	const n = 1000
+	thetas := []float64{0.1 * math.Pi, 0.2 * math.Pi, 0.3 * math.Pi, 0.4 * math.Pi, 0.5 * math.Pi}
+	var prevNec, prevSuf float64
+	for i, theta := range thetas {
+		nec, err := CSANecessary(n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suf, err := CSASufficient(n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if nec >= prevNec {
+				t.Errorf("necessary CSA not decreasing at θ=%v: %v ≥ %v", theta, nec, prevNec)
+			}
+			if suf >= prevSuf {
+				t.Errorf("sufficient CSA not decreasing at θ=%v: %v ≥ %v", theta, suf, prevSuf)
+			}
+		}
+		prevNec, prevSuf = nec, suf
+	}
+	// ∝ 1/θ: CSA(0.1π)/CSA(0.5π) should be near 5 (the radical term only
+	// contributes second-order corrections at n = 1000).
+	nec01, _ := CSANecessary(n, 0.1*math.Pi)
+	nec05, _ := CSANecessary(n, 0.5*math.Pi)
+	if ratio := nec01 / nec05; ratio < 3.5 || ratio > 7 {
+		t.Errorf("1/θ proportionality: ratio = %v, want ≈ 5", ratio)
+	}
+}
+
+// TestCSAFig8Shape checks Figure 8's claims at θ = π/4: s_Sc(100) is
+// about 0.5 ("half the area of the unit square"), CSAs decrease with n,
+// and the decline flattens past n = 1000.
+func TestCSAFig8Shape(t *testing.T) {
+	theta := math.Pi / 4
+	suf100, err := CSASufficient(100, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suf100 < 0.4 || suf100 > 0.75 {
+		t.Errorf("s_Sc(100) = %v, paper reports ≈ 0.5", suf100)
+	}
+	var prev float64 = math.Inf(1)
+	for _, n := range []int{100, 200, 500, 1000, 2000, 5000, 10000} {
+		suf, err := CSASufficient(n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if suf >= prev {
+			t.Errorf("s_Sc not decreasing at n=%d", n)
+		}
+		prev = suf
+	}
+	// Flattening: absolute drop from 100→1000 far exceeds 1000→10000.
+	s100, _ := CSASufficient(100, theta)
+	s1000, _ := CSASufficient(1000, theta)
+	s10000, _ := CSASufficient(10000, theta)
+	if (s100 - s1000) < 5*(s1000-s10000) {
+		t.Errorf("decline should flatten: drops %v then %v", s100-s1000, s1000-s10000)
+	}
+}
+
+// TestNecessaryCSADominatesKCoverage checks Section VII-B: with
+// k = ⌈π/θ⌉, s_Nc(n) ≥ s_K(n) — full-view coverage is more demanding
+// than k-coverage.
+func TestNecessaryCSADominatesKCoverage(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		for _, theta := range []float64{0.1 * math.Pi, math.Pi / 4, math.Pi / 3, math.Pi / 2, math.Pi} {
+			nec, err := CSANecessary(n, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sk, err := KCoverageSufficientArea(n, KNecessary(theta))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nec < sk*(1-1e-9) {
+				t.Errorf("n=%d θ=%v: s_Nc=%v < s_K=%v", n, theta, nec, sk)
+			}
+		}
+	}
+}
+
+func TestOneCoverageCSA(t *testing.T) {
+	got, err := OneCoverageCSA(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := math.Log(1000)
+	want := (ln + math.Log(ln)) / 1000
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("OneCoverageCSA(1000) = %v, want %v", got, want)
+	}
+	if _, err := OneCoverageCSA(1); !errors.Is(err, ErrSmallN) {
+		t.Errorf("n=1: error = %v, want ErrSmallN", err)
+	}
+}
+
+func TestCriticalESRMatchesCSA(t *testing.T) {
+	// πR*² must equal the 1-coverage CSA (the Section VII-A conversion).
+	for _, n := range []int{10, 1000, 100000} {
+		r, err := CriticalESR(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csa, err := OneCoverageCSA(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(math.Pi*r*r-csa) > 1e-15 {
+			t.Errorf("n=%d: πR*² = %v, CSA = %v", n, math.Pi*r*r, csa)
+		}
+	}
+}
+
+func TestKCoverageSufficientArea(t *testing.T) {
+	got, err := KCoverageSufficientArea(1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := math.Log(1000)
+	want := (ln + 3*math.Log(ln)) / 1000
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("s_K = %v, want %v", got, want)
+	}
+	if _, err := KCoverageSufficientArea(1000, 0); !errors.Is(err, ErrBadK) {
+		t.Errorf("k=0: error = %v, want ErrBadK", err)
+	}
+	if _, err := KCoverageSufficientArea(1, 1); !errors.Is(err, ErrSmallN) {
+		t.Errorf("n=1: error = %v, want ErrSmallN", err)
+	}
+	// k-coverage demand grows with k.
+	s1, _ := KCoverageSufficientArea(1000, 1)
+	s5, _ := KCoverageSufficientArea(1000, 5)
+	if s5 <= s1 {
+		t.Errorf("s_K should grow with k: s1=%v s5=%v", s1, s5)
+	}
+}
+
+func TestOneMinusPowNumericalStability(t *testing.T) {
+	// Naive 1-(1-x)^(1/k) loses all precision at x = 1e-12, k = 8; the
+	// stable form must stay within 1e-6 relative error of the series
+	// expansion x/k·(1 + (k-1)/(2k)·x + …) ≈ x/k for tiny x.
+	for _, x := range []float64{1e-6, 1e-9, 1e-12} {
+		for _, k := range []int{1, 2, 8, 20} {
+			got := oneMinusPow(x, k)
+			approx := x / float64(k)
+			if math.Abs(got-approx) > 1e-3*approx {
+				t.Errorf("oneMinusPow(%v, %d) = %v, want ≈ %v", x, k, got, approx)
+			}
+		}
+	}
+	// Exactness for k = 1.
+	if got := oneMinusPow(0.25, 1); math.Abs(got-0.25) > 1e-15 {
+		t.Errorf("oneMinusPow(0.25, 1) = %v", got)
+	}
+}

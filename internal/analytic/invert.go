@@ -1,0 +1,57 @@
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnreachableArea reports a sensing area no population size can make
+// sufficient within the search bound.
+var ErrUnreachableArea = errors.New("analytic: no n ≤ bound makes this sensing area sufficient")
+
+// requiredNBound caps the inversion search; s_Sc at this n is ≈ 10⁻⁸,
+// far below any practical camera.
+const requiredNBound = 1 << 31
+
+// RequiredNSufficient returns the smallest n such that a homogeneous
+// per-camera sensing area s meets the sufficient CSA: s ≥ s_Sc(n). It
+// answers the designer's inverse question — "my cameras have sensing
+// area s; how many must I scatter before full-view coverage is
+// guaranteed w.h.p.?" — by bisecting the strictly decreasing s_Sc.
+func RequiredNSufficient(s, theta float64) (int, error) {
+	if !(theta > 0) || theta > math.Pi {
+		return 0, fmt.Errorf("%w: got %v", ErrBadTheta, theta)
+	}
+	if !(s > 0) || math.IsInf(s, 0) {
+		return 0, fmt.Errorf("analytic: sensing area must be positive, got %v", s)
+	}
+	meets := func(n int) bool {
+		csa, err := CSASufficient(n, theta)
+		if err != nil {
+			return false
+		}
+		return s >= csa
+	}
+	if meets(2) {
+		return 2, nil
+	}
+	lo, hi := 2, 4
+	for !meets(hi) {
+		if hi >= requiredNBound {
+			return 0, fmt.Errorf("%w: s = %v, θ = %v", ErrUnreachableArea, s, theta)
+		}
+		lo = hi
+		hi *= 2
+	}
+	// Invariant: !meets(lo), meets(hi).
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if meets(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,88 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRequiredNSufficientInvertsCSA(t *testing.T) {
+	theta := math.Pi / 4
+	for _, n := range []int{100, 1000, 10000} {
+		csa, err := CSASufficient(n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RequiredNSufficient(csa, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// s_Sc is strictly decreasing, so the inverse of its own value
+		// is the original n (within a rounding neighbour).
+		if got < n-1 || got > n+1 {
+			t.Errorf("RequiredNSufficient(s_Sc(%d)) = %d", n, got)
+		}
+	}
+}
+
+func TestRequiredNSufficientMinimality(t *testing.T) {
+	theta := math.Pi / 3
+	s := 0.02
+	n, err := RequiredNSufficient(s, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atN, err := CSASufficient(n, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < atN {
+		t.Errorf("n = %d does not satisfy s ≥ s_Sc(n): %v < %v", n, s, atN)
+	}
+	if n > 2 {
+		below, err := CSASufficient(n-1, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s >= below {
+			t.Errorf("n−1 = %d already satisfies the bound: s=%v ≥ s_Sc=%v", n-1, s, below)
+		}
+	}
+}
+
+func TestRequiredNSufficientHugeArea(t *testing.T) {
+	// An absurdly large sensing area is sufficient at the minimum n.
+	n, err := RequiredNSufficient(100, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("n = %d, want 2", n)
+	}
+}
+
+func TestRequiredNSufficientMonotone(t *testing.T) {
+	theta := math.Pi / 4
+	prev := 0
+	for _, s := range []float64{0.5, 0.1, 0.02, 0.004, 0.0008} {
+		n, err := RequiredNSufficient(s, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Errorf("smaller area %v needs fewer cameras (%d < %d)", s, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestRequiredNSufficientValidation(t *testing.T) {
+	if _, err := RequiredNSufficient(0.01, 0); !errors.Is(err, ErrBadTheta) {
+		t.Errorf("error = %v, want ErrBadTheta", err)
+	}
+	for _, s := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := RequiredNSufficient(s, math.Pi/4); err == nil {
+			t.Errorf("RequiredNSufficient(s=%v) succeeded", s)
+		}
+	}
+}

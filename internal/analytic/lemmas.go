@@ -1,0 +1,99 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the quantitative lemmas and proposition-level
+// bounds from the paper's proofs (Section III-B). They are exported so
+// the test suite can verify the inequalities the proofs rely on, and so
+// users can evaluate the sharper ξ-parameterised forms of the CSA.
+
+// LogBounds returns the paper's Lemma 1 bracket for ln(1−x) with
+// 0 < x < 1/2:
+//
+//	−(x + 5x²/6) < ln(1−x) < −(x + x²/2).
+//
+// The returned values satisfy lower < ln(1−x) < upper.
+func LogBounds(x float64) (lower, upper float64, err error) {
+	if !(x > 0) || x >= 0.5 {
+		return 0, 0, fmt.Errorf("analytic: Lemma 1 needs 0 < x < 1/2, got %v", x)
+	}
+	return -(x + 5*x*x/6), -(x + x*x/2), nil
+}
+
+// ExpApproxError quantifies Lemma 2: for 0 < x < 1/2 and y > 0,
+// (1−x)^y ~ e^(−xy) whenever x²·y → 0. It returns the exact ratio
+// (1−x)^y / e^(−xy), which tends to 1 as x²y tends to 0; tests assert
+// |ratio − 1| = O(x²y).
+func ExpApproxError(x, y float64) (ratio float64, err error) {
+	if !(x > 0) || x >= 0.5 || !(y > 0) {
+		return 0, fmt.Errorf("analytic: Lemma 2 needs 0 < x < 1/2 and y > 0, got x=%v y=%v", x, y)
+	}
+	logRatio := y*math.Log1p(-x) + x*y
+	return math.Exp(logRatio), nil
+}
+
+// CSANecessaryXi returns the ξ-parameterised sensing area of
+// Proposition 1:
+//
+//	s_c(ξ) = −(π/(θn))·ln(1 − (1 − e^(−ξ)/(n·ln n))^(1/⌈π/θ⌉)),
+//
+// the operating point at which the probability that the dense grid
+// fails the necessary condition is asymptotically at least
+// e^(−ξ) − e^(−2ξ). CSANecessary is the special case ξ = 0.
+func CSANecessaryXi(n int, theta, xi float64) (float64, error) {
+	if err := validateThetaN(n, theta); err != nil {
+		return 0, err
+	}
+	if xi < 0 || math.IsNaN(xi) {
+		return 0, fmt.Errorf("analytic: ξ must be non-negative, got %v", xi)
+	}
+	x := math.Exp(-xi) / (float64(n) * math.Log(float64(n)))
+	inner := oneMinusPow(x, KNecessary(theta))
+	return -math.Pi / (theta * float64(n)) * math.Log(inner), nil
+}
+
+// CSASufficientXi is the ξ-parameterised form of Proposition 3, the
+// sufficient-condition analogue of CSANecessaryXi.
+func CSASufficientXi(n int, theta, xi float64) (float64, error) {
+	if err := validateThetaN(n, theta); err != nil {
+		return 0, err
+	}
+	if xi < 0 || math.IsNaN(xi) {
+		return 0, fmt.Errorf("analytic: ξ must be non-negative, got %v", xi)
+	}
+	x := math.Exp(-xi) / (float64(n) * math.Log(float64(n)))
+	inner := oneMinusPow(x, KSufficient(theta))
+	return -2 * math.Pi / (theta * float64(n)) * math.Log(inner), nil
+}
+
+// PropositionFailureLowerBound returns e^(−ξ) − e^(−2ξ), the asymptotic
+// lower bound Propositions 1 and 3 place on the grid failure probability
+// at the ξ-parameterised sensing area. It is maximised at ξ = ln 2 where
+// it equals 1/4.
+func PropositionFailureLowerBound(xi float64) (float64, error) {
+	if xi < 0 || math.IsNaN(xi) {
+		return 0, fmt.Errorf("analytic: ξ must be non-negative, got %v", xi)
+	}
+	return math.Exp(-xi) - math.Exp(-2*xi), nil
+}
+
+// GridFailureUpperBound evaluates the Proposition 2 chain at finite n:
+// with s_c = q·s_Nc(n) for q > 1, the union bound gives
+//
+//	P(H̄_N) ≤ m·(1 − [1 − (1/(m))^q …]) ≈ m^(1−q),
+//
+// where m = n·ln n. The returned value m^(1−q) is the paper's final
+// bound (equation 12), which tends to 0 as n grows.
+func GridFailureUpperBound(n int, q float64) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("%w: got %d", ErrSmallN, n)
+	}
+	if !(q > 1) || math.IsInf(q, 0) {
+		return 0, fmt.Errorf("analytic: Proposition 2 needs q > 1, got %v", q)
+	}
+	m := float64(n) * math.Log(float64(n))
+	return math.Pow(m, 1-q), nil
+}

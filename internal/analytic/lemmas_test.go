@@ -1,0 +1,196 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestLemma1Bracket verifies the paper's Lemma 1 numerically across its
+// whole domain: −(x + 5x²/6) < ln(1−x) < −(x + x²/2) for 0 < x < 1/2.
+func TestLemma1Bracket(t *testing.T) {
+	// Start above 5·10⁻⁴ so the x³/3 separation from the upper bound
+	// exceeds float64 rounding of ln(1−x).
+	for x := 0.0005; x < 0.5; x += 0.0007 {
+		lower, upper, err := LogBounds(x)
+		if err != nil {
+			t.Fatalf("x=%v: %v", x, err)
+		}
+		actual := math.Log1p(-x)
+		if !(lower < actual && actual < upper) {
+			t.Fatalf("x=%v: bracket violated: %v < %v < %v", x, lower, actual, upper)
+		}
+	}
+}
+
+func TestLogBoundsDomain(t *testing.T) {
+	for _, x := range []float64{0, -0.1, 0.5, 0.9, math.NaN()} {
+		if _, _, err := LogBounds(x); err == nil {
+			t.Errorf("LogBounds(%v) accepted", x)
+		}
+	}
+}
+
+// TestLemma2Convergence verifies that the (1−x)^y ≈ e^(−xy) ratio
+// deviates from 1 by O(x²y): halving x at fixed x²y-scale must shrink
+// the error quadratically.
+func TestLemma2Convergence(t *testing.T) {
+	y := 1000.0
+	var prevErr float64 = math.Inf(1)
+	for _, x := range []float64{0.02, 0.01, 0.005, 0.0025} {
+		ratio, err := ExpApproxError(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev := math.Abs(ratio - 1)
+		// x²y here is ≤ 0.4, so the deviation is small and shrinking
+		// ~4× per halving of x.
+		if dev >= prevErr/3 {
+			t.Errorf("x=%v: deviation %v did not shrink quadratically (prev %v)", x, dev, prevErr)
+		}
+		prevErr = dev
+	}
+}
+
+func TestExpApproxErrorDomain(t *testing.T) {
+	cases := [][2]float64{{0, 1}, {0.6, 1}, {0.1, 0}, {0.1, -2}}
+	for _, c := range cases {
+		if _, err := ExpApproxError(c[0], c[1]); err == nil {
+			t.Errorf("ExpApproxError(%v, %v) accepted", c[0], c[1])
+		}
+	}
+}
+
+func TestCSAXiReducesToTheoremAtZero(t *testing.T) {
+	for _, n := range []int{100, 1000} {
+		for _, theta := range []float64{math.Pi / 4, math.Pi / 2} {
+			base, err := CSANecessary(n, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xi0, err := CSANecessaryXi(n, theta, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(base-xi0) > 1e-15 {
+				t.Errorf("CSANecessaryXi(ξ=0) = %v, CSANecessary = %v", xi0, base)
+			}
+			baseS, err := CSASufficient(n, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xi0S, err := CSASufficientXi(n, theta, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(baseS-xi0S) > 1e-15 {
+				t.Errorf("CSASufficientXi(ξ=0) = %v, CSASufficient = %v", xi0S, baseS)
+			}
+		}
+	}
+}
+
+func TestCSAXiMonotoneInXi(t *testing.T) {
+	// Larger ξ shrinks the target failure mass e^(−ξ)/(n ln n), which
+	// demands *more* sensing area.
+	prev := 0.0
+	for _, xi := range []float64{0, 0.5, 1, 2, 4} {
+		v, err := CSANecessaryXi(1000, math.Pi/4, xi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= prev {
+			t.Errorf("ξ=%v: CSA %v not increasing (prev %v)", xi, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestCSAXiValidation(t *testing.T) {
+	if _, err := CSANecessaryXi(1000, math.Pi/4, -1); err == nil {
+		t.Error("negative ξ accepted")
+	}
+	if _, err := CSASufficientXi(1000, math.Pi/4, math.NaN()); err == nil {
+		t.Error("NaN ξ accepted")
+	}
+	if _, err := CSANecessaryXi(1, math.Pi/4, 0); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestPropositionFailureLowerBound(t *testing.T) {
+	// Maximum 1/4 at ξ = ln 2; zero at ξ = 0 and as ξ → ∞.
+	atLn2, err := PropositionFailureLowerBound(math.Ln2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(atLn2-0.25) > 1e-15 {
+		t.Errorf("bound at ln2 = %v, want 0.25", atLn2)
+	}
+	atZero, err := PropositionFailureLowerBound(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atZero != 0 {
+		t.Errorf("bound at 0 = %v", atZero)
+	}
+	f := func(raw float64) bool {
+		xi := math.Abs(raw)
+		if math.IsNaN(xi) || math.IsInf(xi, 0) {
+			return true
+		}
+		v, err := PropositionFailureLowerBound(xi)
+		return err == nil && v >= 0 && v <= 0.25+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := PropositionFailureLowerBound(-1); err == nil {
+		t.Error("negative ξ accepted")
+	}
+}
+
+func TestGridFailureUpperBound(t *testing.T) {
+	// The bound m^(1−q) vanishes as n grows, faster for larger q.
+	prev := math.Inf(1)
+	for _, n := range []int{100, 1000, 10000} {
+		v, err := GridFailureUpperBound(n, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= prev {
+			t.Errorf("bound not decreasing at n=%d: %v", n, v)
+		}
+		prev = v
+	}
+	q2, _ := GridFailureUpperBound(1000, 2)
+	q3, _ := GridFailureUpperBound(1000, 3)
+	if q3 >= q2 {
+		t.Errorf("larger q should tighten the bound: q2=%v q3=%v", q2, q3)
+	}
+	if _, err := GridFailureUpperBound(1000, 1); err == nil {
+		t.Error("q=1 accepted (needs q > 1)")
+	}
+	if _, err := GridFailureUpperBound(1, 2); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+// TestPropositionBoundObservedInSimulationRange sanity-checks that the
+// E3 measurements recorded in EXPERIMENTS.md are consistent with the
+// proposition bounds: at q = 1 (ξ = 0 ⇒ lower bound 0) anything goes,
+// while at the ξ = ln 2 operating point the failure probability must be
+// able to reach ≥ 1/4 — our measured transition values (0.23–0.40) sit
+// exactly in that regime.
+func TestPropositionBoundObservedInSimulationRange(t *testing.T) {
+	bound, err := PropositionFailureLowerBound(math.Ln2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := []float64{0.30, 0.40, 0.23, 0.35} // E3, q = 1 column
+	for _, m := range measured {
+		if m < bound-0.05 {
+			t.Errorf("measured transition failure %v far below the ξ=ln2 lower bound %v", m, bound)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"fullview/internal/sensor"
+)
+
+// PoissonQNecessary returns Q_N,y of Theorem 3: the probability that, in
+// group y with Poisson density groupDensity (= n_y on the unit square),
+// at least one sensor falls inside a given 2θ sector of C(P, r_y) and is
+// oriented to cover P. The sector has area (2θ/2π)·πr² = θ·r², so the
+// sensor count in it is Poisson(groupDensity·θ·r²); each such sensor
+// covers P independently with probability φ/(2π).
+//
+// The paper states the truncated sum
+//
+//	Q_N,y = Σ_{k≥1} Pois(k; λ)·[1 − (1 − φ/2π)^k],  λ = n_y·θ·r²,
+//
+// whose closed form is 1 − exp(−λ·φ/(2π)) (Poisson thinning). This
+// function evaluates the closed form; PoissonQSum evaluates the paper's
+// sum for cross-validation.
+func PoissonQNecessary(groupDensity float64, g sensor.GroupSpec, theta float64) (float64, error) {
+	if err := validateTheta(theta); err != nil {
+		return 0, err
+	}
+	lambda := groupDensity * theta * g.Radius * g.Radius
+	return poissonQClosed(lambda, g.Aperture), nil
+}
+
+// PoissonQSufficient returns Q_S,y of Theorem 4: as PoissonQNecessary
+// but for a θ sector, whose area is θ·r²/2.
+func PoissonQSufficient(groupDensity float64, g sensor.GroupSpec, theta float64) (float64, error) {
+	if err := validateTheta(theta); err != nil {
+		return 0, err
+	}
+	lambda := groupDensity * theta * g.Radius * g.Radius / 2
+	return poissonQClosed(lambda, g.Aperture), nil
+}
+
+// poissonQClosed computes 1 − exp(−λ·φ/(2π)).
+func poissonQClosed(lambda, aperture float64) float64 {
+	return -math.Expm1(-lambda * aperture / (2 * math.Pi))
+}
+
+// PoissonQSum evaluates the paper's truncated series
+// Σ_{k=1}^{kMax} Pois(k; λ)·[1 − (1 − φ/2π)^k] directly. With kMax well
+// above λ it converges to the closed form; the test suite checks the
+// agreement. kMax ≤ 0 selects an adaptive cutoff (λ + 12√λ + 30).
+func PoissonQSum(lambda, aperture float64, kMax int) (float64, error) {
+	if !(lambda >= 0) || math.IsInf(lambda, 0) {
+		return 0, fmt.Errorf("analytic: invalid Poisson mean %v", lambda)
+	}
+	if kMax <= 0 {
+		kMax = int(lambda+12*math.Sqrt(lambda)) + 30
+	}
+	missOrient := 1 - aperture/(2*math.Pi)
+	pmf := math.Exp(-lambda) // Pois(0; λ)
+	missPow := 1.0           // (1 - φ/2π)^k
+	sum := 0.0
+	for k := 1; k <= kMax; k++ {
+		pmf *= lambda / float64(k)
+		missPow *= missOrient
+		sum += pmf * (1 - missPow)
+	}
+	return sum, nil
+}
+
+func validateTheta(theta float64) error {
+	if !(theta > 0) || theta > math.Pi {
+		return fmt.Errorf("%w: got %v", ErrBadTheta, theta)
+	}
+	return nil
+}
+
+// PoissonPN returns P_N of Theorem 3: the probability that an arbitrary
+// point meets the necessary condition of full-view coverage when sensors
+// are deployed by a 2-D Poisson process of total density `density` (the
+// paper's λ = n on the unit square) with the given heterogeneity
+// profile:
+//
+//	P_N = [1 − Π_y (1 − Q_N,y)]^⌈π/θ⌉.
+func PoissonPN(profile sensor.Profile, density, theta float64) (float64, error) {
+	return poissonP(profile, density, theta, PoissonQNecessary, KNecessary(theta))
+}
+
+// PoissonPS returns P_S of Theorem 4: the probability that an arbitrary
+// point meets the sufficient condition (and is therefore full-view
+// covered), with exponent ⌈2π/θ⌉ and θ-sector Q values.
+func PoissonPS(profile sensor.Profile, density, theta float64) (float64, error) {
+	return poissonP(profile, density, theta, PoissonQSufficient, KSufficient(theta))
+}
+
+func poissonP(
+	profile sensor.Profile,
+	density, theta float64,
+	qFunc func(float64, sensor.GroupSpec, float64) (float64, error),
+	k int,
+) (float64, error) {
+	if err := validateTheta(theta); err != nil {
+		return 0, err
+	}
+	if !(density >= 0) || math.IsInf(density, 0) {
+		return 0, fmt.Errorf("analytic: invalid density %v", density)
+	}
+	logMiss := 0.0 // log Π_y (1 - Q_y)
+	for _, g := range profile.Groups() {
+		q, err := qFunc(g.Fraction*density, g, theta)
+		if err != nil {
+			return 0, err
+		}
+		if q >= 1 {
+			logMiss = math.Inf(-1)
+			break
+		}
+		logMiss += math.Log1p(-q)
+	}
+	miss := math.Exp(logMiss)
+	// (1 - miss)^k computed stably.
+	return math.Exp(float64(k) * math.Log1p(-miss)), nil
+}

@@ -1,0 +1,201 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"fullview/internal/sensor"
+)
+
+func TestPoissonQClosedMatchesPaperSum(t *testing.T) {
+	// The paper's truncated series must agree with the closed form
+	// 1 − exp(−λφ/2π) once the cutoff clears the mean.
+	cases := []struct {
+		lambda, aperture float64
+	}{
+		{lambda: 0.5, aperture: math.Pi / 2},
+		{lambda: 5, aperture: math.Pi / 4},
+		{lambda: 31.4, aperture: math.Pi},
+		{lambda: 200, aperture: 2 * math.Pi},
+		{lambda: 0, aperture: math.Pi},
+	}
+	for _, tc := range cases {
+		sum, err := PoissonQSum(tc.lambda, tc.aperture, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := poissonQClosed(tc.lambda, tc.aperture)
+		if math.Abs(sum-closed) > 1e-10 {
+			t.Errorf("λ=%v φ=%v: sum %v vs closed %v", tc.lambda, tc.aperture, sum, closed)
+		}
+	}
+}
+
+func TestPoissonQSumTruncationLoss(t *testing.T) {
+	// A cutoff far below λ must *under*-estimate (all omitted terms are
+	// non-negative).
+	full, err := PoissonQSum(100, math.Pi, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, err := PoissonQSum(100, math.Pi, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunc > full {
+		t.Errorf("truncated sum %v above full sum %v", trunc, full)
+	}
+}
+
+func TestPoissonQSumInvalidLambda(t *testing.T) {
+	for _, l := range []float64{-1, math.Inf(1), math.NaN()} {
+		if _, err := PoissonQSum(l, math.Pi, 0); err == nil {
+			t.Errorf("PoissonQSum(λ=%v) succeeded, want error", l)
+		}
+	}
+}
+
+func TestPoissonQNecessaryVsSufficient(t *testing.T) {
+	// The necessary-condition sector (2θ) is twice the sufficient one
+	// (θ), so Q_N ≥ Q_S for the same group.
+	g := sensor.GroupSpec{Fraction: 1, Radius: 0.1, Aperture: math.Pi / 2}
+	for _, theta := range []float64{0.2, math.Pi / 4, math.Pi} {
+		qn, err := PoissonQNecessary(1000, g, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := PoissonQSufficient(1000, g, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qn < qs {
+			t.Errorf("θ=%v: Q_N=%v < Q_S=%v", theta, qn, qs)
+		}
+		if qn < 0 || qn > 1 || qs < 0 || qs > 1 {
+			t.Errorf("θ=%v: Q out of range: %v %v", theta, qn, qs)
+		}
+	}
+}
+
+func TestPoissonQValidatesTheta(t *testing.T) {
+	g := sensor.GroupSpec{Fraction: 1, Radius: 0.1, Aperture: 1}
+	for _, theta := range []float64{0, -0.5, math.Pi + 0.1} {
+		if _, err := PoissonQNecessary(100, g, theta); err == nil {
+			t.Errorf("PoissonQNecessary(θ=%v) succeeded", theta)
+		}
+		if _, err := PoissonQSufficient(100, g, theta); err == nil {
+			t.Errorf("PoissonQSufficient(θ=%v) succeeded", theta)
+		}
+	}
+}
+
+func TestPoissonPNHomogeneousFormula(t *testing.T) {
+	// Direct evaluation of Theorem 3 for one group.
+	prof := homogeneous(t, 0.1, math.Pi/2)
+	density, theta := 2000.0, math.Pi/4
+	got, err := PoissonPN(prof, density, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := density * theta * 0.01
+	q := 1 - math.Exp(-lambda*(math.Pi/2)/(2*math.Pi))
+	want := math.Pow(q, float64(KNecessary(theta)))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("P_N = %v, want %v", got, want)
+	}
+}
+
+func TestPoissonPSHomogeneousFormula(t *testing.T) {
+	prof := homogeneous(t, 0.1, math.Pi/2)
+	density, theta := 2000.0, math.Pi/4
+	got, err := PoissonPS(prof, density, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := density * theta * 0.01 / 2
+	q := 1 - math.Exp(-lambda*(math.Pi/2)/(2*math.Pi))
+	want := math.Pow(q, float64(KSufficient(theta)))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("P_S = %v, want %v", got, want)
+	}
+}
+
+func TestPoissonPNPSBoundsAndOrdering(t *testing.T) {
+	prof := heterogeneous(t)
+	for _, density := range []float64{0, 100, 1000, 50000} {
+		for _, theta := range []float64{0.15 * math.Pi, math.Pi / 4, math.Pi} {
+			pn, err := PoissonPN(prof, density, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := PoissonPS(prof, density, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pn < 0 || pn > 1 || ps < 0 || ps > 1 {
+				t.Errorf("density=%v θ=%v: out of range: P_N=%v P_S=%v", density, theta, pn, ps)
+			}
+			if ps > pn+1e-12 {
+				t.Errorf("density=%v θ=%v: P_S=%v > P_N=%v", density, theta, ps, pn)
+			}
+		}
+	}
+}
+
+func TestPoissonPNIncreasesWithDensity(t *testing.T) {
+	prof := heterogeneous(t)
+	theta := math.Pi / 4
+	prev := -1.0
+	for _, density := range []float64{100, 500, 1000, 5000, 20000} {
+		pn, err := PoissonPN(prof, density, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pn <= prev {
+			t.Errorf("P_N should increase with density: P(%v) = %v ≤ %v", density, pn, prev)
+		}
+		prev = pn
+	}
+}
+
+func TestPoissonPZeroDensity(t *testing.T) {
+	prof := homogeneous(t, 0.1, 1)
+	pn, err := PoissonPN(prof, 0, math.Pi/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn != 0 {
+		t.Errorf("P_N at zero density = %v, want 0", pn)
+	}
+}
+
+func TestPoissonPInvalidInputs(t *testing.T) {
+	prof := homogeneous(t, 0.1, 1)
+	if _, err := PoissonPN(prof, -1, math.Pi/4); err == nil {
+		t.Error("negative density accepted")
+	}
+	if _, err := PoissonPS(prof, 100, 0); err == nil {
+		t.Error("zero theta accepted")
+	}
+}
+
+// TestPoissonVsUniformAgreeAsymptotically cross-checks the two
+// deployment models: for the same expected sensor count the Poisson
+// per-point success probability 1−P(F_N,P) and P_N agree closely (the
+// binomial sector count converges to Poisson).
+func TestPoissonVsUniformAgreeAsymptotically(t *testing.T) {
+	prof := homogeneous(t, 0.08, math.Pi/2)
+	theta := math.Pi / 4
+	n := 20000
+	fail, err := UniformNecessaryFailure(prof, n, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := PoissonPN(prof, float64(n), theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((1-fail)-pn) > 0.01 {
+		t.Errorf("uniform success %v vs Poisson P_N %v", 1-fail, pn)
+	}
+}

@@ -1,0 +1,56 @@
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoFeasibleTheta reports that even the loosest quality target
+// (θ = π) is not guaranteed by the given fleet.
+var ErrNoFeasibleTheta = errors.New("analytic: no θ in (0, π] is sufficient for this fleet")
+
+// thetaBisectionIters fixes the precision of the θ search: 2⁻⁴⁰·π is far
+// below any physically meaningful angular resolution.
+const thetaBisectionIters = 40
+
+// BestGuaranteedTheta answers the inverse design question of Theorem 2
+// in the quality direction: given a fleet of n cameras with per-camera
+// sensing area s, what is the smallest effective angle θ (the best
+// face-capture quality) at which s still meets the sufficient CSA, so
+// full-view coverage is guaranteed w.h.p.?
+//
+// s_Sc(n, θ) decreases in θ, so the feasible set is an interval [θ*, π];
+// the function bisects for θ*. It returns ErrNoFeasibleTheta when even
+// θ = π (plain 1-coverage quality) is not guaranteed.
+func BestGuaranteedTheta(s float64, n int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("%w: got %d", ErrSmallN, n)
+	}
+	if !(s > 0) || math.IsInf(s, 0) {
+		return 0, fmt.Errorf("analytic: sensing area must be positive, got %v", s)
+	}
+	feasible := func(theta float64) bool {
+		csa, err := CSASufficient(n, theta)
+		if err != nil {
+			return false
+		}
+		return s >= csa
+	}
+	if !feasible(math.Pi) {
+		return 0, fmt.Errorf("%w: s = %v, n = %d", ErrNoFeasibleTheta, s, n)
+	}
+	lo, hi := 0.0, math.Pi // invariant: !feasible(lo) (limit), feasible(hi)
+	for i := 0; i < thetaBisectionIters; i++ {
+		mid := (lo + hi) / 2
+		if mid <= 0 {
+			break
+		}
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

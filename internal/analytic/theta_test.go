@@ -1,0 +1,70 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestBestGuaranteedThetaInvertsCSA(t *testing.T) {
+	// For s = s_Sc(n, θ₀) the best guaranteed θ is θ₀ itself.
+	n := 1000
+	for _, theta0 := range []float64{math.Pi / 4, math.Pi / 3, math.Pi / 2} {
+		s, err := CSASufficient(n, theta0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := BestGuaranteedTheta(s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The sector-count ceilings make s_Sc piecewise in θ, so the
+		// inverse can land anywhere inside θ₀'s plateau; it must never
+		// exceed θ₀ (the quality it returns is at least as good).
+		if got > theta0+1e-9 {
+			t.Errorf("θ₀=%v: BestGuaranteedTheta = %v exceeds θ₀", theta0, got)
+		}
+		// And s must indeed be sufficient at the returned θ.
+		csaAt, err := CSASufficient(n, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < csaAt {
+			t.Errorf("θ₀=%v: returned θ=%v not actually sufficient", theta0, got)
+		}
+	}
+}
+
+func TestBestGuaranteedThetaMonotoneInArea(t *testing.T) {
+	// More sensing area buys a tighter (better) quality guarantee.
+	n := 1000
+	prev := math.Pi + 1
+	for _, s := range []float64{0.05, 0.1, 0.2, 0.4} {
+		theta, err := BestGuaranteedTheta(s, n)
+		if err != nil {
+			t.Fatalf("s=%v: %v", s, err)
+		}
+		if theta >= prev {
+			t.Errorf("s=%v: θ=%v did not improve on %v", s, theta, prev)
+		}
+		prev = theta
+	}
+}
+
+func TestBestGuaranteedThetaInfeasible(t *testing.T) {
+	// A microscopic fleet guarantees nothing, even at θ = π.
+	if _, err := BestGuaranteedTheta(1e-9, 100); !errors.Is(err, ErrNoFeasibleTheta) {
+		t.Errorf("error = %v, want ErrNoFeasibleTheta", err)
+	}
+}
+
+func TestBestGuaranteedThetaValidation(t *testing.T) {
+	if _, err := BestGuaranteedTheta(0.1, 1); !errors.Is(err, ErrSmallN) {
+		t.Errorf("error = %v, want ErrSmallN", err)
+	}
+	for _, s := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := BestGuaranteedTheta(s, 100); err == nil {
+			t.Errorf("s=%v accepted", s)
+		}
+	}
+}

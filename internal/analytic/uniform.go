@@ -1,0 +1,72 @@
+package analytic
+
+import (
+	"math"
+
+	"fullview/internal/sensor"
+)
+
+// UniformNecessaryFailure returns P(F_N,P) — equation (2): the
+// probability that an arbitrary point P fails the geometric necessary
+// condition when n sensors with the given heterogeneity profile are
+// uniformly deployed on the unit torus.
+//
+// For one sensor of group y, the probability that it lands in a given
+// 2θ sector of C(P, r_y) *and* is oriented to cover P is
+// (2θ/2π)·πr_y²·(φ_y/2π) = θ·s_y/π. The condition fails if any of the
+// ⌈π/θ⌉ sectors ends up empty; sector events are treated as independent
+// as in the paper's asymptotic argument.
+func UniformNecessaryFailure(profile sensor.Profile, n int, theta float64) (float64, error) {
+	if err := validateThetaN(n, theta); err != nil {
+		return 0, err
+	}
+	return uniformFailure(profile, n, theta/math.Pi, KNecessary(theta)), nil
+}
+
+// UniformSufficientFailure returns P(F_S,P) — equation (13): the
+// probability that an arbitrary point fails the geometric sufficient
+// condition under uniform deployment. Per-sensor per-sector coverage
+// probability is θ·s_y/(2π); the exponent is ⌈2π/θ⌉.
+func UniformSufficientFailure(profile sensor.Profile, n int, theta float64) (float64, error) {
+	if err := validateThetaN(n, theta); err != nil {
+		return 0, err
+	}
+	return uniformFailure(profile, n, theta/(2*math.Pi), KSufficient(theta)), nil
+}
+
+// uniformFailure evaluates 1 − [1 − Π_y (1 − areaCoeff·s_y)^(n_y)]^k.
+// Counts n_y follow the profile's largest-remainder apportioning so the
+// formula matches what the simulator actually deploys at finite n.
+func uniformFailure(profile sensor.Profile, n int, areaCoeff float64, k int) float64 {
+	counts := profile.Counts(n)
+	// Work in log space: log Π (1-q_y)^{n_y} = Σ n_y·log1p(-q_y).
+	logMiss := 0.0
+	for y, g := range profile.Groups() {
+		q := areaCoeff * g.SensingArea()
+		if q >= 1 {
+			// A sensor in this group covers the sector event almost
+			// surely; the sector can only be empty if the group is empty.
+			if counts[y] > 0 {
+				return 0
+			}
+			continue
+		}
+		logMiss += float64(counts[y]) * math.Log1p(-q)
+	}
+	missAll := math.Exp(logMiss) // Π_y (1-q_y)^{n_y}: one sector stays empty
+	// 1 - (1 - missAll)^k, computed stably.
+	return -math.Expm1(float64(k) * math.Log1p(-missAll))
+}
+
+// ExpectedCoverageCount returns the expected number of sensors covering
+// an arbitrary point under uniform deployment: n·s_c for the unit torus
+// (each sensor covers P with probability equal to its sensing area —
+// Section VI-A's "decisive role of sensing area").
+func ExpectedCoverageCount(profile sensor.Profile, n int) float64 {
+	counts := profile.Counts(n)
+	e := 0.0
+	for y, g := range profile.Groups() {
+		e += float64(counts[y]) * g.SensingArea()
+	}
+	return e
+}

@@ -1,0 +1,186 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullview/internal/sensor"
+)
+
+func homogeneous(t *testing.T, r, phi float64) sensor.Profile {
+	t.Helper()
+	p, err := sensor.Homogeneous(r, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func heterogeneous(t *testing.T) sensor.Profile {
+	t.Helper()
+	p, err := sensor.NewProfile(
+		sensor.GroupSpec{Fraction: 0.5, Radius: 0.1, Aperture: math.Pi / 2},
+		sensor.GroupSpec{Fraction: 0.3, Radius: 0.15, Aperture: math.Pi / 3},
+		sensor.GroupSpec{Fraction: 0.2, Radius: 0.2, Aperture: math.Pi / 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUniformNecessaryFailureHomogeneousFormula(t *testing.T) {
+	// Direct evaluation of Eq. (2) for a homogeneous network.
+	prof := homogeneous(t, 0.1, math.Pi/2)
+	n, theta := 1000, math.Pi/4
+	got, err := UniformNecessaryFailure(prof, n, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := math.Pi / 2 * 0.01 / 2
+	q := theta * s / math.Pi
+	miss := math.Pow(1-q, float64(n))
+	want := 1 - math.Pow(1-miss, float64(KNecessary(theta)))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestUniformSufficientFailureHomogeneousFormula(t *testing.T) {
+	prof := homogeneous(t, 0.1, math.Pi/2)
+	n, theta := 1000, math.Pi/4
+	got, err := UniformSufficientFailure(prof, n, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := math.Pi / 2 * 0.01 / 2
+	q := theta * s / (2 * math.Pi)
+	miss := math.Pow(1-q, float64(n))
+	want := 1 - math.Pow(1-miss, float64(KSufficient(theta)))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestUniformFailureBounds(t *testing.T) {
+	prof := heterogeneous(t)
+	for _, n := range []int{2, 100, 10000} {
+		for _, theta := range []float64{0.1 * math.Pi, math.Pi / 4, math.Pi} {
+			for _, f := range []func(sensor.Profile, int, float64) (float64, error){
+				UniformNecessaryFailure, UniformSufficientFailure,
+			} {
+				p, err := f(prof, n, theta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p < 0 || p > 1 {
+					t.Errorf("n=%d θ=%v: probability %v out of [0,1]", n, theta, p)
+				}
+			}
+		}
+	}
+}
+
+func TestUniformFailureMonotoneInN(t *testing.T) {
+	prof := heterogeneous(t)
+	theta := math.Pi / 4
+	prev := 1.1
+	for _, n := range []int{100, 500, 1000, 5000, 20000} {
+		p, err := UniformNecessaryFailure(prof, n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p >= prev {
+			t.Errorf("failure should decrease with n: P(%d) = %v ≥ %v", n, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestUniformSufficientFailureAboveNecessary(t *testing.T) {
+	// The sufficient condition is strictly harder to satisfy, so its
+	// failure probability dominates.
+	prof := heterogeneous(t)
+	for _, n := range []int{100, 1000} {
+		for _, theta := range []float64{math.Pi / 4, math.Pi / 2, math.Pi} {
+			nec, err := UniformNecessaryFailure(prof, n, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			suf, err := UniformSufficientFailure(prof, n, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if suf < nec {
+				t.Errorf("n=%d θ=%v: P(F_S)=%v < P(F_N)=%v", n, theta, suf, nec)
+			}
+		}
+	}
+}
+
+func TestUniformFailureSaturatingSensor(t *testing.T) {
+	// θ·s/π ≥ 1: every sensor covers its sector event almost surely, so
+	// failure collapses to 0 as soon as a group has one sensor.
+	prof := homogeneous(t, 2, 2*math.Pi) // s = 4π·... large
+	p, err := UniformNecessaryFailure(prof, 10, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("failure = %v, want 0 for saturating sensing areas", p)
+	}
+}
+
+func TestUniformFailureValidation(t *testing.T) {
+	prof := homogeneous(t, 0.1, 1)
+	if _, err := UniformNecessaryFailure(prof, 1, math.Pi/4); !errors.Is(err, ErrSmallN) {
+		t.Errorf("error = %v, want ErrSmallN", err)
+	}
+	if _, err := UniformSufficientFailure(prof, 100, 0); !errors.Is(err, ErrBadTheta) {
+		t.Errorf("error = %v, want ErrBadTheta", err)
+	}
+}
+
+func TestExpectedCoverageCount(t *testing.T) {
+	prof := homogeneous(t, 0.1, math.Pi/2)
+	// n·s with s = (π/2)(0.01)/2 = π/400.
+	want := 1000 * math.Pi / 400
+	if got := ExpectedCoverageCount(prof, 1000); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ExpectedCoverageCount = %v, want %v", got, want)
+	}
+	// Heterogeneous: Σ n_y·s_y.
+	het := heterogeneous(t)
+	counts := het.Counts(1000)
+	wantHet := 0.0
+	for y, g := range het.Groups() {
+		wantHet += float64(counts[y]) * g.SensingArea()
+	}
+	if got := ExpectedCoverageCount(het, 1000); math.Abs(got-wantHet) > 1e-12 {
+		t.Errorf("heterogeneous ExpectedCoverageCount = %v, want %v", got, wantHet)
+	}
+}
+
+// TestSensingAreaDecisiveAnalytically checks Section VI-A at the formula
+// level: two profiles with different (r, φ) but identical s produce
+// identical failure probabilities.
+func TestSensingAreaDecisiveAnalytically(t *testing.T) {
+	longThin := homogeneous(t, 0.2, math.Pi/8)  // s = π/8·0.04/2
+	shortWide := homogeneous(t, 0.1, math.Pi/2) // s = π/2·0.01/2 — equal
+	if math.Abs(longThin.WeightedSensingArea()-shortWide.WeightedSensingArea()) > 1e-15 {
+		t.Fatal("test setup: sensing areas should match")
+	}
+	for _, theta := range []float64{math.Pi / 4, math.Pi / 2} {
+		a, err := UniformNecessaryFailure(longThin, 1000, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := UniformNecessaryFailure(shortWide, 1000, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("θ=%v: failure probabilities differ for equal sensing area: %v vs %v", theta, a, b)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package barrier implements full-view *barrier* coverage, the extension
+// the paper names as future work ("the critical condition to reach
+// barrier full view coverage will be an absorbing topic as well"): an
+// intruder crossing a barrier polyline must be full-view captured at
+// every point of the barrier, so its face is guaranteed to be recorded
+// no matter where it crosses or which way it faces.
+package barrier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fullview/internal/core"
+	"fullview/internal/geom"
+)
+
+// Validation errors.
+var (
+	ErrTooFewWaypoints = errors.New("barrier: need at least two waypoints")
+	ErrBadSpacing      = errors.New("barrier: sample spacing must be positive")
+	ErrZeroLength      = errors.New("barrier: barrier has zero length")
+)
+
+// Barrier is a polyline through the operational region. Waypoints are
+// interpreted in the plane (segments do not wrap); sample points are
+// wrapped onto the torus when evaluated.
+type Barrier struct {
+	waypoints []geom.Vec
+}
+
+// New builds a barrier from at least two waypoints.
+func New(waypoints ...geom.Vec) (Barrier, error) {
+	if len(waypoints) < 2 {
+		return Barrier{}, fmt.Errorf("%w: got %d", ErrTooFewWaypoints, len(waypoints))
+	}
+	length := 0.0
+	for i := 1; i < len(waypoints); i++ {
+		length += waypoints[i].Sub(waypoints[i-1]).Norm()
+	}
+	if length == 0 {
+		return Barrier{}, ErrZeroLength
+	}
+	pts := make([]geom.Vec, len(waypoints))
+	copy(pts, waypoints)
+	return Barrier{waypoints: pts}, nil
+}
+
+// Horizontal returns the straight barrier crossing the full width of the
+// unit torus at height y — the canonical "belt" barrier.
+func Horizontal(y float64) Barrier {
+	b, err := New(geom.V(0, y), geom.V(1, y))
+	if err != nil {
+		// Unreachable: the two waypoints are fixed and distinct.
+		panic(err)
+	}
+	return b
+}
+
+// Waypoints returns a copy of the waypoint list.
+func (b Barrier) Waypoints() []geom.Vec {
+	out := make([]geom.Vec, len(b.waypoints))
+	copy(out, b.waypoints)
+	return out
+}
+
+// Length returns the total polyline length.
+func (b Barrier) Length() float64 {
+	length := 0.0
+	for i := 1; i < len(b.waypoints); i++ {
+		length += b.waypoints[i].Sub(b.waypoints[i-1]).Norm()
+	}
+	return length
+}
+
+// Sample returns points along the barrier at intervals of at most
+// spacing, always including segment endpoints.
+func (b Barrier) Sample(spacing float64) ([]geom.Vec, error) {
+	if !(spacing > 0) {
+		return nil, fmt.Errorf("%w: got %v", ErrBadSpacing, spacing)
+	}
+	var out []geom.Vec
+	for i := 1; i < len(b.waypoints); i++ {
+		a, c := b.waypoints[i-1], b.waypoints[i]
+		seg := c.Sub(a)
+		segLen := seg.Norm()
+		steps := int(math.Ceil(segLen / spacing))
+		if steps < 1 {
+			steps = 1
+		}
+		from := 0
+		if i > 1 {
+			from = 1 // segment start equals previous segment's end
+		}
+		for s := from; s <= steps; s++ {
+			out = append(out, a.Add(seg.Scale(float64(s)/float64(steps))))
+		}
+	}
+	return out, nil
+}
+
+// Stats summarizes barrier coverage.
+type Stats struct {
+	// Samples is the number of barrier points evaluated.
+	Samples int
+	// FullView counts samples that are full-view covered.
+	FullView int
+	// Weak counts samples that are at least 1-covered (detection without
+	// the full-view guarantee — classic weak barrier coverage).
+	Weak int
+	// GapPoint is the first barrier point that is not full-view covered
+	// (meaningful only when Covered is false).
+	GapPoint geom.Vec
+	// GapDirection is a facing direction an intruder could adopt at
+	// GapPoint to avoid a frontal capture.
+	GapDirection float64
+	// Covered reports whether the whole barrier is full-view covered.
+	Covered bool
+}
+
+// FullViewFraction returns the covered fraction of barrier samples.
+func (s Stats) FullViewFraction() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return float64(s.FullView) / float64(s.Samples)
+}
+
+// WeakFraction returns the 1-covered fraction of barrier samples.
+func (s Stats) WeakFraction() float64 {
+	if s.Samples == 0 {
+		return 0
+	}
+	return float64(s.Weak) / float64(s.Samples)
+}
+
+// Survey evaluates full-view coverage along the barrier with the given
+// sample spacing.
+func Survey(checker *core.Checker, b Barrier, spacing float64) (Stats, error) {
+	points, err := b.Sample(spacing)
+	if err != nil {
+		return Stats{}, err
+	}
+	stats := Stats{Samples: len(points), Covered: true}
+	for _, p := range points {
+		rep := checker.Report(p)
+		if rep.NumCovering > 0 {
+			stats.Weak++
+		}
+		if rep.FullView {
+			stats.FullView++
+			continue
+		}
+		if stats.Covered {
+			stats.Covered = false
+			stats.GapPoint = p
+			dir, _ := checker.UnsafeDirection(p)
+			stats.GapDirection = dir
+		}
+	}
+	return stats, nil
+}

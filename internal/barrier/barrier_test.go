@@ -1,0 +1,173 @@
+package barrier
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullview/internal/core"
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geom.V(0, 0)); !errors.Is(err, ErrTooFewWaypoints) {
+		t.Errorf("single waypoint: error = %v, want ErrTooFewWaypoints", err)
+	}
+	if _, err := New(geom.V(0.5, 0.5), geom.V(0.5, 0.5)); !errors.Is(err, ErrZeroLength) {
+		t.Errorf("coincident waypoints: error = %v, want ErrZeroLength", err)
+	}
+	if _, err := New(geom.V(0, 0), geom.V(1, 0)); err != nil {
+		t.Errorf("valid barrier rejected: %v", err)
+	}
+}
+
+func TestLength(t *testing.T) {
+	b, err := New(geom.V(0, 0), geom.V(0.3, 0), geom.V(0.3, 0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Length(); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("Length = %v, want 0.7", got)
+	}
+}
+
+func TestHorizontal(t *testing.T) {
+	b := Horizontal(0.5)
+	if got := b.Length(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Length = %v, want 1", got)
+	}
+	wp := b.Waypoints()
+	if len(wp) != 2 || wp[0].Y != 0.5 || wp[1].Y != 0.5 {
+		t.Errorf("Waypoints = %v", wp)
+	}
+}
+
+func TestSampleSpacing(t *testing.T) {
+	b := Horizontal(0.5)
+	pts, err := b.Sample(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 11 {
+		t.Fatalf("got %d samples, want 11", len(pts))
+	}
+	if pts[0] != (geom.V(0, 0.5)) || pts[10] != (geom.V(1, 0.5)) {
+		t.Errorf("endpoints missing: %v … %v", pts[0], pts[len(pts)-1])
+	}
+	for i := 1; i < len(pts); i++ {
+		if d := pts[i].Sub(pts[i-1]).Norm(); d > 0.1+1e-12 {
+			t.Errorf("gap %v exceeds spacing", d)
+		}
+	}
+}
+
+func TestSampleMultiSegmentNoDuplicates(t *testing.T) {
+	b, err := New(geom.V(0, 0), geom.V(0.2, 0), geom.V(0.2, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := b.Sample(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] == pts[i-1] {
+			t.Fatalf("duplicate consecutive sample at %d: %v", i, pts[i])
+		}
+	}
+}
+
+func TestSampleInvalidSpacing(t *testing.T) {
+	b := Horizontal(0.5)
+	for _, s := range []float64{0, -0.1, math.NaN()} {
+		if _, err := b.Sample(s); !errors.Is(err, ErrBadSpacing) {
+			t.Errorf("spacing %v: error = %v, want ErrBadSpacing", s, err)
+		}
+	}
+}
+
+func denseChecker(t *testing.T, n int, theta float64) *core.Checker {
+	t.Helper()
+	profile, err := sensor.Homogeneous(0.25, 2*math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, n, rng.New(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewChecker(net, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSurveyDenseNetworkCoversBarrier(t *testing.T) {
+	checker := denseChecker(t, 3000, math.Pi/2)
+	stats, err := Survey(checker, Horizontal(0.5), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Covered {
+		t.Errorf("dense network should cover the barrier; gap at %v facing %v",
+			stats.GapPoint, stats.GapDirection)
+	}
+	if stats.FullViewFraction() != 1 || stats.WeakFraction() != 1 {
+		t.Errorf("fractions = %v / %v, want 1 / 1",
+			stats.FullViewFraction(), stats.WeakFraction())
+	}
+}
+
+func TestSurveySparseNetworkReportsGap(t *testing.T) {
+	checker := denseChecker(t, 5, math.Pi/4)
+	stats, err := Survey(checker, Horizontal(0.5), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Covered {
+		t.Fatal("5 cameras cannot full-view cover a unit barrier at θ=π/4")
+	}
+	if stats.FullView >= stats.Samples {
+		t.Errorf("FullView = %d of %d", stats.FullView, stats.Samples)
+	}
+	// Weak coverage is implied by full-view coverage.
+	if stats.Weak < stats.FullView {
+		t.Errorf("weak %d < full-view %d", stats.Weak, stats.FullView)
+	}
+	// The reported gap point must really be uncovered.
+	if checker.FullViewCovered(stats.GapPoint) {
+		t.Errorf("gap point %v is actually covered", stats.GapPoint)
+	}
+}
+
+func TestSurveyEmptyNetwork(t *testing.T) {
+	net, err := sensor.NewNetwork(geom.UnitTorus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := core.NewChecker(net, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Survey(checker, Horizontal(0.3), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Covered || stats.FullView != 0 || stats.Weak != 0 {
+		t.Errorf("empty network stats = %+v", stats)
+	}
+	if stats.FullViewFraction() != 0 {
+		t.Error("fraction should be 0")
+	}
+}
+
+func TestStatsZeroSamples(t *testing.T) {
+	var s Stats
+	if s.FullViewFraction() != 0 || s.WeakFraction() != 0 {
+		t.Error("zero-sample fractions should be 0")
+	}
+}

@@ -1,0 +1,144 @@
+// Package construct builds *deterministic* deployments with a provable
+// full-view coverage guarantee, the counterpart to the paper's random
+// deployments (and the spirit of the triangular-lattice construction of
+// Wang & Cao [4] that Section VII-C compares against).
+//
+// The construction tiles the region into square cells and surrounds each
+// cell centre with a ring of k = ⌈2π/θ⌉ cameras facing inward. For a
+// cell of half-diagonal D and ring radius ρ:
+//
+//   - every ring camera sees the whole cell when its radius reaches
+//     ρ + D and its aperture reaches 2·asin(D/ρ);
+//   - for any point Q in the cell, the viewed direction of ring camera i
+//     deviates from its nominal bearing by at most asin(D/ρ), so the
+//     maximum circular gap between viewed directions is at most
+//     2π/k + 2·asin(D/ρ) ≤ θ + θ = 2θ once ρ ≥ D/sin(θ/2) —
+//     exactly the full-view condition.
+//
+// A small safety margin keeps every inequality strict, so the guarantee
+// survives floating-point evaluation; the tests verify it over dense
+// grids.
+package construct
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fullview/internal/geom"
+	"fullview/internal/sensor"
+)
+
+// Validation errors.
+var (
+	ErrBadTheta = errors.New("construct: effective angle θ must be in (0, π]")
+	ErrBadCells = errors.New("construct: cells per side must be positive")
+)
+
+// margin keeps the geometric inequalities strictly satisfied.
+const margin = 1.05
+
+// Plan is a sized deterministic deployment.
+type Plan struct {
+	// Theta is the effective angle the plan guarantees.
+	Theta float64
+	// CellsPerSide is the tiling resolution.
+	CellsPerSide int
+	// CellSide is the side length of one cell.
+	CellSide float64
+	// CamerasPerCell is k = ⌈2π/θ⌉, the ring size.
+	CamerasPerCell int
+	// RingRadius is ρ, the distance from cell centre to each camera.
+	RingRadius float64
+	// Radius is the sensing radius every camera needs.
+	Radius float64
+	// Aperture is the angle of view every camera needs.
+	Aperture float64
+}
+
+// NewPlan sizes a deterministic full-view deployment for torus t with
+// effective angle theta and the given tiling resolution.
+func NewPlan(t geom.Torus, theta float64, cellsPerSide int) (Plan, error) {
+	if !(theta > 0) || theta > math.Pi {
+		return Plan{}, fmt.Errorf("%w: got %v", ErrBadTheta, theta)
+	}
+	if cellsPerSide <= 0 {
+		return Plan{}, fmt.Errorf("%w: got %d", ErrBadCells, cellsPerSide)
+	}
+	cellSide := t.Side() / float64(cellsPerSide)
+	halfDiag := cellSide * math.Sqrt2 / 2
+	ring := margin * halfDiag / math.Sin(theta/2)
+	aperture := margin * 2 * math.Asin(halfDiag/ring)
+	if aperture > geom.TwoPi {
+		aperture = geom.TwoPi
+	}
+	return Plan{
+		Theta:          theta,
+		CellsPerSide:   cellsPerSide,
+		CellSide:       cellSide,
+		CamerasPerCell: geom.SectorCount(theta),
+		RingRadius:     ring,
+		Radius:         margin * (ring + halfDiag),
+		Aperture:       aperture,
+	}, nil
+}
+
+// TotalCameras returns the number of cameras the plan deploys.
+func (p Plan) TotalCameras() int {
+	return p.CamerasPerCell * p.CellsPerSide * p.CellsPerSide
+}
+
+// Density returns cameras per unit area.
+func (p Plan) Density() float64 {
+	side := p.CellSide * float64(p.CellsPerSide)
+	return float64(p.TotalCameras()) / (side * side)
+}
+
+// SensingArea returns the per-camera sensing area φ·r²/2 the plan
+// demands.
+func (p Plan) SensingArea() float64 {
+	return p.Aperture * p.Radius * p.Radius / 2
+}
+
+// Build places the cameras on torus t: for each cell, CamerasPerCell
+// cameras evenly spaced on the ring around the cell centre, oriented at
+// the centre. The resulting network full-view covers the whole torus
+// with effective angle Theta.
+func (p Plan) Build(t geom.Torus) (*sensor.Network, error) {
+	centers, err := cellCenters(t, p.CellsPerSide)
+	if err != nil {
+		return nil, err
+	}
+	cameras := make([]sensor.Camera, 0, p.TotalCameras())
+	for _, c := range centers {
+		for i := 0; i < p.CamerasPerCell; i++ {
+			bearing := geom.TwoPi * float64(i) / float64(p.CamerasPerCell)
+			pos := t.Translate(c, geom.FromPolar(p.RingRadius, bearing))
+			cameras = append(cameras, sensor.Camera{
+				Pos: pos,
+				// Face back toward the cell centre.
+				Orient:   geom.NormalizeAngle(bearing + math.Pi),
+				Radius:   p.Radius,
+				Aperture: p.Aperture,
+			})
+		}
+	}
+	return sensor.NewNetwork(t, cameras)
+}
+
+func cellCenters(t geom.Torus, cells int) ([]geom.Vec, error) {
+	if cells <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadCells, cells)
+	}
+	step := t.Side() / float64(cells)
+	centers := make([]geom.Vec, 0, cells*cells)
+	for i := 0; i < cells; i++ {
+		for j := 0; j < cells; j++ {
+			centers = append(centers, geom.V(
+				(float64(i)+0.5)*step,
+				(float64(j)+0.5)*step,
+			))
+		}
+	}
+	return centers, nil
+}

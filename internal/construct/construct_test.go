@@ -1,0 +1,176 @@
+package construct
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullview/internal/core"
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+)
+
+func TestNewPlanValidation(t *testing.T) {
+	for _, theta := range []float64{0, -1, math.Pi + 0.1, math.NaN()} {
+		if _, err := NewPlan(geom.UnitTorus, theta, 4); !errors.Is(err, ErrBadTheta) {
+			t.Errorf("theta %v: error = %v, want ErrBadTheta", theta, err)
+		}
+	}
+	for _, cells := range []int{0, -2} {
+		if _, err := NewPlan(geom.UnitTorus, math.Pi/4, cells); !errors.Is(err, ErrBadCells) {
+			t.Errorf("cells %d: error = %v, want ErrBadCells", cells, err)
+		}
+	}
+}
+
+func TestPlanGeometry(t *testing.T) {
+	plan, err := NewPlan(geom.UnitTorus, math.Pi/4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CamerasPerCell != 8 { // ⌈2π/(π/4)⌉
+		t.Errorf("CamerasPerCell = %d, want 8", plan.CamerasPerCell)
+	}
+	if plan.TotalCameras() != 8*25 {
+		t.Errorf("TotalCameras = %d", plan.TotalCameras())
+	}
+	if plan.CellSide != 0.2 {
+		t.Errorf("CellSide = %v", plan.CellSide)
+	}
+	// The sizing inequalities must hold with margin.
+	halfDiag := plan.CellSide * math.Sqrt2 / 2
+	if plan.RingRadius <= halfDiag/math.Sin(plan.Theta/2) {
+		t.Error("ring radius below the full-view bound")
+	}
+	if plan.Radius <= plan.RingRadius+halfDiag {
+		t.Error("sensing radius below ring + half-diagonal")
+	}
+	if plan.Aperture <= 2*math.Asin(halfDiag/plan.RingRadius) {
+		t.Error("aperture below the visibility bound")
+	}
+	if plan.Density() != float64(plan.TotalCameras()) {
+		t.Errorf("Density on the unit torus = %v, want %v", plan.Density(), plan.TotalCameras())
+	}
+	if plan.SensingArea() <= 0 {
+		t.Error("SensingArea must be positive")
+	}
+}
+
+// TestBuildGuaranteesFullViewCoverage is the package's core promise: the
+// built network full-view covers a dense grid for several θ and tiling
+// resolutions.
+func TestBuildGuaranteesFullViewCoverage(t *testing.T) {
+	cases := []struct {
+		theta float64
+		cells int
+	}{
+		{theta: math.Pi / 4, cells: 4},
+		{theta: math.Pi / 4, cells: 7},
+		{theta: math.Pi / 3, cells: 5},
+		{theta: math.Pi / 2, cells: 3},
+		{theta: 0.9 * math.Pi, cells: 2},
+	}
+	for _, tc := range cases {
+		plan, err := NewPlan(geom.UnitTorus, tc.theta, tc.cells)
+		if err != nil {
+			t.Fatalf("θ=%v cells=%d: %v", tc.theta, tc.cells, err)
+		}
+		net, err := plan.Build(geom.UnitTorus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.Len() != plan.TotalCameras() {
+			t.Fatalf("built %d cameras, plan says %d", net.Len(), plan.TotalCameras())
+		}
+		checker, err := core.NewChecker(net, tc.theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grid, err := deploy.GridPoints(geom.UnitTorus, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := checker.SurveyRegion(grid)
+		if !stats.AllFullView() {
+			p, dir, _ := checker.FirstFullViewGap(grid)
+			t.Errorf("θ=%v cells=%d: grid not fully covered (%d/%d); gap at %v facing %v",
+				tc.theta, tc.cells, stats.FullView, stats.Points, p, dir)
+		}
+	}
+}
+
+// TestBuildCoversRandomPoints probes off-grid points too.
+func TestBuildCoversRandomPoints(t *testing.T) {
+	plan, err := NewPlan(geom.UnitTorus, math.Pi/4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := plan.Build(geom.UnitTorus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := core.NewChecker(net, math.Pi/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deterministic pseudo-random walk over the region.
+	x, y := 0.123, 0.456
+	for i := 0; i < 500; i++ {
+		x = math.Mod(x+0.137, 1)
+		y = math.Mod(y+0.719, 1)
+		if !checker.FullViewCovered(geom.V(x, y)) {
+			t.Fatalf("point (%v, %v) not covered by deterministic plan", x, y)
+		}
+	}
+}
+
+func TestPlanScalesWithCells(t *testing.T) {
+	coarse, err := NewPlan(geom.UnitTorus, math.Pi/4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := NewPlan(geom.UnitTorus, math.Pi/4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finer tiling: more cameras, each individually weaker (smaller
+	// radius and sensing area).
+	if fine.TotalCameras() <= coarse.TotalCameras() {
+		t.Error("finer tiling should need more cameras")
+	}
+	if fine.Radius >= coarse.Radius {
+		t.Error("finer tiling should need smaller radii")
+	}
+	if fine.SensingArea() >= coarse.SensingArea() {
+		t.Error("finer tiling should need smaller sensing areas")
+	}
+}
+
+func TestPlanOnScaledTorus(t *testing.T) {
+	tor, err := geom.NewTorus(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(tor, math.Pi/3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.CellSide-0.5) > 1e-12 {
+		t.Errorf("CellSide = %v, want 0.5", plan.CellSide)
+	}
+	net, err := plan.Build(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := core.NewChecker(net, math.Pi/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := deploy.GridPoints(tor, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := checker.SurveyRegion(grid); !stats.AllFullView() {
+		t.Errorf("scaled torus not fully covered: %d/%d", stats.FullView, stats.Points)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func TestFullViewMultiplicityHandBuilt(t *testing.T) {
+	p := geom.V(0.5, 0.5)
+	theta := math.Pi / 4
+	tests := []struct {
+		name string
+		dirs []float64
+		want int
+	}{
+		{name: "no cameras", dirs: nil, want: 0},
+		{name: "square exactly single-covers", dirs: []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2}, want: 1},
+		{
+			name: "octagon double-covers",
+			dirs: []float64{0, math.Pi / 4, math.Pi / 2, 3 * math.Pi / 4, math.Pi, 5 * math.Pi / 4, 3 * math.Pi / 2, 7 * math.Pi / 4},
+			want: 2,
+		},
+		{name: "clustered cameras leave zero", dirs: []float64{0.1, 0.2, 0.3}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cams := camerasAt(p, tt.dirs...)
+			c := checkerFor(t, theta, cams)
+			depth, weakest := c.FullViewMultiplicity(p)
+			if depth != tt.want {
+				t.Errorf("multiplicity = %d, want %d", depth, tt.want)
+			}
+			// The witness direction must see exactly `depth` cameras,
+			// counted against the viewed directions the checker actually
+			// used (the reconstructed ones, which carry float noise at
+			// the deliberately boundary-exact geometries above).
+			net, err := sensor.NewNetwork(geom.UnitTorus, cams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := 0
+			for _, d := range net.ViewedDirections(p) {
+				if geom.AngularDistance(weakest, d) <= theta {
+					count++
+				}
+			}
+			if count != depth {
+				t.Errorf("weakest direction %v sees %d cameras, want %d", weakest, count, depth)
+			}
+		})
+	}
+}
+
+func TestMultiplicityConsistentWithFullView(t *testing.T) {
+	profile, err := sensor.Homogeneous(0.25, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		net, err := deploy.Uniform(geom.UnitTorus, profile, 300, rng.New(seed, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewChecker(net, math.Pi/3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(seed, 5)
+		for trial := 0; trial < 200; trial++ {
+			p := geom.V(r.Float64(), r.Float64())
+			depth, _ := c.FullViewMultiplicity(p)
+			if (depth >= 1) != c.FullViewCovered(p) {
+				t.Fatalf("seed %d: multiplicity %d disagrees with FullViewCovered at %v",
+					seed, depth, p)
+			}
+			if depth > c.CoverageCount(p) {
+				t.Fatalf("multiplicity %d exceeds covering count %d", depth, c.CoverageCount(p))
+			}
+		}
+	}
+}
+
+func TestFaultTolerantFullViewRemovalProperty(t *testing.T) {
+	// If multiplicity ≥ 2, removing any single camera keeps the point
+	// full-view covered. θ sits strictly above π/4 so the octagon's
+	// double coverage is robust to floating-point noise in the
+	// reconstructed viewed directions.
+	p := geom.V(0.5, 0.5)
+	theta := math.Pi/4 + 0.01
+	dirs := []float64{0, math.Pi / 4, math.Pi / 2, 3 * math.Pi / 4, math.Pi, 5 * math.Pi / 4, 3 * math.Pi / 2, 7 * math.Pi / 4}
+	c := checkerFor(t, theta, camerasAt(p, dirs...))
+	if !c.FaultTolerantFullView(p, 1) {
+		t.Fatal("octagon should tolerate one failure")
+	}
+	for drop := range dirs {
+		remaining := make([]float64, 0, len(dirs)-1)
+		for i, d := range dirs {
+			if i != drop {
+				remaining = append(remaining, d)
+			}
+		}
+		cd := checkerFor(t, theta, camerasAt(p, remaining...))
+		if !cd.FullViewCovered(p) {
+			t.Fatalf("dropping camera %d broke coverage despite multiplicity ≥ 2", drop)
+		}
+	}
+	// But it does not tolerate two failures (adjacent pair removal).
+	if c.FaultTolerantFullView(p, 2) {
+		cd := checkerFor(t, theta, camerasAt(p, dirs[2:]...))
+		if !cd.FullViewCovered(p) {
+			t.Error("claimed 2-fault tolerance but adjacent double-failure broke coverage")
+		}
+	}
+}
+
+func TestSafeDirectionFraction(t *testing.T) {
+	p := geom.V(0.5, 0.5)
+	theta := math.Pi / 4
+	tests := []struct {
+		name string
+		dirs []float64
+		want float64
+	}{
+		{name: "no cameras", dirs: nil, want: 0},
+		{name: "single camera covers 2θ of directions", dirs: []float64{1}, want: 0.25},
+		{name: "two opposite cameras", dirs: []float64{0, math.Pi}, want: 0.5},
+		{name: "full square covers everything", dirs: []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2}, want: 1},
+		{name: "overlapping pair", dirs: []float64{0, math.Pi / 4}, want: 0.375},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := checkerFor(t, theta, camerasAt(p, tt.dirs...))
+			got := c.SafeDirectionFraction(p)
+			if math.Abs(got-tt.want) > 1e-6 {
+				t.Errorf("SafeDirectionFraction = %v, want %v", got, tt.want)
+			}
+			// Fraction 1 ⇔ full-view covered (non-degenerate cases).
+			if (got >= 1-1e-9) != c.FullViewCovered(p) {
+				t.Errorf("fraction %v inconsistent with FullViewCovered=%v", got, c.FullViewCovered(p))
+			}
+		})
+	}
+}
+
+func TestSafeDirectionFractionMonotoneInCameras(t *testing.T) {
+	p := geom.V(0.5, 0.5)
+	theta := math.Pi / 5
+	dirs := []float64{0.3, 1.7, 2.9, 4.1, 5.3}
+	prev := -1.0
+	for k := 0; k <= len(dirs); k++ {
+		c := checkerFor(t, theta, camerasAt(p, dirs[:k]...))
+		frac := c.SafeDirectionFraction(p)
+		if frac < prev-1e-12 {
+			t.Fatalf("fraction decreased when adding camera %d: %v → %v", k, prev, frac)
+		}
+		prev = frac
+	}
+}
+
+func TestFaultTolerantNegativeF(t *testing.T) {
+	p := geom.V(0.5, 0.5)
+	c := checkerFor(t, math.Pi/4, camerasAt(p, 0, math.Pi/2, math.Pi, 3*math.Pi/2))
+	if c.FaultTolerantFullView(p, -3) != c.FullViewCovered(p) {
+		t.Error("negative f should behave like f = 0")
+	}
+}
+
+func TestSurveyMultiplicity(t *testing.T) {
+	profile, err := sensor.Homogeneous(0.3, 2*math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, 2000, rng.New(11, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(net, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := deploy.GridPoints(geom.UnitTorus, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := c.SurveyMultiplicity(points)
+	if stats.Points != len(points) {
+		t.Fatalf("Points = %d", stats.Points)
+	}
+	if stats.Min < 0 || stats.Mean < float64(stats.Min) {
+		t.Errorf("inconsistent stats: %+v", stats)
+	}
+	// Histogram totals the points.
+	total := 0
+	for _, c := range stats.Histogram {
+		total += c
+	}
+	if total != stats.Points {
+		t.Errorf("histogram sums to %d, want %d", total, stats.Points)
+	}
+	// FaultTolerantFraction(0) is the full-view fraction.
+	rs := c.SurveyRegion(points)
+	if got, want := stats.FaultTolerantFraction(0), rs.FullViewFraction(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("FaultTolerantFraction(0) = %v, FullViewFraction = %v", got, want)
+	}
+	// Monotone in f.
+	prev := 1.1
+	for f := 0; f < 5; f++ {
+		frac := stats.FaultTolerantFraction(f)
+		if frac > prev {
+			t.Errorf("fraction not monotone at f=%d", f)
+		}
+		prev = frac
+	}
+}
+
+func TestSurveyMultiplicityEmpty(t *testing.T) {
+	c := checkerFor(t, math.Pi/2, nil)
+	stats := c.SurveyMultiplicity(nil)
+	if stats.Points != 0 || stats.Mean != 0 || stats.FaultTolerantFraction(0) != 0 {
+		t.Errorf("empty survey = %+v", stats)
+	}
+}

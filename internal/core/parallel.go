@@ -1,0 +1,93 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"fullview/internal/geom"
+)
+
+// SurveyRegionParallel evaluates the sample points with the given number
+// of workers (GOMAXPROCS when workers ≤ 0) and aggregates exactly like
+// SurveyRegion. Each worker gets its own Checker over the shared
+// immutable spatial index, so the sweep scales with cores while the
+// result stays identical to the sequential sweep.
+func (c *Checker) SurveyRegionParallel(points []geom.Vec, workers int) RegionStats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		return c.SurveyRegion(points)
+	}
+
+	partials := make([]RegionStats, workers)
+	totals := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (len(points) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(points) {
+			hi = len(points)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			// Workers share the index but not the scratch buffers.
+			worker, err := NewCheckerFromIndex(c.index, c.theta)
+			if err != nil {
+				// Unreachable: c.theta was already validated.
+				panic(err)
+			}
+			stats := RegionStats{Points: hi - lo}
+			covering := 0
+			for i, p := range points[lo:hi] {
+				rep := worker.Report(p)
+				covering += rep.NumCovering
+				if i == 0 || rep.NumCovering < stats.MinCovering {
+					stats.MinCovering = rep.NumCovering
+				}
+				if rep.FullView {
+					stats.FullView++
+				}
+				if rep.Necessary {
+					stats.Necessary++
+				}
+				if rep.Sufficient {
+					stats.Sufficient++
+				}
+			}
+			partials[w] = stats
+			totals[w] = covering
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	merged := RegionStats{}
+	totalCovering := 0
+	first := true
+	for w, part := range partials {
+		if part.Points == 0 {
+			continue
+		}
+		merged.Points += part.Points
+		merged.FullView += part.FullView
+		merged.Necessary += part.Necessary
+		merged.Sufficient += part.Sufficient
+		totalCovering += totals[w]
+		if first || part.MinCovering < merged.MinCovering {
+			merged.MinCovering = part.MinCovering
+			first = false
+		}
+	}
+	if merged.Points > 0 {
+		merged.MeanCovering = float64(totalCovering) / float64(merged.Points)
+	}
+	return merged
+}

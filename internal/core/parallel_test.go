@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func TestSurveyRegionParallelMatchesSequential(t *testing.T) {
+	profile, err := sensor.NewProfile(
+		sensor.GroupSpec{Fraction: 0.5, Radius: 0.15, Aperture: math.Pi / 2},
+		sensor.GroupSpec{Fraction: 0.5, Radius: 0.25, Aperture: math.Pi / 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, 600, rng.New(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(net, math.Pi/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := deploy.GridPoints(geom.UnitTorus, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.SurveyRegion(points)
+	for _, workers := range []int{0, 1, 2, 4, 7, 16} {
+		got := c.SurveyRegionParallel(points, workers)
+		if got != want {
+			t.Errorf("workers=%d: %+v != sequential %+v", workers, got, want)
+		}
+	}
+}
+
+func TestSurveyRegionParallelEmpty(t *testing.T) {
+	c := denseRandomChecker(t, 10, math.Pi/2, 1)
+	got := c.SurveyRegionParallel(nil, 4)
+	if got.Points != 0 || got.MeanCovering != 0 {
+		t.Errorf("empty parallel survey = %+v", got)
+	}
+}
+
+func TestSurveyRegionParallelMoreWorkersThanPoints(t *testing.T) {
+	c := denseRandomChecker(t, 100, math.Pi/2, 2)
+	points, err := deploy.GridPoints(geom.UnitTorus, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.SurveyRegion(points)
+	if got := c.SurveyRegionParallel(points, 64); got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+func BenchmarkSurveySequential(b *testing.B) {
+	profile, err := sensor.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, 2000, rng.New(1, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewChecker(net, math.Pi/4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	points, err := deploy.GridPoints(geom.UnitTorus, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SurveyRegion(points)
+	}
+}
+
+func BenchmarkSurveyParallel(b *testing.B) {
+	profile, err := sensor.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, 2000, rng.New(1, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewChecker(net, math.Pi/4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	points, err := deploy.GridPoints(geom.UnitTorus, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SurveyRegionParallel(points, 0)
+	}
+}

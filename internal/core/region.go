@@ -1,0 +1,117 @@
+package core
+
+import "fullview/internal/geom"
+
+// PointReport is the full coverage diagnosis of a single point.
+type PointReport struct {
+	// NumCovering is the number of cameras covering the point.
+	NumCovering int
+	// MaxGap is the widest circular gap between viewed directions of
+	// covering cameras (2π when fewer than two cameras cover the point).
+	MaxGap float64
+	// FullView reports whether the point is full-view covered.
+	FullView bool
+	// Necessary reports whether the geometric necessary condition holds.
+	Necessary bool
+	// Sufficient reports whether the geometric sufficient condition holds.
+	Sufficient bool
+}
+
+// Report diagnoses point p in one pass over its covering cameras.
+func (c *Checker) Report(p geom.Vec) PointReport {
+	dirs := c.viewedDirections(p)
+	gap, _ := geom.MaxCircularGap(dirs)
+	return PointReport{
+		NumCovering: len(dirs),
+		MaxGap:      gap,
+		FullView:    len(dirs) > 0 && gap <= 2*c.theta,
+		Necessary:   sectorsAllOccupied(c.necessarySectors, dirs),
+		Sufficient:  sectorsAllOccupied(c.sufficientSectors, dirs),
+	}
+}
+
+// RegionStats aggregates coverage over a set of sample points (normally
+// the paper's dense grid, which stands in for the whole area).
+type RegionStats struct {
+	// Points is the number of sample points examined.
+	Points int
+	// FullView, Necessary, Sufficient count points passing each test.
+	FullView   int
+	Necessary  int
+	Sufficient int
+	// MinCovering / MeanCovering summarize k-coverage multiplicity.
+	MinCovering  int
+	MeanCovering float64
+}
+
+// FullViewFraction returns the fraction of sample points that are
+// full-view covered — by the paper's expectation argument (Section V),
+// the empirical analogue of the probability that an arbitrary point is
+// covered.
+func (s RegionStats) FullViewFraction() float64 { return fraction(s.FullView, s.Points) }
+
+// NecessaryFraction returns the fraction of points meeting the necessary
+// condition.
+func (s RegionStats) NecessaryFraction() float64 { return fraction(s.Necessary, s.Points) }
+
+// SufficientFraction returns the fraction of points meeting the
+// sufficient condition.
+func (s RegionStats) SufficientFraction() float64 { return fraction(s.Sufficient, s.Points) }
+
+// AllFullView reports whether every sample point is full-view covered —
+// the event ("the dense grid is full-view covered") whose asymptotic
+// probability Theorems 1 and 2 bound.
+func (s RegionStats) AllFullView() bool { return s.FullView == s.Points }
+
+// AllNecessary reports whether every point meets the necessary condition
+// (the paper's event H_N).
+func (s RegionStats) AllNecessary() bool { return s.Necessary == s.Points }
+
+// AllSufficient reports whether every point meets the sufficient
+// condition (the paper's event H_S).
+func (s RegionStats) AllSufficient() bool { return s.Sufficient == s.Points }
+
+func fraction(k, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(k) / float64(n)
+}
+
+// SurveyRegion evaluates every sample point and aggregates the results.
+func (c *Checker) SurveyRegion(points []geom.Vec) RegionStats {
+	stats := RegionStats{Points: len(points)}
+	totalCovering := 0
+	for i, p := range points {
+		r := c.Report(p)
+		totalCovering += r.NumCovering
+		if i == 0 || r.NumCovering < stats.MinCovering {
+			stats.MinCovering = r.NumCovering
+		}
+		if r.FullView {
+			stats.FullView++
+		}
+		if r.Necessary {
+			stats.Necessary++
+		}
+		if r.Sufficient {
+			stats.Sufficient++
+		}
+	}
+	if len(points) > 0 {
+		stats.MeanCovering = float64(totalCovering) / float64(len(points))
+	}
+	return stats
+}
+
+// FirstFullViewGap scans the sample points and returns the first point
+// that is not full-view covered together with a witness unsafe facing
+// direction. found is false when every point is covered.
+func (c *Checker) FirstFullViewGap(points []geom.Vec) (p geom.Vec, unsafeDir float64, found bool) {
+	for _, pt := range points {
+		if dir, bad := c.UnsafeDirection(pt); bad {
+			return pt, dir, true
+		}
+	}
+	return geom.Vec{}, 0, false
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func denseRandomChecker(t *testing.T, n int, theta float64, seed uint64) *Checker {
+	t.Helper()
+	profile, err := sensor.Homogeneous(0.25, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, n, rng.New(seed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(net, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSurveyRegionCountsMatchPerPointChecks(t *testing.T) {
+	c := denseRandomChecker(t, 500, math.Pi/4, 31)
+	points, err := deploy.GridPoints(geom.UnitTorus, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := c.SurveyRegion(points)
+	if stats.Points != len(points) {
+		t.Fatalf("Points = %d, want %d", stats.Points, len(points))
+	}
+	fullView, necessary, sufficient, minCov, total := 0, 0, 0, math.MaxInt, 0
+	for _, p := range points {
+		rep := c.Report(p)
+		if rep.FullView {
+			fullView++
+		}
+		if rep.Necessary {
+			necessary++
+		}
+		if rep.Sufficient {
+			sufficient++
+		}
+		if rep.NumCovering < minCov {
+			minCov = rep.NumCovering
+		}
+		total += rep.NumCovering
+	}
+	if stats.FullView != fullView || stats.Necessary != necessary || stats.Sufficient != sufficient {
+		t.Errorf("stats counts = %+v, want fv=%d nec=%d suf=%d", stats, fullView, necessary, sufficient)
+	}
+	if stats.MinCovering != minCov {
+		t.Errorf("MinCovering = %d, want %d", stats.MinCovering, minCov)
+	}
+	wantMean := float64(total) / float64(len(points))
+	if math.Abs(stats.MeanCovering-wantMean) > 1e-12 {
+		t.Errorf("MeanCovering = %v, want %v", stats.MeanCovering, wantMean)
+	}
+}
+
+func TestSurveyRegionOrderingInvariant(t *testing.T) {
+	// Fraction ordering mirrors the implication chain:
+	// sufficient ≤ full-view ≤ necessary.
+	for seed := uint64(0); seed < 5; seed++ {
+		c := denseRandomChecker(t, 400, math.Pi/3, seed)
+		points, err := deploy.GridPoints(geom.UnitTorus, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := c.SurveyRegion(points)
+		if s.Sufficient > s.FullView || s.FullView > s.Necessary {
+			t.Errorf("seed %d: ordering violated: suf=%d fv=%d nec=%d",
+				seed, s.Sufficient, s.FullView, s.Necessary)
+		}
+	}
+}
+
+func TestSurveyRegionEmpty(t *testing.T) {
+	c := denseRandomChecker(t, 10, math.Pi/4, 1)
+	s := c.SurveyRegion(nil)
+	if s.Points != 0 || s.MeanCovering != 0 {
+		t.Errorf("empty survey = %+v", s)
+	}
+	if s.FullViewFraction() != 0 || s.NecessaryFraction() != 0 || s.SufficientFraction() != 0 {
+		t.Error("fractions of an empty survey should be 0")
+	}
+	if !s.AllFullView() || !s.AllNecessary() || !s.AllSufficient() {
+		t.Error("vacuous all-coverage on empty point set should hold")
+	}
+}
+
+func TestRegionStatsFractions(t *testing.T) {
+	s := RegionStats{Points: 10, FullView: 5, Necessary: 8, Sufficient: 2}
+	if got := s.FullViewFraction(); got != 0.5 {
+		t.Errorf("FullViewFraction = %v", got)
+	}
+	if got := s.NecessaryFraction(); got != 0.8 {
+		t.Errorf("NecessaryFraction = %v", got)
+	}
+	if got := s.SufficientFraction(); got != 0.2 {
+		t.Errorf("SufficientFraction = %v", got)
+	}
+	if s.AllFullView() {
+		t.Error("AllFullView should be false at 5/10")
+	}
+	full := RegionStats{Points: 3, FullView: 3, Necessary: 3, Sufficient: 3}
+	if !full.AllFullView() || !full.AllNecessary() || !full.AllSufficient() {
+		t.Error("all-covered stats should report true")
+	}
+}
+
+func TestFirstFullViewGap(t *testing.T) {
+	// Dense omnidirectional cameras cover everything; then an empty
+	// network covers nothing.
+	profile, err := sensor.Homogeneous(0.3, 2*math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, 3000, rng.New(77, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewChecker(net, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := deploy.GridPoints(geom.UnitTorus, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, found := c.FirstFullViewGap(points); found {
+		t.Error("dense omnidirectional network should leave no gap")
+	}
+
+	emptyNet, err := sensor.NewNetwork(geom.UnitTorus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := NewChecker(emptyNet, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, found := ec.FirstFullViewGap(points)
+	if !found {
+		t.Fatal("empty network must report a gap")
+	}
+	if p != points[0] {
+		t.Errorf("first gap at %v, want first point %v", p, points[0])
+	}
+}

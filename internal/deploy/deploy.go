@@ -1,0 +1,72 @@
+// Package deploy builds camera networks under the paper's deployment
+// schemes: random uniform deployment, 2-D Poisson point process
+// deployment, and the deterministic lattices used for comparison, plus
+// the dense-grid construction that reduces area coverage to point
+// coverage (Section III-A, m = n·log n grid points).
+package deploy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+// Validation errors.
+var (
+	ErrNegativeCount   = errors.New("deploy: sensor count must be non-negative")
+	ErrBadDensity      = errors.New("deploy: density must be non-negative and finite")
+	ErrBadGridSide     = errors.New("deploy: grid side must be positive")
+	ErrBadSpacing      = errors.New("deploy: lattice spacing must be in (0, side]")
+	ErrSmallPopulation = errors.New("deploy: dense grid needs n ≥ 2")
+)
+
+// Uniform deploys exactly n sensors on torus t: positions i.i.d. uniform
+// over the region, orientations i.i.d. uniform over [0, 2π), counts per
+// heterogeneity group apportioned by profile.Counts. This is the paper's
+// "randomly, uniformly and independently" scheme.
+func Uniform(t geom.Torus, profile sensor.Profile, n int, r *rng.PCG) (*sensor.Network, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrNegativeCount, n)
+	}
+	counts := profile.Counts(n)
+	cameras := make([]sensor.Camera, 0, n)
+	for y, g := range profile.Groups() {
+		for i := 0; i < counts[y]; i++ {
+			cameras = append(cameras, randomCamera(t, g, y, r))
+		}
+	}
+	return sensor.NewNetwork(t, cameras)
+}
+
+// Poisson deploys sensors according to a 2-D Poisson point process of the
+// given density (expected sensors per unit area). Each group y is an
+// independent Poisson process of density c_y·density; the superposition
+// has the requested total density. On the unit torus with density = n
+// this is exactly the paper's Section V model (λ = n).
+func Poisson(t geom.Torus, profile sensor.Profile, density float64, r *rng.PCG) (*sensor.Network, error) {
+	if !(density >= 0) || math.IsInf(density, 0) {
+		return nil, fmt.Errorf("%w: got %v", ErrBadDensity, density)
+	}
+	var cameras []sensor.Camera
+	for y, g := range profile.Groups() {
+		count := r.Poisson(g.Fraction * density * t.Area())
+		for i := 0; i < count; i++ {
+			cameras = append(cameras, randomCamera(t, g, y, r))
+		}
+	}
+	return sensor.NewNetwork(t, cameras)
+}
+
+func randomCamera(t geom.Torus, g sensor.GroupSpec, group int, r *rng.PCG) sensor.Camera {
+	return sensor.Camera{
+		Pos:      geom.V(r.Float64()*t.Side(), r.Float64()*t.Side()),
+		Orient:   r.Angle(),
+		Radius:   g.Radius,
+		Aperture: g.Aperture,
+		Group:    group,
+	}
+}

@@ -1,0 +1,202 @@
+package deploy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func testProfile(t *testing.T) sensor.Profile {
+	t.Helper()
+	p, err := sensor.NewProfile(
+		sensor.GroupSpec{Fraction: 0.6, Radius: 0.1, Aperture: math.Pi / 2},
+		sensor.GroupSpec{Fraction: 0.4, Radius: 0.2, Aperture: math.Pi / 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUniformCountAndGroups(t *testing.T) {
+	p := testProfile(t)
+	net, err := Uniform(geom.UnitTorus, p, 100, rng.New(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", net.Len())
+	}
+	counts := net.GroupCounts()
+	if counts[0] != 60 || counts[1] != 40 {
+		t.Errorf("group counts = %v, want [60 40]", counts)
+	}
+	for i := 0; i < net.Len(); i++ {
+		c := net.Camera(i)
+		if c.Pos.X < 0 || c.Pos.X >= 1 || c.Pos.Y < 0 || c.Pos.Y >= 1 {
+			t.Fatalf("camera %d out of region: %v", i, c.Pos)
+		}
+		if c.Orient < 0 || c.Orient >= geom.TwoPi {
+			t.Fatalf("camera %d orientation out of range: %v", i, c.Orient)
+		}
+		g := p.Groups()[c.Group]
+		if c.Radius != g.Radius || c.Aperture != g.Aperture {
+			t.Fatalf("camera %d parameters do not match its group", i)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	p := testProfile(t)
+	a, err := Uniform(geom.UnitTorus, p, 50, rng.New(9, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Uniform(geom.UnitTorus, p, 50, rng.New(9, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Camera(i) != b.Camera(i) {
+			t.Fatalf("camera %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestUniformNegativeCount(t *testing.T) {
+	p := testProfile(t)
+	if _, err := Uniform(geom.UnitTorus, p, -1, rng.New(1, 0)); !errors.Is(err, ErrNegativeCount) {
+		t.Errorf("error = %v, want ErrNegativeCount", err)
+	}
+}
+
+func TestUniformZeroCount(t *testing.T) {
+	p := testProfile(t)
+	net, err := Uniform(geom.UnitTorus, p, 0, rng.New(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Len() != 0 {
+		t.Errorf("Len = %d", net.Len())
+	}
+}
+
+func TestUniformPositionsLookUniform(t *testing.T) {
+	// Chi-square-ish sanity check: quadrant occupancy of 4000 sensors.
+	p := testProfile(t)
+	net, err := Uniform(geom.UnitTorus, p, 4000, rng.New(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quad [4]int
+	for i := 0; i < net.Len(); i++ {
+		c := net.Camera(i)
+		idx := 0
+		if c.Pos.X >= 0.5 {
+			idx++
+		}
+		if c.Pos.Y >= 0.5 {
+			idx += 2
+		}
+		quad[idx]++
+	}
+	for q, n := range quad {
+		if math.Abs(float64(n)-1000) > 150 { // ~5σ for binomial(4000, ¼)
+			t.Errorf("quadrant %d holds %d sensors, want ≈1000", q, n)
+		}
+	}
+}
+
+func TestPoissonMeanCount(t *testing.T) {
+	p := testProfile(t)
+	const density = 200.0
+	const trials = 300.0
+	total := 0
+	r := rng.New(11, 0)
+	for i := 0; i < trials; i++ {
+		net, err := Poisson(geom.UnitTorus, p, density, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += net.Len()
+	}
+	mean := float64(total) / trials
+	se := math.Sqrt(density / trials)
+	if math.Abs(mean-density) > 6*se {
+		t.Errorf("mean count = %v, want ≈ %v (se %v)", mean, density, se)
+	}
+}
+
+func TestPoissonGroupDensities(t *testing.T) {
+	p := testProfile(t)
+	const density = 500.0
+	const trials = 200.0
+	groupTotals := make([]int, 2)
+	r := rng.New(13, 0)
+	for i := 0; i < trials; i++ {
+		net, err := Poisson(geom.UnitTorus, p, density, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range net.Cameras() {
+			groupTotals[c.Group]++
+		}
+	}
+	for y, frac := range []float64{0.6, 0.4} {
+		mean := float64(groupTotals[y]) / trials
+		want := frac * density
+		se := math.Sqrt(want / trials)
+		if math.Abs(mean-want) > 6*se {
+			t.Errorf("group %d mean = %v, want ≈ %v", y, mean, want)
+		}
+	}
+}
+
+func TestPoissonScaledTorusUsesArea(t *testing.T) {
+	tor, err := geom.NewTorus(2) // area 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testProfile(t)
+	const density = 100
+	const trials = 200
+	total := 0
+	r := rng.New(17, 0)
+	for i := 0; i < trials; i++ {
+		net, err := Poisson(tor, p, density, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += net.Len()
+	}
+	mean := float64(total) / trials
+	want := density * tor.Area()
+	se := math.Sqrt(want / trials)
+	if math.Abs(mean-want) > 6*se {
+		t.Errorf("mean = %v, want ≈ %v", mean, want)
+	}
+}
+
+func TestPoissonInvalidDensity(t *testing.T) {
+	p := testProfile(t)
+	for _, d := range []float64{-1, math.Inf(1), math.NaN()} {
+		if _, err := Poisson(geom.UnitTorus, p, d, rng.New(1, 0)); !errors.Is(err, ErrBadDensity) {
+			t.Errorf("Poisson(density=%v) error = %v, want ErrBadDensity", d, err)
+		}
+	}
+}
+
+func TestPoissonZeroDensity(t *testing.T) {
+	p := testProfile(t)
+	net, err := Poisson(geom.UnitTorus, p, 0, rng.New(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Len() != 0 {
+		t.Errorf("Len = %d", net.Len())
+	}
+}

@@ -1,0 +1,107 @@
+package deploy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullview/internal/geom"
+)
+
+func TestGridPoints(t *testing.T) {
+	pts, err := GridPoints(geom.UnitTorus, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 16 {
+		t.Fatalf("len = %d, want 16", len(pts))
+	}
+	// All points strictly inside, aligned to cell centres.
+	seen := make(map[geom.Vec]bool)
+	for _, p := range pts {
+		if p.X <= 0 || p.X >= 1 || p.Y <= 0 || p.Y >= 1 {
+			t.Errorf("point on boundary: %v", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate point %v", p)
+		}
+		seen[p] = true
+	}
+	if !seen[geom.V(0.125, 0.125)] || !seen[geom.V(0.875, 0.875)] {
+		t.Error("expected cell-centre alignment at 1/8 offsets")
+	}
+}
+
+func TestGridPointsSpacing(t *testing.T) {
+	pts, err := GridPoints(geom.UnitTorus, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neighbouring points along a row are 0.1 apart.
+	if d := geom.UnitTorus.Dist(pts[0], pts[1]); math.Abs(d-0.1) > 1e-12 {
+		t.Errorf("row spacing = %v, want 0.1", d)
+	}
+}
+
+func TestGridPointsInvalid(t *testing.T) {
+	for _, k := range []int{0, -3} {
+		if _, err := GridPoints(geom.UnitTorus, k); !errors.Is(err, ErrBadGridSide) {
+			t.Errorf("GridPoints(%d) error = %v, want ErrBadGridSide", k, err)
+		}
+	}
+}
+
+func TestDenseGridSide(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int
+		want int
+	}{
+		// k = ⌈√(n·ln n)⌉
+		{name: "n=100", n: 100, want: 22},   // √460.5 ≈ 21.46
+		{name: "n=1000", n: 1000, want: 84}, // √6907.8 ≈ 83.1
+		{name: "n=2", n: 2, want: 2},        // √1.386 ≈ 1.18 → 2? ceil(1.18)=2
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := DenseGridSide(tt.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("DenseGridSide(%d) = %d, want %d", tt.n, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDenseGridSideHasEnoughPoints(t *testing.T) {
+	for _, n := range []int{2, 10, 100, 1000, 50000} {
+		k, err := DenseGridSide(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := float64(n) * math.Log(float64(n))
+		if float64(k*k) < m {
+			t.Errorf("n=%d: k²=%d < n·ln n=%v", n, k*k, m)
+		}
+	}
+}
+
+func TestDenseGridRejectsTinyN(t *testing.T) {
+	for _, n := range []int{-5, 0, 1} {
+		if _, err := DenseGrid(geom.UnitTorus, n); !errors.Is(err, ErrSmallPopulation) {
+			t.Errorf("DenseGrid(n=%d) error = %v, want ErrSmallPopulation", n, err)
+		}
+	}
+}
+
+func TestDenseGrid(t *testing.T) {
+	pts, err := DenseGrid(geom.UnitTorus, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 22*22 {
+		t.Errorf("len = %d, want %d", len(pts), 22*22)
+	}
+}

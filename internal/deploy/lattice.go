@@ -1,0 +1,84 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+// SquareLattice deploys one camera of each lattice cell's group at the
+// k×k grid points, with orientations chosen uniformly at random (the
+// deterministic-position, random-orientation baseline). A single-group
+// profile places identical cameras everywhere; multi-group profiles
+// cycle through the groups in row-major order so group fractions are
+// approximated deterministically.
+func SquareLattice(t geom.Torus, profile sensor.Profile, k int, r *rng.PCG) (*sensor.Network, error) {
+	points, err := GridPoints(t, k)
+	if err != nil {
+		return nil, err
+	}
+	return latticeNetwork(t, profile, points, r)
+}
+
+// TriangularLattice deploys cameras at the vertices of a triangular
+// lattice with the given horizontal spacing, the deployment pattern of
+// Wang & Cao [4] used for comparison in Section VII-C. Rows are
+// vertically separated by spacing·√3/2 and alternately offset by half
+// the spacing; row counts are chosen so the pattern wraps onto the torus
+// as evenly as possible.
+func TriangularLattice(t geom.Torus, profile sensor.Profile, spacing float64, r *rng.PCG) (*sensor.Network, error) {
+	if !(spacing > 0) || spacing > t.Side() {
+		return nil, fmt.Errorf("%w: got %v", ErrBadSpacing, spacing)
+	}
+	cols := int(math.Round(t.Side() / spacing))
+	if cols < 1 {
+		cols = 1
+	}
+	rowHeight := spacing * math.Sqrt(3) / 2
+	rows := int(math.Round(t.Side() / rowHeight))
+	if rows < 1 {
+		rows = 1
+	}
+	dx := t.Side() / float64(cols)
+	dy := t.Side() / float64(rows)
+
+	points := make([]geom.Vec, 0, rows*cols)
+	for j := 0; j < rows; j++ {
+		offset := 0.0
+		if j%2 == 1 {
+			offset = dx / 2
+		}
+		for i := 0; i < cols; i++ {
+			points = append(points, t.Wrap(geom.V(
+				float64(i)*dx+offset,
+				(float64(j)+0.5)*dy,
+			)))
+		}
+	}
+	return latticeNetwork(t, profile, points, r)
+}
+
+func latticeNetwork(t geom.Torus, profile sensor.Profile, points []geom.Vec, r *rng.PCG) (*sensor.Network, error) {
+	groups := profile.Groups()
+	counts := profile.Counts(len(points))
+	cameras := make([]sensor.Camera, 0, len(points))
+	y, used := 0, 0
+	for _, p := range points {
+		for y < len(groups)-1 && used >= counts[y] {
+			y, used = y+1, 0
+		}
+		g := groups[y]
+		cameras = append(cameras, sensor.Camera{
+			Pos:      p,
+			Orient:   r.Angle(),
+			Radius:   g.Radius,
+			Aperture: g.Aperture,
+			Group:    y,
+		})
+		used++
+	}
+	return sensor.NewNetwork(t, cameras)
+}

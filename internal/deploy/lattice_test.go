@@ -1,0 +1,127 @@
+package deploy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func homogeneousProfile(t *testing.T) sensor.Profile {
+	t.Helper()
+	p, err := sensor.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSquareLattice(t *testing.T) {
+	p := homogeneousProfile(t)
+	net, err := SquareLattice(geom.UnitTorus, p, 5, rng.New(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Len() != 25 {
+		t.Fatalf("Len = %d, want 25", net.Len())
+	}
+	// Positions must form the 5×5 grid.
+	pts, err := GridPoints(geom.UnitTorus, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range pts {
+		if got := net.Camera(i).Pos; got != want {
+			t.Fatalf("camera %d at %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSquareLatticeGroupCycling(t *testing.T) {
+	p, err := sensor.NewProfile(
+		sensor.GroupSpec{Fraction: 0.5, Radius: 0.1, Aperture: 1},
+		sensor.GroupSpec{Fraction: 0.5, Radius: 0.2, Aperture: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := SquareLattice(geom.UnitTorus, p, 4, rng.New(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := net.GroupCounts()
+	if counts[0] != 8 || counts[1] != 8 {
+		t.Errorf("group counts = %v, want [8 8]", counts)
+	}
+}
+
+func TestSquareLatticeInvalidSide(t *testing.T) {
+	p := homogeneousProfile(t)
+	if _, err := SquareLattice(geom.UnitTorus, p, 0, rng.New(1, 0)); !errors.Is(err, ErrBadGridSide) {
+		t.Errorf("error = %v, want ErrBadGridSide", err)
+	}
+}
+
+func TestTriangularLattice(t *testing.T) {
+	p := homogeneousProfile(t)
+	net, err := TriangularLattice(geom.UnitTorus, p, 0.1, rng.New(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~10 columns × ~12 rows (row height 0.0866).
+	if net.Len() < 100 || net.Len() > 140 {
+		t.Errorf("Len = %d, want ≈120", net.Len())
+	}
+	for i := 0; i < net.Len(); i++ {
+		pos := net.Camera(i).Pos
+		if pos.X < 0 || pos.X >= 1 || pos.Y < 0 || pos.Y >= 1 {
+			t.Fatalf("camera %d outside region: %v", i, pos)
+		}
+	}
+}
+
+func TestTriangularLatticeAlternatingOffset(t *testing.T) {
+	p := homogeneousProfile(t)
+	net, err := TriangularLattice(geom.UnitTorus, p, 0.25, rng.New(4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 columns; row 0 starts at x=0, row 1 is offset by dx/2 = 0.125.
+	row0x := net.Camera(0).Pos.X
+	row1x := net.Camera(4).Pos.X
+	if math.Abs(row1x-row0x-0.125) > 1e-9 {
+		t.Errorf("row offset = %v, want 0.125", row1x-row0x)
+	}
+}
+
+func TestTriangularLatticeInvalidSpacing(t *testing.T) {
+	p := homogeneousProfile(t)
+	for _, s := range []float64{0, -0.1, 1.5, math.NaN()} {
+		if _, err := TriangularLattice(geom.UnitTorus, p, s, rng.New(1, 0)); !errors.Is(err, ErrBadSpacing) {
+			t.Errorf("spacing %v: error = %v, want ErrBadSpacing", s, err)
+		}
+	}
+}
+
+func TestTriangularLatticeDeterministicPositions(t *testing.T) {
+	p := homogeneousProfile(t)
+	a, err := TriangularLattice(geom.UnitTorus, p, 0.2, rng.New(7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TriangularLattice(geom.UnitTorus, p, 0.2, rng.New(8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Camera(i).Pos != b.Camera(i).Pos {
+			t.Fatalf("positions differ at %d (only orientations should be random)", i)
+		}
+	}
+}

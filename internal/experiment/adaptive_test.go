@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullview/internal/analytic"
+)
+
+func TestEstimateProbabilityValidation(t *testing.T) {
+	cfg := Config{N: 100, Theta: math.Pi / 2, Profile: testProfile(t)}
+	if _, err := EstimateProbability(cfg, Target(0), 0.05, 10, 100, 1); !errors.Is(err, ErrBadTarget) {
+		t.Errorf("error = %v, want ErrBadTarget", err)
+	}
+	for _, precision := range []float64{0, -0.1, 0.5, 0.9} {
+		if _, err := EstimateProbability(cfg, TargetFullView, precision, 10, 100, 1); !errors.Is(err, ErrBadPrecision) {
+			t.Errorf("precision %v: error = %v, want ErrBadPrecision", precision, err)
+		}
+	}
+	if _, err := EstimateProbability(cfg, TargetFullView, 0.05, 0, 100, 1); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("error = %v, want ErrBadBudget", err)
+	}
+	if _, err := EstimateProbability(cfg, TargetFullView, 0.05, 10, 0, 1); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("error = %v, want ErrBadBudget", err)
+	}
+	bad := cfg
+	bad.N = 1
+	if _, err := EstimateProbability(bad, TargetFullView, 0.05, 10, 100, 1); !errors.Is(err, ErrBadN) {
+		t.Errorf("error = %v, want ErrBadN", err)
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if TargetFullView.String() != "full-view" ||
+		TargetNecessary.String() != "necessary" ||
+		TargetSufficient.String() != "sufficient" {
+		t.Error("Target String() values changed")
+	}
+	if Target(99).String() == "" {
+		t.Error("unknown target should still print")
+	}
+}
+
+func TestEstimateConvergesAndBrackets(t *testing.T) {
+	cfg := Config{N: 400, Theta: math.Pi / 2, Profile: testProfile(t)}
+	est, err := EstimateProbability(cfg, TargetNecessary, 0.04, 50, 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Converged {
+		t.Fatalf("did not converge in %d samples", est.Samples)
+	}
+	if (est.Hi-est.Lo)/2 > 0.04+1e-9 {
+		t.Errorf("interval [%v, %v] wider than the precision target", est.Lo, est.Hi)
+	}
+	if est.Fraction < est.Lo || est.Fraction > est.Hi {
+		t.Errorf("estimate %v outside its own interval", est.Fraction)
+	}
+	// Cross-check against the analytic formula (Eq. 2).
+	fail, err := analytic.UniformNecessaryFailure(testProfile(t), 400, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - fail
+	if want < est.Lo-0.05 || want > est.Hi+0.05 {
+		t.Errorf("analytic value %v far outside estimate [%v, %v]", want, est.Lo, est.Hi)
+	}
+}
+
+func TestEstimateExtremeProbabilityIsCheap(t *testing.T) {
+	// A hopeless configuration (tiny sensors) pins the estimate near 0
+	// quickly: Wilson intervals collapse fast at the extremes, so the
+	// adaptive loop should stop long before the budget.
+	profile := testProfile(t)
+	scaled, err := profile.ScaleToArea(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{N: 100, Theta: math.Pi / 4, Profile: scaled}
+	est, err := EstimateProbability(cfg, TargetFullView, 0.02, 50, 100000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Converged {
+		t.Fatal("extreme probability did not converge")
+	}
+	if est.Samples > 2000 {
+		t.Errorf("spent %d samples on a near-zero probability", est.Samples)
+	}
+	if est.Fraction > 0.01 {
+		t.Errorf("fraction = %v, want ≈ 0", est.Fraction)
+	}
+}
+
+func TestEstimateBudgetExhaustion(t *testing.T) {
+	// Demanding precision with a tiny budget must come back
+	// unconverged, never looping forever.
+	cfg := Config{N: 300, Theta: math.Pi / 3, Profile: testProfile(t)}
+	est, err := EstimateProbability(cfg, TargetFullView, 0.001, 20, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Converged {
+		t.Error("implausible convergence at 200 samples for ±0.001")
+	}
+	if est.Samples != 200 {
+		t.Errorf("Samples = %d, want exactly the budget", est.Samples)
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	cfg := Config{N: 200, Theta: math.Pi / 3, Profile: testProfile(t)}
+	a, err := EstimateProbability(cfg, TargetSufficient, 0.05, 40, 5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateProbability(cfg, TargetSufficient, 0.05, 40, 5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("estimates differ across identical runs: %+v vs %+v", a, b)
+	}
+}
+
+func TestEstimateOrderingAcrossTargets(t *testing.T) {
+	cfg := Config{N: 400, Theta: math.Pi / 3, Profile: testProfile(t)}
+	var values [3]float64
+	for i, target := range []Target{TargetSufficient, TargetFullView, TargetNecessary} {
+		est, err := EstimateProbability(cfg, target, 0.02, 50, 50000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values[i] = est.Fraction
+	}
+	// sufficient ≤ full-view ≤ necessary, within joint estimation noise.
+	if values[0] > values[1]+0.05 || values[1] > values[2]+0.05 {
+		t.Errorf("target ordering violated: suf=%v fv=%v nec=%v", values[0], values[1], values[2])
+	}
+}

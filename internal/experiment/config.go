@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+// Deployment selects the random deployment scheme for a trial.
+type Deployment int
+
+// Deployment schemes (Section II-A).
+const (
+	// DeployUniform places exactly N sensors i.i.d. uniformly.
+	DeployUniform Deployment = iota + 1
+	// DeployPoisson draws the sensor count from a Poisson process of
+	// density N.
+	DeployPoisson
+)
+
+// String implements fmt.Stringer.
+func (d Deployment) String() string {
+	switch d {
+	case DeployUniform:
+		return "uniform"
+	case DeployPoisson:
+		return "poisson"
+	default:
+		return fmt.Sprintf("Deployment(%d)", int(d))
+	}
+}
+
+// Config validation errors.
+var (
+	ErrBadN          = errors.New("experiment: N must be at least 2")
+	ErrBadTheta      = errors.New("experiment: theta must be in (0, π]")
+	ErrBadDeployment = errors.New("experiment: unknown deployment scheme")
+	ErrBadPoints     = errors.New("experiment: points per trial must be positive")
+)
+
+// Config describes one experimental cell: a deployment scheme, a
+// population size (or density), a heterogeneity profile, and an
+// effective angle.
+type Config struct {
+	// N is the number of sensors (uniform) or the process density
+	// (Poisson; expected sensors per unit area).
+	N int
+	// Theta is the effective angle θ ∈ (0, π].
+	Theta float64
+	// Profile is the heterogeneity profile to deploy.
+	Profile sensor.Profile
+	// Deployment is the deployment scheme; DeployUniform by default.
+	Deployment Deployment
+	// Torus is the operational region; the unit torus when zero.
+	Torus geom.Torus
+	// KTarget, when positive, makes point experiments additionally count
+	// sample points that are k-covered by at least KTarget cameras (the
+	// Section VII-B comparison).
+	KTarget int
+}
+
+// withDefaults fills zero-valued fields.
+func (c Config) withDefaults() Config {
+	if c.Deployment == 0 {
+		c.Deployment = DeployUniform
+	}
+	if c.Torus == (geom.Torus{}) {
+		c.Torus = geom.UnitTorus
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("%w: got %d", ErrBadN, c.N)
+	}
+	if !(c.Theta > 0) || c.Theta > math.Pi {
+		return fmt.Errorf("%w: got %v", ErrBadTheta, c.Theta)
+	}
+	c = c.withDefaults()
+	if c.Deployment != DeployUniform && c.Deployment != DeployPoisson {
+		return fmt.Errorf("%w: %v", ErrBadDeployment, c.Deployment)
+	}
+	if c.Profile.NumGroups() == 0 {
+		return errors.New("experiment: profile must have at least one group")
+	}
+	return nil
+}
+
+// deployNetwork builds one network realization for this configuration.
+func (c Config) deployNetwork(r *rng.PCG) (*sensor.Network, error) {
+	c = c.withDefaults()
+	switch c.Deployment {
+	case DeployUniform:
+		return deploy.Uniform(c.Torus, c.Profile, c.N, r)
+	case DeployPoisson:
+		return deploy.Poisson(c.Torus, c.Profile, float64(c.N), r)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrBadDeployment, c.Deployment)
+	}
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+
+	"fullview/internal/core"
+	"fullview/internal/deploy"
+	"fullview/internal/rng"
+	"fullview/internal/stats"
+)
+
+// GridOutcome aggregates a grid-coverage experiment: per-trial dense-grid
+// sweeps testing whether *every* grid point satisfies each condition (the
+// paper's events H_N, H_S, and full-view coverage of the region), plus
+// the mean per-trial fractions.
+type GridOutcome struct {
+	// Trials is the number of completed trials.
+	Trials int
+	// AllNecessary counts trials where every grid point met the
+	// necessary condition (event H_N).
+	AllNecessary stats.Counter
+	// AllSufficient counts trials where every grid point met the
+	// sufficient condition (event H_S).
+	AllSufficient stats.Counter
+	// AllFullView counts trials where the whole grid was full-view
+	// covered.
+	AllFullView stats.Counter
+	// NecessaryFraction etc. summarize the per-trial fraction of grid
+	// points passing each test.
+	NecessaryFraction  stats.Summary
+	SufficientFraction stats.Summary
+	FullViewFraction   stats.Summary
+	// MeanCovering summarizes the per-trial mean k-coverage multiplicity.
+	MeanCovering stats.Summary
+}
+
+// RunGrid executes trials of the grid-coverage experiment for cfg: each
+// trial deploys a fresh network, sweeps the paper's dense grid
+// (√(n·ln n) per side), and records region statistics.
+//
+// gridSide overrides the dense-grid side when positive — coarser grids
+// make large sweeps affordable; the dense grid is the paper-faithful
+// default (gridSide ≤ 0).
+func RunGrid(cfg Config, gridSide, trials, parallelism int, seed uint64) (GridOutcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return GridOutcome{}, err
+	}
+	cfg = cfg.withDefaults()
+	side := gridSide
+	if side <= 0 {
+		var err error
+		side, err = deploy.DenseGridSide(cfg.N)
+		if err != nil {
+			return GridOutcome{}, err
+		}
+	}
+	points, err := deploy.GridPoints(cfg.Torus, side)
+	if err != nil {
+		return GridOutcome{}, err
+	}
+
+	results, err := Run(seed, trials, parallelism, func(_ int, r *rng.PCG) (core.RegionStats, error) {
+		net, err := cfg.deployNetwork(r)
+		if err != nil {
+			return core.RegionStats{}, err
+		}
+		checker, err := core.NewChecker(net, cfg.Theta)
+		if err != nil {
+			return core.RegionStats{}, err
+		}
+		return checker.SurveyRegion(points), nil
+	})
+	if err != nil {
+		return GridOutcome{}, fmt.Errorf("grid experiment: %w", err)
+	}
+
+	out := GridOutcome{Trials: len(results)}
+	necFrac := make([]float64, 0, len(results))
+	sufFrac := make([]float64, 0, len(results))
+	fvFrac := make([]float64, 0, len(results))
+	cover := make([]float64, 0, len(results))
+	for _, s := range results {
+		out.AllNecessary.Add(s.AllNecessary())
+		out.AllSufficient.Add(s.AllSufficient())
+		out.AllFullView.Add(s.AllFullView())
+		necFrac = append(necFrac, s.NecessaryFraction())
+		sufFrac = append(sufFrac, s.SufficientFraction())
+		fvFrac = append(fvFrac, s.FullViewFraction())
+		cover = append(cover, s.MeanCovering)
+	}
+	out.NecessaryFraction = stats.Summarize(necFrac)
+	out.SufficientFraction = stats.Summarize(sufFrac)
+	out.FullViewFraction = stats.Summarize(fvFrac)
+	out.MeanCovering = stats.Summarize(cover)
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package experiment
+
+import (
+	"fmt"
+
+	"fullview/internal/core"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/stats"
+)
+
+// PointOutcome aggregates a point-coverage experiment: random sample
+// points diagnosed across fresh network realizations. Its proportions
+// estimate the paper's per-point probabilities — 1−P(F_N,P), 1−P(F_S,P)
+// under uniform deployment (Eqs. 2, 13) and P_N, P_S under Poisson
+// deployment (Theorems 3, 4).
+type PointOutcome struct {
+	// Necessary / Sufficient / FullView count sample points passing
+	// each test, pooled over all trials.
+	Necessary  stats.Counter
+	Sufficient stats.Counter
+	FullView   stats.Counter
+	// NecessaryNotFullView counts points that met the necessary
+	// condition yet were not full-view covered (Figure 9, left).
+	NecessaryNotFullView stats.Counter
+	// FullViewNotSufficient counts points full-view covered without
+	// meeting the sufficient condition (Figure 9, right: redundancy in
+	// the sufficient construction).
+	FullViewNotSufficient stats.Counter
+	// KCovered counts points covered by at least Config.KTarget cameras;
+	// it stays empty when KTarget ≤ 0.
+	KCovered stats.Counter
+	// CoveringCount summarizes the per-point k-coverage multiplicity.
+	CoveringCount stats.Summary
+}
+
+// RunPoints executes trials of the point experiment for cfg: each trial
+// deploys a fresh network and diagnoses pointsPerTrial uniformly random
+// sample points.
+func RunPoints(cfg Config, pointsPerTrial, trials, parallelism int, seed uint64) (PointOutcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return PointOutcome{}, err
+	}
+	if pointsPerTrial <= 0 {
+		return PointOutcome{}, fmt.Errorf("%w: got %d", ErrBadPoints, pointsPerTrial)
+	}
+	cfg = cfg.withDefaults()
+
+	type trialResult struct {
+		necessary, sufficient, fullView      int
+		necessaryNotFullView, fullViewNotSuf int
+		kCovered                             int
+		covering                             []float64
+	}
+	results, err := Run(seed, trials, parallelism, func(_ int, r *rng.PCG) (trialResult, error) {
+		net, err := cfg.deployNetwork(r)
+		if err != nil {
+			return trialResult{}, err
+		}
+		checker, err := core.NewChecker(net, cfg.Theta)
+		if err != nil {
+			return trialResult{}, err
+		}
+		res := trialResult{covering: make([]float64, 0, pointsPerTrial)}
+		side := cfg.Torus.Side()
+		for i := 0; i < pointsPerTrial; i++ {
+			p := geom.V(r.Float64()*side, r.Float64()*side)
+			rep := checker.Report(p)
+			if rep.Necessary {
+				res.necessary++
+				if !rep.FullView {
+					res.necessaryNotFullView++
+				}
+			}
+			if rep.FullView {
+				res.fullView++
+				if !rep.Sufficient {
+					res.fullViewNotSuf++
+				}
+			}
+			if rep.Sufficient {
+				res.sufficient++
+			}
+			if cfg.KTarget > 0 && rep.NumCovering >= cfg.KTarget {
+				res.kCovered++
+			}
+			res.covering = append(res.covering, float64(rep.NumCovering))
+		}
+		return res, nil
+	})
+	if err != nil {
+		return PointOutcome{}, fmt.Errorf("point experiment: %w", err)
+	}
+
+	var out PointOutcome
+	var covering []float64
+	for _, tr := range results {
+		out.Necessary.AddN(tr.necessary, pointsPerTrial)
+		out.Sufficient.AddN(tr.sufficient, pointsPerTrial)
+		out.FullView.AddN(tr.fullView, pointsPerTrial)
+		out.NecessaryNotFullView.AddN(tr.necessaryNotFullView, pointsPerTrial)
+		out.FullViewNotSufficient.AddN(tr.fullViewNotSuf, pointsPerTrial)
+		if cfg.KTarget > 0 {
+			out.KCovered.AddN(tr.kCovered, pointsPerTrial)
+		}
+		covering = append(covering, tr.covering...)
+	}
+	out.CoveringCount = stats.Summarize(covering)
+	return out, nil
+}

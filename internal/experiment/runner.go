@@ -1,0 +1,76 @@
+// Package experiment is the Monte-Carlo harness behind every simulation
+// result in EXPERIMENTS.md: deterministic parallel trial execution,
+// grid-level condition experiments (Theorems 1 and 2), and point-level
+// probability experiments (Equations 2 and 13, Theorems 3 and 4).
+//
+// Determinism: trial i always runs with the RNG stream derived from
+// (seed, i), so results are independent of GOMAXPROCS and scheduling.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fullview/internal/rng"
+)
+
+// ErrBadTrials reports a non-positive trial count.
+var ErrBadTrials = errors.New("experiment: trials must be positive")
+
+// TrialFunc runs a single trial. The PCG stream is exclusive to this
+// trial; fn must not share it with other goroutines.
+type TrialFunc[T any] func(trial int, r *rng.PCG) (T, error)
+
+// Run executes trials trials of fn with parallelism workers (default
+// GOMAXPROCS when parallelism ≤ 0) and returns results in trial order.
+// The first trial error aborts the run: no further trials start, and the
+// error is returned after in-flight trials complete.
+func Run[T any](seed uint64, trials, parallelism int, fn TrialFunc[T]) ([]T, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadTrials, trials)
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > trials {
+		parallelism = trials
+	}
+
+	results := make([]T, trials)
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= trials || failed.Load() {
+					return
+				}
+				out, err := fn(i, rng.New(seed, uint64(i)))
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("experiment: trial %d: %w", i, err)
+					})
+					failed.Store(true)
+					return
+				}
+				results[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+
+	"fullview/internal/rng"
+)
+
+func TestRunReturnsResultsInOrder(t *testing.T) {
+	results, err := Run(1, 100, 8, func(trial int, _ *rng.PCG) (int, error) {
+		return trial * trial, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 100 {
+		t.Fatalf("len = %d", len(results))
+	}
+	for i, v := range results {
+		if v != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	fn := func(_ int, r *rng.PCG) (float64, error) {
+		return r.Float64(), nil
+	}
+	serial, err := Run(42, 64, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(42, 64, 16, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("trial %d differs: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRunDistinctTrialStreams(t *testing.T) {
+	results, err := Run(7, 50, 4, func(_ int, r *rng.PCG) (uint64, error) {
+		return r.Uint64(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool, len(results))
+	for _, v := range results {
+		if seen[v] {
+			t.Fatalf("duplicate first draw %v across trials", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Run(1, 100, 4, func(trial int, _ *rng.PCG) (int, error) {
+		if trial == 13 {
+			return 0, sentinel
+		}
+		return trial, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestRunRejectsBadTrialCount(t *testing.T) {
+	for _, trials := range []int{0, -5} {
+		if _, err := Run(1, trials, 1, func(int, *rng.PCG) (int, error) { return 0, nil }); !errors.Is(err, ErrBadTrials) {
+			t.Errorf("trials=%d: error = %v, want ErrBadTrials", trials, err)
+		}
+	}
+}
+
+func TestRunParallelismAboveTrials(t *testing.T) {
+	results, err := Run(1, 3, 64, func(trial int, _ *rng.PCG) (int, error) {
+		return trial, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || results[0] != 0 || results[2] != 2 {
+		t.Errorf("results = %v", results)
+	}
+}

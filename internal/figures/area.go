@@ -1,0 +1,84 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fullview/internal/experiment"
+	"fullview/internal/report"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "area",
+		ID:          "E08",
+		Description: "Section VI-A: sensing area, not shape, decides coverage",
+		Run:         runArea,
+	})
+}
+
+// runArea validates Section VI-A (E8): "cameras with different r and φ
+// but own the same s = φr²/2 will perform all the same in the network."
+// Three networks with identical weighted sensing area but very different
+// sector shapes must produce statistically indistinguishable coverage
+// fractions.
+func runArea(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	theta := math.Pi / 4
+
+	// All shapes share s = π/400 ≈ 0.00785.
+	longThin, err := sensor.Homogeneous(0.2, math.Pi/8)
+	if err != nil {
+		return err
+	}
+	shortWide, err := sensor.Homogeneous(0.1, math.Pi/2)
+	if err != nil {
+		return err
+	}
+	mixed, err := sensor.NewProfile(
+		sensor.GroupSpec{Fraction: 0.5, Radius: 0.2, Aperture: math.Pi / 8},
+		sensor.GroupSpec{Fraction: 0.5, Radius: 0.1, Aperture: math.Pi / 2},
+	)
+	if err != nil {
+		return err
+	}
+	shapes := []struct {
+		name    string
+		profile sensor.Profile
+	}{
+		{name: "long-thin (r=0.2, phi=pi/8)", profile: longThin},
+		{name: "short-wide (r=0.1, phi=pi/2)", profile: shortWide},
+		{name: "50/50 mixture", profile: mixed},
+	}
+
+	n := pick(opts, 1000, 300)
+	trials := opts.trials(150, 15)
+	pointsPerTrial := pick(opts, 60, 25)
+	table := report.NewTable(
+		fmt.Sprintf("Section VI-A — equal sensing area, different shapes (n = %d, θ = π/4)", n),
+		"profile", "s_c", "P(necessary)", "P(full-view)", "P(sufficient)", "mean covering",
+	)
+	for si, shape := range shapes {
+		cfg := experiment.Config{N: n, Theta: theta, Profile: shape.profile}
+		out, err := experiment.RunPoints(cfg, pointsPerTrial, trials, opts.Parallelism,
+			rng.Mix64(opts.Seed^uint64(si+41)))
+		if err != nil {
+			return err
+		}
+		if err := table.AddRow(
+			shape.name,
+			report.F(shape.profile.WeightedSensingArea()),
+			report.F4(out.Necessary.Fraction()),
+			report.F4(out.FullView.Fraction()),
+			report.F4(out.Sufficient.Fraction()),
+			report.F4(out.CoveringCount.Mean),
+		); err != nil {
+			return err
+		}
+	}
+	_, err = table.WriteTo(w)
+	return err
+}

@@ -1,0 +1,93 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fullview/internal/barrier"
+	"fullview/internal/core"
+	"fullview/internal/experiment"
+	"fullview/internal/report"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+	"fullview/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "barrier",
+		ID:          "E11",
+		Description: "Extension: full-view barrier coverage vs deployment density",
+		Run:         runBarrier,
+	})
+}
+
+// runBarrier explores the paper's future-work extension (E11): how many
+// uniformly deployed cameras does it take to full-view cover a belt
+// barrier across the region? The sweep reports the covered fraction of
+// the barrier and the probability the whole barrier is covered.
+func runBarrier(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	theta := math.Pi / 4
+	profile, err := sensor.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		return err
+	}
+	line := barrier.Horizontal(0.5)
+	spacing := 0.02
+	ns := pick(opts, []int{500, 1000, 2000, 4000, 8000}, []int{300, 800})
+	trials := opts.trials(60, 10)
+
+	table := report.NewTable(
+		fmt.Sprintf("Barrier full-view coverage — horizontal belt, θ = π/4, r = 0.15, φ = π/2, %d trials", trials),
+		"n", "mean covered fraction", "mean weak fraction", "P(barrier covered)",
+	)
+	for ci, n := range ns {
+		type trialOut struct {
+			fullFrac, weakFrac float64
+			covered            bool
+		}
+		results, err := experiment.Run(rng.Mix64(opts.Seed^uint64(ci+79)), trials, opts.Parallelism,
+			func(_ int, r *rng.PCG) (trialOut, error) {
+				net, err := deployUniform(profile, n, r)
+				if err != nil {
+					return trialOut{}, err
+				}
+				checker, err := core.NewChecker(net, theta)
+				if err != nil {
+					return trialOut{}, err
+				}
+				s, err := barrier.Survey(checker, line, spacing)
+				if err != nil {
+					return trialOut{}, err
+				}
+				return trialOut{
+					fullFrac: s.FullViewFraction(),
+					weakFrac: s.WeakFraction(),
+					covered:  s.Covered,
+				}, nil
+			})
+		if err != nil {
+			return err
+		}
+		var covered stats.Counter
+		full := make([]float64, 0, len(results))
+		weak := make([]float64, 0, len(results))
+		for _, tr := range results {
+			covered.Add(tr.covered)
+			full = append(full, tr.fullFrac)
+			weak = append(weak, tr.weakFrac)
+		}
+		if err := table.AddRow(
+			report.I(n),
+			report.F4(stats.Summarize(full).Mean),
+			report.F4(stats.Summarize(weak).Mean),
+			report.F4(covered.Fraction()),
+		); err != nil {
+			return err
+		}
+	}
+	_, err = table.WriteTo(w)
+	return err
+}

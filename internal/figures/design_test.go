@@ -1,0 +1,48 @@
+package figures
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDesignDocumentMatchesRegistry keeps DESIGN.md's per-experiment
+// index and the code registry in lock-step: every experiment row in the
+// document must name a registered fvcbench subcommand, and every
+// registered experiment must appear in the document.
+func TestDesignDocumentMatchesRegistry(t *testing.T) {
+	raw, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("read DESIGN.md: %v", err)
+	}
+	doc := string(raw)
+
+	subcommand := regexp.MustCompile("`fvcbench ([a-z0-9]+)`")
+	documented := make(map[string]bool)
+	for _, m := range subcommand.FindAllStringSubmatch(doc, -1) {
+		documented[m[1]] = true
+	}
+
+	for _, e := range All() {
+		if !documented[e.Name] {
+			t.Errorf("experiment %q (%s) missing from DESIGN.md's index", e.Name, e.ID)
+		}
+		delete(documented, e.Name)
+	}
+	for name := range documented {
+		t.Errorf("DESIGN.md references unregistered experiment %q", name)
+	}
+
+	// Every registered ID must appear as a table row "| Exx |" (the
+	// document drops the zero padding on single digits: E1 vs E01).
+	for _, e := range All() {
+		id := strings.TrimPrefix(e.ID, "E0")
+		if id == e.ID {
+			id = strings.TrimPrefix(e.ID, "E")
+		}
+		if !strings.Contains(doc, "| E"+id+" |") {
+			t.Errorf("DESIGN.md has no row for experiment %s (%s)", e.ID, e.Name)
+		}
+	}
+}

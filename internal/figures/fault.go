@@ -1,0 +1,101 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fullview/internal/core"
+	"fullview/internal/deploy"
+	"fullview/internal/experiment"
+	"fullview/internal/geom"
+	"fullview/internal/report"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+	"fullview/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "fault",
+		ID:          "E14",
+		Description: "Fault tolerance: full-view multiplicity vs deployment density",
+		Run:         runFault,
+	})
+}
+
+// runFault studies the fault-tolerance extension (E14): the full-view
+// multiplicity of a point is the number of camera failures it survives
+// plus one. The sweep shows how much density buys each extra level of
+// tolerance — the full-view analogue of the k-coverage robustness the
+// paper's introduction motivates.
+func runFault(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	theta := math.Pi / 4
+	profile, err := sensor.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		return err
+	}
+	ns := pick(opts, []int{1000, 2000, 4000, 8000}, []int{600, 1500})
+	trials := opts.trials(40, 8)
+	gridSide := pick(opts, 30, 15)
+
+	grid, err := deploy.GridPoints(geom.UnitTorus, gridSide)
+	if err != nil {
+		return err
+	}
+	table := report.NewTable(
+		fmt.Sprintf("Full-view multiplicity — θ = π/4, r = 0.15, φ = π/2, %d trials × %d grid",
+			trials, len(grid)),
+		"n", "mean multiplicity", "min multiplicity", "P(tolerate 1 loss)", "P(tolerate 3 losses)",
+	)
+	for ci, n := range ns {
+		type trialOut struct {
+			mean       float64
+			min        int
+			tol1, tol3 float64
+		}
+		results, err := experiment.Run(rng.Mix64(opts.Seed^uint64(ci+113)), trials, opts.Parallelism,
+			func(_ int, r *rng.PCG) (trialOut, error) {
+				net, err := deploy.Uniform(geom.UnitTorus, profile, n, r)
+				if err != nil {
+					return trialOut{}, err
+				}
+				checker, err := core.NewChecker(net, theta)
+				if err != nil {
+					return trialOut{}, err
+				}
+				ms := checker.SurveyMultiplicity(grid)
+				return trialOut{
+					mean: ms.Mean,
+					min:  ms.Min,
+					tol1: ms.FaultTolerantFraction(1),
+					tol3: ms.FaultTolerantFraction(3),
+				}, nil
+			})
+		if err != nil {
+			return err
+		}
+		var means, tol1s, tol3s []float64
+		minAll := -1
+		for _, tr := range results {
+			means = append(means, tr.mean)
+			tol1s = append(tol1s, tr.tol1)
+			tol3s = append(tol3s, tr.tol3)
+			if minAll < 0 || tr.min < minAll {
+				minAll = tr.min
+			}
+		}
+		if err := table.AddRow(
+			report.I(n),
+			report.F4(stats.Summarize(means).Mean),
+			report.I(minAll),
+			report.F4(stats.Summarize(tol1s).Mean),
+			report.F4(stats.Summarize(tol3s).Mean),
+		); err != nil {
+			return err
+		}
+	}
+	_, err = table.WriteTo(w)
+	return err
+}

@@ -1,0 +1,65 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fullview/internal/analytic"
+	"fullview/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "fig7",
+		ID:          "E01",
+		Description: "Figure 7: critical sensing areas vs effective angle θ (n = 1000)",
+		Run:         runFig7,
+	})
+}
+
+// runFig7 reproduces Figure 7: s_Nc and s_Sc for θ from 0.1π to 0.5π at
+// n = 1000, plus the 1/θ proportionality diagnostic the paper discusses
+// in Section VI-B (θ·s_c(n) should be nearly constant).
+func runFig7(w io.Writer, opts Options) error {
+	const n = 1000
+	table := report.NewTable(
+		fmt.Sprintf("Figure 7 — CSA vs θ (n = %d)", n),
+		"theta/pi", "s_Nc(n)", "s_Sc(n)", "ratio s_Sc/s_Nc", "theta*s_Nc",
+	)
+	var (
+		thetas  []float64
+		necVals []float64
+		sufVals []float64
+	)
+	for t := 0.10; t <= 0.501; t += 0.05 {
+		theta := t * math.Pi
+		nec, err := analytic.CSANecessary(n, theta)
+		if err != nil {
+			return err
+		}
+		suf, err := analytic.CSASufficient(n, theta)
+		if err != nil {
+			return err
+		}
+		thetas = append(thetas, t)
+		necVals = append(necVals, nec)
+		sufVals = append(sufVals, suf)
+		if err := table.AddRow(
+			report.F4(t), report.F(nec), report.F(suf),
+			report.F4(suf/nec), report.F(theta*nec),
+		); err != nil {
+			return err
+		}
+	}
+	if _, err := table.WriteTo(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return report.RenderChart(w, "CSA vs θ/π (n = 1000)", []report.Series{
+		{Name: "s_Nc (necessary)", X: thetas, Y: necVals},
+		{Name: "s_Sc (sufficient)", X: thetas, Y: sufVals},
+	}, 60, 16)
+}

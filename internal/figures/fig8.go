@@ -1,0 +1,66 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fullview/internal/analytic"
+	"fullview/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "fig8",
+		ID:          "E02",
+		Description: "Figure 8: critical sensing areas vs number of cameras n (θ = π/4)",
+		Run:         runFig8,
+	})
+}
+
+// runFig8 reproduces Figure 8: s_Nc and s_Sc as n grows from 100 to
+// 10000 at θ = π/4. The paper's qualitative claims: s_Sc(100) ≈ 0.5
+// (half the unit square), both curves fall with n, and the decline
+// flattens beyond n ≈ 1000.
+func runFig8(w io.Writer, opts Options) error {
+	theta := math.Pi / 4
+	ns := []int{100, 200, 300, 500, 700, 1000, 1500, 2000, 3000, 5000, 7000, 10000}
+	table := report.NewTable(
+		"Figure 8 — CSA vs n (θ = π/4)",
+		"n", "s_Nc(n)", "s_Sc(n)", "n*s_Nc/log(n)",
+	)
+	var (
+		xs      []float64
+		necVals []float64
+		sufVals []float64
+	)
+	for _, n := range ns {
+		nec, err := analytic.CSANecessary(n, theta)
+		if err != nil {
+			return err
+		}
+		suf, err := analytic.CSASufficient(n, theta)
+		if err != nil {
+			return err
+		}
+		xs = append(xs, math.Log10(float64(n)))
+		necVals = append(necVals, nec)
+		sufVals = append(sufVals, suf)
+		if err := table.AddRow(
+			report.I(n), report.F(nec), report.F(suf),
+			report.F4(float64(n)*nec/math.Log(float64(n))),
+		); err != nil {
+			return err
+		}
+	}
+	if _, err := table.WriteTo(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return report.RenderChart(w, "CSA vs log10(n) (θ = π/4)", []report.Series{
+		{Name: "s_Nc (necessary)", X: xs, Y: necVals},
+		{Name: "s_Sc (sufficient)", X: xs, Y: sufVals},
+	}, 60, 16)
+}

@@ -1,0 +1,117 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation, plus the validation experiments DESIGN.md enumerates
+// (E1–E18). Each experiment builds report tables from the analytic
+// formulas and/or Monte-Carlo runs; cmd/fvcbench and the repository
+// benchmarks are thin wrappers over this package.
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ErrUnknownExperiment reports a name with no registered experiment.
+var ErrUnknownExperiment = errors.New("figures: unknown experiment")
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed is the master RNG seed (default 2012, the paper's year).
+	Seed uint64
+	// Trials overrides the per-cell Monte-Carlo trial count when > 0.
+	Trials int
+	// Parallelism caps worker goroutines (GOMAXPROCS when ≤ 0).
+	Parallelism int
+	// Quick shrinks population sizes and trial counts so a full pass
+	// finishes in seconds; used by CI and the benchmark harness.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 2012
+	}
+	return o
+}
+
+// trials picks the trial count: explicit override, else quick/full
+// defaults.
+func (o Options) trials(full, quick int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// pick returns full or quick depending on Options.Quick; used for
+// population sizes and sweep lengths.
+func pick[T any](o Options, full, quick T) T {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment is a registered, runnable experiment.
+type Experiment struct {
+	// Name is the CLI subcommand (e.g. "fig7").
+	Name string
+	// ID is the DESIGN.md experiment id (e.g. "E1").
+	ID string
+	// Description is a one-line summary.
+	Description string
+	// Run executes the experiment and writes its tables to w.
+	Run func(w io.Writer, opts Options) error
+}
+
+// registry holds all experiments keyed by name.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.Name] = e
+}
+
+// Lookup returns the experiment registered under name.
+func Lookup(name string) (Experiment, error) {
+	e, ok := registry[name]
+	if !ok {
+		return Experiment{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, name)
+	}
+	return e, nil
+}
+
+// All returns every registered experiment sorted by ID then name.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// RunAll executes every experiment in ID order, separating outputs with
+// a banner line.
+func RunAll(w io.Writer, opts Options) error {
+	for _, e := range All() {
+		if _, err := fmt.Fprintf(w, "=== %s %s — %s ===\n", e.ID, e.Name, e.Description); err != nil {
+			return err
+		}
+		if err := e.Run(w, opts); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

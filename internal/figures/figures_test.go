@@ -1,0 +1,259 @@
+package figures
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Seed: 7, Quick: true}
+}
+
+func runByName(t *testing.T, name string) string {
+	t.Helper()
+	e, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := e.Run(&b, quickOpts()); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return b.String()
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("error = %v, want ErrUnknownExperiment", err)
+	}
+}
+
+func TestAllRegistered(t *testing.T) {
+	all := All()
+	want := []string{"fig7", "fig8", "thm1", "thm2", "poisson", "onecov",
+		"kcov", "area", "gap", "pointprob", "barrier", "probsense",
+		"construct", "fault", "orientopt", "dutycycle", "schedule", "hetcsa"}
+	if len(all) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
+	}
+	// All() sorts by ID; E01..E12 must appear in order.
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Errorf("All()[%d] = %s, want %s", i, all[i].Name, name)
+		}
+		if all[i].ID == "" || all[i].Description == "" || all[i].Run == nil {
+			t.Errorf("experiment %s incompletely registered", name)
+		}
+	}
+}
+
+func TestFig7Output(t *testing.T) {
+	out := runByName(t, "fig7")
+	for _, want := range []string{"Figure 7", "s_Nc", "s_Sc", "0.1000", "0.5000", "necessary", "sufficient"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 output missing %q", want)
+		}
+	}
+}
+
+func TestFig8Output(t *testing.T) {
+	out := runByName(t, "fig8")
+	for _, want := range []string{"Figure 8", "100", "10000", "s_Nc", "s_Sc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig8 output missing %q", want)
+		}
+	}
+}
+
+func TestThm1Output(t *testing.T) {
+	out := runByName(t, "thm1")
+	for _, want := range []string{"Theorem 1", "P(fail H_N)", "0.5000", "2.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("thm1 output missing %q", want)
+		}
+	}
+}
+
+func TestThm2Output(t *testing.T) {
+	out := runByName(t, "thm2")
+	for _, want := range []string{"Theorem 2", "P(fail H_S)", "P(fail full-view)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("thm2 output missing %q", want)
+		}
+	}
+}
+
+func TestPoissonOutput(t *testing.T) {
+	out := runByName(t, "poisson")
+	for _, want := range []string{"Theorems 3–4", "P_N analytic", "P_S simulated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("poisson output missing %q", want)
+		}
+	}
+}
+
+func TestOneCovOutput(t *testing.T) {
+	out := runByName(t, "onecov")
+	for _, want := range []string{"Equation 19", "relative diff", "P(grid 1-covered)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("onecov output missing %q", want)
+		}
+	}
+}
+
+func TestKCovOutput(t *testing.T) {
+	out := runByName(t, "kcov")
+	for _, want := range []string{"Section VII-B", "s_Nc/s_K", "P(k-covered)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("kcov output missing %q", want)
+		}
+	}
+}
+
+func TestAreaOutput(t *testing.T) {
+	out := runByName(t, "area")
+	for _, want := range []string{"Section VI-A", "long-thin", "short-wide", "mixture"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("area output missing %q", want)
+		}
+	}
+}
+
+func TestGapOutput(t *testing.T) {
+	out := runByName(t, "gap")
+	for _, want := range []string{"Section VI-C", "P(nec & !fv)", "P(fv & !suf)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gap output missing %q", want)
+		}
+	}
+}
+
+func TestPointProbOutput(t *testing.T) {
+	out := runByName(t, "pointprob")
+	for _, want := range []string{"Equations 2 & 13", "1-P(F_N) analytic", "P(suf) simulated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pointprob output missing %q", want)
+		}
+	}
+}
+
+func TestBarrierOutput(t *testing.T) {
+	out := runByName(t, "barrier")
+	for _, want := range []string{"Barrier full-view coverage", "P(barrier covered)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("barrier output missing %q", want)
+		}
+	}
+}
+
+func TestProbSenseOutput(t *testing.T) {
+	out := runByName(t, "probsense")
+	for _, want := range []string{"Probabilistic sensing", "binary (paper model)", "λ=4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("probsense output missing %q", want)
+		}
+	}
+}
+
+func TestConstructOutput(t *testing.T) {
+	out := runByName(t, "construct")
+	for _, want := range []string{"Deterministic rings", "random n for same s", "yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("construct output missing %q", want)
+		}
+	}
+}
+
+func TestFaultOutput(t *testing.T) {
+	out := runByName(t, "fault")
+	for _, want := range []string{"Full-view multiplicity", "P(tolerate 1 loss)", "P(tolerate 3 losses)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault output missing %q", want)
+		}
+	}
+}
+
+func TestOrientOptOutput(t *testing.T) {
+	out := runByName(t, "orientopt")
+	for _, want := range []string{"Random vs optimized aiming", "gain", "mean re-aims"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("orientopt output missing %q", want)
+		}
+	}
+}
+
+func TestDutyCycleOutput(t *testing.T) {
+	out := runByName(t, "dutycycle")
+	for _, want := range []string{"Duty cycling", "analytic at n*p", "Coverage lifetime"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dutycycle output missing %q", want)
+		}
+	}
+}
+
+func TestScheduleOutput(t *testing.T) {
+	out := runByName(t, "schedule")
+	for _, want := range []string{"Activation scheduling", "awake fraction", "lifetime multiplier"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schedule output missing %q", want)
+		}
+	}
+}
+
+func TestHetCSAOutput(t *testing.T) {
+	out := runByName(t, "hetcsa")
+	for _, want := range []string{"Heterogeneity and the CSA", "homogeneous", "3 groups (mixed shapes)", "weighted sum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hetcsa output missing %q", want)
+		}
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll covers every experiment; skipped in -short")
+	}
+	var b strings.Builder
+	if err := RunAll(&b, quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "=== "+e.ID+" "+e.Name) {
+			t.Errorf("RunAll output missing banner for %s", e.Name)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Seed != 2012 {
+		t.Errorf("default seed = %d", o.Seed)
+	}
+	if got := (Options{Trials: 5}).trials(100, 10); got != 5 {
+		t.Errorf("explicit trials = %d", got)
+	}
+	if got := (Options{Quick: true}).trials(100, 10); got != 10 {
+		t.Errorf("quick trials = %d", got)
+	}
+	if got := (Options{}).trials(100, 10); got != 100 {
+		t.Errorf("full trials = %d", got)
+	}
+	if got := pick(Options{Quick: true}, 1, 2); got != 2 {
+		t.Errorf("pick quick = %d", got)
+	}
+	if got := pick(Options{}, 1, 2); got != 1 {
+		t.Errorf("pick full = %d", got)
+	}
+}
+
+// TestDeterministicOutput pins reproducibility across runs: identical
+// options must render byte-identical tables.
+func TestDeterministicOutput(t *testing.T) {
+	a := runByName(t, "gap")
+	b := runByName(t, "gap")
+	if a != b {
+		t.Error("gap experiment output differs between identical runs")
+	}
+}

@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fullview/internal/analytic"
+	"fullview/internal/experiment"
+	"fullview/internal/report"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "gap",
+		ID:          "E09",
+		Description: "Section VI-C / Figure 9: the gap between necessary and sufficient conditions",
+		Run:         runGap,
+	})
+}
+
+// runGap quantifies Section VI-C (E9): between s_Nc and s_Sc coverage is
+// genuinely random. The table sweeps the weighted sensing area from
+// 0.5·s_Nc to 1.5·s_Sc and reports, per point, how often the necessary
+// condition holds without full-view coverage (Figure 9 left — the
+// necessary condition is not sufficient) and how often full-view
+// coverage holds without the sufficient condition (Figure 9 right — the
+// sufficient condition is not necessary).
+func runGap(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	theta := math.Pi / 4
+	n := pick(opts, 800, 300)
+	trials := opts.trials(120, 15)
+	pointsPerTrial := pick(opts, 60, 25)
+
+	nec, err := analytic.CSANecessary(n, theta)
+	if err != nil {
+		return err
+	}
+	suf, err := analytic.CSASufficient(n, theta)
+	if err != nil {
+		return err
+	}
+	base, err := sensor.Homogeneous(0.1, math.Pi/2)
+	if err != nil {
+		return err
+	}
+
+	table := report.NewTable(
+		fmt.Sprintf("Section VI-C — condition gap per point (n = %d, θ = π/4; s_Nc = %s, s_Sc = %s)",
+			n, report.F(nec), report.F(suf)),
+		"s_c", "s_c/s_Nc", "P(nec)", "P(full-view)", "P(suf)", "P(nec & !fv)", "P(fv & !suf)",
+	)
+	areas := []float64{0.5 * nec, nec, 0.5 * (nec + suf), suf, 1.5 * suf}
+	for ai, sc := range areas {
+		profile, err := base.ScaleToArea(sc)
+		if err != nil {
+			return err
+		}
+		cfg := experiment.Config{N: n, Theta: theta, Profile: profile}
+		out, err := experiment.RunPoints(cfg, pointsPerTrial, trials, opts.Parallelism,
+			rng.Mix64(opts.Seed^uint64(ai+53)))
+		if err != nil {
+			return err
+		}
+		if err := table.AddRow(
+			report.F(sc), report.F4(sc/nec),
+			report.F4(out.Necessary.Fraction()),
+			report.F4(out.FullView.Fraction()),
+			report.F4(out.Sufficient.Fraction()),
+			report.F4(out.NecessaryNotFullView.Fraction()),
+			report.F4(out.FullViewNotSufficient.Fraction()),
+		); err != nil {
+			return err
+		}
+	}
+	_, err = table.WriteTo(w)
+	return err
+}

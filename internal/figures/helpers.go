@@ -1,0 +1,24 @@
+package figures
+
+import (
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+	"fullview/internal/stats"
+)
+
+// deployUniform is shorthand for a uniform deployment on the unit torus.
+func deployUniform(profile sensor.Profile, n int, r *rng.PCG) (*sensor.Network, error) {
+	return deploy.Uniform(geom.UnitTorus, profile, n, r)
+}
+
+// vec is shorthand for geom.V.
+func vec(x, y float64) geom.Vec { return geom.V(x, y) }
+
+// wilson returns the 95% Wilson interval for successes/n, swallowing the
+// impossible z-validation error (Z95 is a fixed valid constant).
+func wilson(successes, n int) (lo, hi float64) {
+	lo, hi, _ = stats.WilsonInterval(successes, n, stats.Z95)
+	return lo, hi
+}

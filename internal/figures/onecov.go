@@ -1,0 +1,96 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fullview/internal/analytic"
+	"fullview/internal/experiment"
+	"fullview/internal/report"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "onecov",
+		ID:          "E06",
+		Description: "Equation 19: θ = π degeneracy to 1-coverage, analytic and simulated",
+		Run:         runOneCov,
+	})
+}
+
+// runOneCov validates Section VII-A (E6). Analytically, s_Nc(n, π) must
+// equal the 1-coverage critical sensing area (ln n + ln ln n)/n. In
+// simulation, at θ = π the necessary condition degenerates to plain
+// 1-coverage, so deploying q·CSA should 1-cover the whole grid for q > 1
+// and fail for q < 1.
+func runOneCov(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	analytical := report.NewTable(
+		"Equation 19 — θ = π degeneracy (analytic)",
+		"n", "s_Nc(n, π)", "(ln n + ln ln n)/n", "relative diff",
+	)
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		nec, err := analytic.CSANecessary(n, math.Pi)
+		if err != nil {
+			return err
+		}
+		one, err := analytic.OneCoverageCSA(n)
+		if err != nil {
+			return err
+		}
+		if err := analytical.AddRow(
+			report.I(n), report.F(nec), report.F(one),
+			report.F(math.Abs(nec-one)/one),
+		); err != nil {
+			return err
+		}
+	}
+	if _, err := analytical.WriteTo(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+
+	base, err := sensor.Homogeneous(0.1, math.Pi/2)
+	if err != nil {
+		return err
+	}
+	ns := pick(opts, []int{200, 400, 800}, []int{100, 200})
+	trials := opts.trials(60, 8)
+	simulated := report.NewTable(
+		fmt.Sprintf("θ = π simulation — P(grid fully 1-covered), %d trials/cell", trials),
+		"n", "q", "P(grid 1-covered)", "min covering count (mean frac)",
+	)
+	for ci, n := range ns {
+		csa, err := analytic.OneCoverageCSA(n)
+		if err != nil {
+			return err
+		}
+		for qi, q := range []float64{0.5, 2.0} {
+			profile, err := base.ScaleToArea(q * csa)
+			if err != nil {
+				return err
+			}
+			cfg := experiment.Config{N: n, Theta: math.Pi, Profile: profile}
+			out, err := experiment.RunGrid(cfg, 0, trials, opts.Parallelism,
+				rng.Mix64(opts.Seed^uint64(ci*10+qi+3)))
+			if err != nil {
+				return err
+			}
+			// At θ = π the necessary condition is exactly 1-coverage.
+			if err := simulated.AddRow(
+				report.I(n), report.F4(q),
+				report.F4(out.AllNecessary.Fraction()),
+				report.F4(out.NecessaryFraction.Mean),
+			); err != nil {
+				return err
+			}
+		}
+	}
+	_, err = simulated.WriteTo(w)
+	return err
+}

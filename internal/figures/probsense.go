@@ -1,0 +1,110 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fullview/internal/experiment"
+	"fullview/internal/probsense"
+	"fullview/internal/report"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+	"fullview/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "probsense",
+		ID:          "E12",
+		Description: "Extension: probabilistic sensing — full-view guarantees under detection decay",
+		Run:         runProbSense,
+	})
+}
+
+// runProbSense explores the paper's probabilistic-sensing extension
+// (E12): the binary model's boolean full-view verdict becomes a
+// worst-direction detection probability. The sweep shows the guarantee
+// eroding as the exponential decay sharpens, with the binary model as
+// the λ → 0 reference.
+func runProbSense(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	theta := math.Pi / 3
+	n := pick(opts, 1500, 400)
+	trials := opts.trials(40, 8)
+	pointsPerTrial := pick(opts, 25, 10)
+	steps := pick(opts, 180, 90)
+
+	profile, err := sensor.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		return err
+	}
+	models := []struct {
+		name  string
+		model probsense.Model
+	}{
+		{name: "binary (paper model)", model: probsense.Binary{}},
+		{name: "exp decay λ=0.5", model: probsense.ExpDecay{CertainFraction: 0.5, Decay: 0.5}},
+		{name: "exp decay λ=1", model: probsense.ExpDecay{CertainFraction: 0.5, Decay: 1}},
+		{name: "exp decay λ=2", model: probsense.ExpDecay{CertainFraction: 0.5, Decay: 2}},
+		{name: "exp decay λ=4", model: probsense.ExpDecay{CertainFraction: 0.5, Decay: 4}},
+	}
+
+	table := report.NewTable(
+		fmt.Sprintf("Probabilistic sensing — n = %d, θ = π/3, r_c = r/2, %d trials × %d points",
+			n, trials, pointsPerTrial),
+		"model", "mean worst-dir prob", "mean mean-dir prob", "P(worst ≥ 0.9)",
+	)
+	for mi, m := range models {
+		type trialOut struct {
+			worst, mean []float64
+			strong      int
+		}
+		results, err := experiment.Run(rng.Mix64(opts.Seed^uint64(mi+97)), trials, opts.Parallelism,
+			func(_ int, r *rng.PCG) (trialOut, error) {
+				net, err := deployUniform(profile, n, r)
+				if err != nil {
+					return trialOut{}, err
+				}
+				eval, err := probsense.NewEvaluator(net, m.model, theta)
+				if err != nil {
+					return trialOut{}, err
+				}
+				var out trialOut
+				for i := 0; i < pointsPerTrial; i++ {
+					p := vec(r.Float64(), r.Float64())
+					prof, err := eval.Evaluate(p, steps)
+					if err != nil {
+						return trialOut{}, err
+					}
+					out.worst = append(out.worst, prof.WorstProb)
+					out.mean = append(out.mean, prof.MeanProb)
+					if prof.WorstProb >= 0.9 {
+						out.strong++
+					}
+				}
+				return out, nil
+			})
+		if err != nil {
+			return err
+		}
+		var worst, mean []float64
+		strong, total := 0, 0
+		for _, tr := range results {
+			worst = append(worst, tr.worst...)
+			mean = append(mean, tr.mean...)
+			strong += tr.strong
+			total += len(tr.worst)
+		}
+		if err := table.AddRow(
+			m.name,
+			report.F4(stats.Summarize(worst).Mean),
+			report.F4(stats.Summarize(mean).Mean),
+			report.F4(stats.Proportion(strong, total)),
+		); err != nil {
+			return err
+		}
+	}
+	_, err = table.WriteTo(w)
+	return err
+}

@@ -1,0 +1,91 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fullview/internal/deploy"
+	"fullview/internal/experiment"
+	"fullview/internal/geom"
+	"fullview/internal/report"
+	"fullview/internal/rng"
+	"fullview/internal/schedule"
+	"fullview/internal/sensor"
+	"fullview/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "schedule",
+		ID:          "E17",
+		Description: "Activation scheduling: minimal covers and disjoint shifts vs deployment size",
+		Run:         runSchedule,
+	})
+}
+
+// runSchedule measures how much an over-provisioned random deployment
+// can save by activation scheduling (E17): the greedy minimal cover size
+// (cameras that must be awake for guaranteed full-view coverage of the
+// grid) and the number of disjoint shifts (the lifetime multiplier when
+// shifts rotate).
+func runSchedule(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	theta := math.Pi / 2
+	profile, err := sensor.Homogeneous(0.25, 2*math.Pi/3)
+	if err != nil {
+		return err
+	}
+	ns := pick(opts, []int{1000, 2000, 4000, 8000}, []int{800, 1600})
+	trials := opts.trials(15, 4)
+	gridSide := pick(opts, 12, 9)
+
+	table := report.NewTable(
+		fmt.Sprintf("Activation scheduling — θ = π/2, r = 0.25, φ = 2π/3, grid %d×%d, %d trials",
+			gridSide, gridSide, trials),
+		"n", "mean cover size", "awake fraction", "mean shifts", "lifetime multiplier",
+	)
+	for ci, n := range ns {
+		type trialOut struct {
+			cover  int
+			shifts int
+		}
+		results, err := experiment.Run(rng.Mix64(opts.Seed^uint64(ci+191)), trials, opts.Parallelism,
+			func(_ int, r *rng.PCG) (trialOut, error) {
+				net, err := deploy.Uniform(geom.UnitTorus, profile, n, r)
+				if err != nil {
+					return trialOut{}, err
+				}
+				cover, err := schedule.MinimalCover(net, theta, gridSide)
+				if err != nil {
+					return trialOut{}, err
+				}
+				shifts, err := schedule.Shifts(net, theta, gridSide)
+				if err != nil {
+					return trialOut{}, err
+				}
+				return trialOut{cover: len(cover), shifts: len(shifts)}, nil
+			})
+		if err != nil {
+			return err
+		}
+		var covers, shifts []float64
+		for _, tr := range results {
+			covers = append(covers, float64(tr.cover))
+			shifts = append(shifts, float64(tr.shifts))
+		}
+		meanCover := stats.Summarize(covers).Mean
+		meanShifts := stats.Summarize(shifts).Mean
+		if err := table.AddRow(
+			report.I(n),
+			report.F4(meanCover),
+			report.F4(meanCover/float64(n)),
+			report.F4(meanShifts),
+			report.F4(meanShifts), // one shift awake at a time ⇒ lifetime ×shifts
+		); err != nil {
+			return err
+		}
+	}
+	_, err = table.WriteTo(w)
+	return err
+}

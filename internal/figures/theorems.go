@@ -1,0 +1,148 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"fullview/internal/analytic"
+	"fullview/internal/experiment"
+	"fullview/internal/report"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func init() {
+	register(Experiment{
+		Name:        "thm1",
+		ID:          "E03",
+		Description: "Theorem 1: grid necessary-condition failure around s_Nc under uniform deployment",
+		Run:         runThm1,
+	})
+	register(Experiment{
+		Name:        "thm2",
+		ID:          "E04",
+		Description: "Theorem 2: grid sufficient-condition failure and full-view coverage around s_Sc",
+		Run:         runThm2,
+	})
+}
+
+// theoremCell is one (n, q) cell of a Theorem 1/2 validation sweep.
+type theoremCell struct {
+	n   int
+	q   float64
+	csa float64
+	out experiment.GridOutcome
+}
+
+// runTheoremSweep deploys uniform networks with weighted sensing area
+// q·csa(n) and measures how often the dense grid fails the target
+// condition.
+func runTheoremSweep(
+	opts Options,
+	theta float64,
+	csaFunc func(int, float64) (float64, error),
+	ns []int,
+	qs []float64,
+	trials int,
+) ([]theoremCell, error) {
+	base, err := sensor.Homogeneous(0.1, math.Pi/2)
+	if err != nil {
+		return nil, err
+	}
+	var cells []theoremCell
+	for ci, n := range ns {
+		csa, err := csaFunc(n, theta)
+		if err != nil {
+			return nil, err
+		}
+		for qi, q := range qs {
+			profile, err := base.ScaleToArea(q * csa)
+			if err != nil {
+				return nil, err
+			}
+			cfg := experiment.Config{N: n, Theta: theta, Profile: profile}
+			seed := rng.Mix64(opts.Seed ^ uint64(ci*101+qi+1))
+			out, err := experiment.RunGrid(cfg, 0, trials, opts.Parallelism, seed)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, theoremCell{n: n, q: q, csa: csa, out: out})
+		}
+	}
+	return cells, nil
+}
+
+// runThm1 validates Theorem 1 (E3): with s_c = q·s_Nc(n), the
+// probability that some dense-grid point fails the *necessary* condition
+// should head to 0 for q > 1 and stay bounded away from 0 for q < 1 as
+// n grows.
+func runThm1(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	theta := math.Pi / 4
+	ns := pick(opts, []int{200, 400, 800, 1600}, []int{100, 200})
+	qs := []float64{0.5, 1.0, 2.0}
+	trials := opts.trials(60, 8)
+
+	cells, err := runTheoremSweep(opts, theta, analytic.CSANecessary, ns, qs, trials)
+	if err != nil {
+		return err
+	}
+	table := report.NewTable(
+		fmt.Sprintf("Theorem 1 — P(grid fails necessary condition), θ = π/4, %d trials/cell", trials),
+		"n", "q", "s_c = q*s_Nc", "P(fail H_N)", "95% CI", "mean point fraction",
+	)
+	for _, c := range cells {
+		fails := c.out.Trials - c.out.AllNecessary.Successes()
+		lo, hi := wilson(fails, c.out.Trials)
+		if err := table.AddRow(
+			report.I(c.n), report.F4(c.q), report.F(c.q*c.csa),
+			report.F4(float64(fails)/float64(c.out.Trials)),
+			fmt.Sprintf("[%s, %s]", report.F4(lo), report.F4(hi)),
+			report.F4(c.out.NecessaryFraction.Mean),
+		); err != nil {
+			return err
+		}
+	}
+	_, err = table.WriteTo(w)
+	return err
+}
+
+// runThm2 validates Theorem 2 (E4): with s_c = q·s_Sc(n), the grid
+// should fail the *sufficient* condition (and hence possibly full-view
+// coverage) with vanishing probability for q > 1. Full-view failure is
+// reported alongside, showing the sufficient condition really does imply
+// coverage.
+func runThm2(w io.Writer, opts Options) error {
+	opts = opts.withDefaults()
+	theta := math.Pi / 4
+	ns := pick(opts, []int{200, 400, 800, 1600}, []int{100, 200})
+	qs := []float64{0.5, 1.0, 2.0}
+	trials := opts.trials(60, 8)
+
+	cells, err := runTheoremSweep(opts, theta, analytic.CSASufficient, ns, qs, trials)
+	if err != nil {
+		return err
+	}
+	table := report.NewTable(
+		fmt.Sprintf("Theorem 2 — P(grid fails sufficient condition), θ = π/4, %d trials/cell", trials),
+		"n", "q", "s_c = q*s_Sc", "P(fail H_S)", "P(fail full-view)", "mean point fraction",
+	)
+	for _, c := range cells {
+		failsSuf := c.out.Trials - c.out.AllSufficient.Successes()
+		failsFV := c.out.Trials - c.out.AllFullView.Successes()
+		if failsFV > failsSuf {
+			return fmt.Errorf("thm2: full-view failures (%d) exceed sufficient failures (%d)", failsFV, failsSuf)
+		}
+		if err := table.AddRow(
+			report.I(c.n), report.F4(c.q), report.F(c.q*c.csa),
+			report.F4(float64(failsSuf)/float64(c.out.Trials)),
+			report.F4(float64(failsFV)/float64(c.out.Trials)),
+			report.F4(c.out.SufficientFraction.Mean),
+		); err != nil {
+			return err
+		}
+	}
+	_, err = table.WriteTo(w)
+	return err
+}

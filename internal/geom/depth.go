@@ -1,0 +1,96 @@
+package geom
+
+import "sort"
+
+// MinArcCoverageDepth computes how deeply a family of closed circular
+// arcs covers the circle of directions: each center c spawns the arc
+// [c−halfWidth, c+halfWidth], and the depth of a direction is the number
+// of arcs containing it. The function returns the minimum depth over all
+// directions and a witness direction attaining it.
+//
+// This generalises the full-view test: with centers = viewed directions
+// and halfWidth = θ, a point is full-view covered iff the minimum depth
+// is ≥ 1, and it tolerates f camera failures iff the depth is ≥ f+1
+// (every facing direction keeps a frontal camera after any f losses).
+//
+// The minimum of a piecewise-constant closed-arc coverage function is
+// attained on an open interval between arc endpoints, so the sweep
+// evaluates open intervals only. Runs in O(n log n).
+func MinArcCoverageDepth(centers []float64, halfWidth float64) (depth int, witness float64) {
+	if halfWidth < 0 {
+		halfWidth = 0
+	}
+	if len(centers) == 0 {
+		return 0, 0
+	}
+	// Arcs of half-width ≥ π cover the whole circle.
+	base := 0
+	type event struct {
+		angle float64
+		delta int
+	}
+	events := make([]event, 0, 2*len(centers))
+	for _, c := range centers {
+		if halfWidth >= TwoPi/2 {
+			base++
+			continue
+		}
+		events = append(events,
+			event{angle: NormalizeAngle(c - halfWidth), delta: +1},
+			event{angle: NormalizeAngle(c + halfWidth), delta: -1},
+		)
+	}
+	if len(events) == 0 {
+		return base, 0
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].angle != events[j].angle {
+			return events[i].angle < events[j].angle
+		}
+		// Starts before ends so a shared boundary point never dips.
+		return events[i].delta > events[j].delta
+	})
+
+	// Depth on the wrap interval (last event angle, first event angle):
+	// count arcs containing its midpoint.
+	last := events[len(events)-1].angle
+	first := events[0].angle
+	wrapMid := NormalizeAngle(last + NormalizeAngle(first-last+TwoPi)/2)
+	if last == first {
+		wrapMid = NormalizeAngle(last + TwoPi/2)
+	}
+	depthRun := base
+	for _, c := range centers {
+		if halfWidth < TwoPi/2 && AngularDistance(wrapMid, c) <= halfWidth {
+			depthRun++
+		}
+	}
+
+	minDepth := depthRun
+	witness = wrapMid
+	for i := 0; i < len(events); {
+		j := i
+		for j < len(events) && events[j].angle == events[i].angle {
+			depthRun += events[j].delta
+			j++
+		}
+		// depthRun now holds the depth on the open interval
+		// (events[i].angle, nextAngle).
+		nextAngle := first + TwoPi
+		if j < len(events) {
+			nextAngle = events[j].angle
+		}
+		// Only intervals with a representable interior point count:
+		// rounding-noise slivers (endpoints one ulp apart, e.g. when
+		// 0.6+0.7 ≠ 1.3−0 exactly) are artefacts of float endpoints,
+		// not real gaps, and their midpoint would land on a closed arc
+		// boundary anyway.
+		mid := events[i].angle + (nextAngle-events[i].angle)/2
+		if depthRun < minDepth && mid > events[i].angle && mid < nextAngle {
+			minDepth = depthRun
+			witness = NormalizeAngle(mid)
+		}
+		i = j
+	}
+	return minDepth, witness
+}

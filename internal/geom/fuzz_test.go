@@ -1,0 +1,117 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzNormalizeAngle(f *testing.F) {
+	f.Add(0.0)
+	f.Add(math.Pi)
+	f.Add(-math.Pi / 2)
+	f.Add(1e9)
+	f.Add(-1e12)
+	f.Add(TwoPi)
+	f.Fuzz(func(t *testing.T, a float64) {
+		got := NormalizeAngle(a)
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return
+		}
+		if got < 0 || got >= TwoPi {
+			t.Fatalf("NormalizeAngle(%v) = %v out of [0, 2π)", a, got)
+		}
+		// Idempotence.
+		if again := NormalizeAngle(got); again != got {
+			t.Fatalf("not idempotent: %v → %v → %v", a, got, again)
+		}
+	})
+}
+
+func FuzzAngularDistance(f *testing.F) {
+	f.Add(0.0, math.Pi)
+	f.Add(1.0, 1.0)
+	f.Add(-3.0, 7.0)
+	f.Fuzz(func(t *testing.T, a, b float64) {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e12 || math.Abs(b) > 1e12 {
+			return
+		}
+		d := AngularDistance(a, b)
+		if d < 0 || d > math.Pi+1e-9 {
+			t.Fatalf("AngularDistance(%v, %v) = %v out of [0, π]", a, b, d)
+		}
+		if sym := AngularDistance(b, a); math.Abs(d-sym) > 1e-9 {
+			t.Fatalf("asymmetric: %v vs %v", d, sym)
+		}
+	})
+}
+
+func FuzzSectorContains(f *testing.F) {
+	f.Add(0.0, 1.0, 0.5)
+	f.Add(5.5, 2.0, 0.1)
+	f.Add(0.0, TwoPi, 3.0)
+	f.Fuzz(func(t *testing.T, start, width, angle float64) {
+		if math.IsNaN(start) || math.IsNaN(angle) || math.Abs(start) > 1e9 || math.Abs(angle) > 1e9 {
+			return
+		}
+		width = math.Mod(math.Abs(width), TwoPi-0.02) + 0.01
+		s, err := NewSector(start, width)
+		if err != nil {
+			t.Fatalf("NewSector(%v, %v): %v", start, width, err)
+		}
+		// Definition consistency.
+		want := CCWDelta(angle, s.Start) <= s.Width
+		if got := s.Contains(angle); got != want {
+			t.Fatalf("Contains(%v) = %v, definition says %v", angle, got, want)
+		}
+		// The bisector is always inside; the antipode of the bisector is
+		// outside for widths below 2π.
+		if !s.Contains(s.Bisector()) {
+			t.Fatal("sector does not contain its bisector")
+		}
+		if s.Width < math.Pi && s.Contains(s.Bisector()+math.Pi) {
+			t.Fatal("narrow sector contains the opposite of its bisector")
+		}
+	})
+}
+
+func FuzzMinArcCoverageDepth(f *testing.F) {
+	f.Add(0.5, 1.0, 2.0, 3.0, 0.7)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.1)
+	f.Fuzz(func(t *testing.T, a, b, c, d, half float64) {
+		for _, v := range []float64{a, b, c, d, half} {
+			if math.IsNaN(v) || math.Abs(v) > 1e9 {
+				return
+			}
+		}
+		half = math.Mod(math.Abs(half), math.Pi)
+		centers := []float64{a, b, c, d}
+		depth, witness := MinArcCoverageDepth(centers, half)
+		if depth < 0 || depth > len(centers) {
+			t.Fatalf("depth %d out of range", depth)
+		}
+		// The witness must attain the reported depth, allowing a
+		// tolerance band for arcs whose boundary lands within rounding
+		// distance of the witness (normalizing large center values
+		// perturbs arc endpoints by a few ulps).
+		const tol = 1e-9
+		countLo, countHi := 0, 0
+		for _, ctr := range centers {
+			dist := AngularDistance(witness, ctr)
+			if half >= math.Pi || dist <= half-tol {
+				countLo++
+			}
+			if half >= math.Pi || dist <= half+tol {
+				countHi++
+			}
+		}
+		if depth < countLo || depth > countHi {
+			t.Fatalf("witness %v depth %d outside [%d, %d] (half=%v centers=%v)",
+				witness, depth, countLo, countHi, half, centers)
+		}
+		// Consistency with the gap test, away from the boundary.
+		gap, _ := MaxCircularGap(centers)
+		if math.Abs(gap-2*half) > tol && (depth >= 1) != (gap <= 2*half) {
+			t.Fatalf("depth %d vs gap %v inconsistent at half=%v", depth, gap, half)
+		}
+	})
+}

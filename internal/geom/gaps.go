@@ -1,0 +1,64 @@
+package geom
+
+import "sort"
+
+// MaxCircularGap returns the widest angular gap between consecutive
+// directions when the given angles are placed on the circle, together
+// with the bisector direction of that gap.
+//
+// This is the primitive behind the exact full-view coverage test: a point
+// whose covering sensors sit at viewed directions angles is full-view
+// covered with effective angle θ iff MaxCircularGap(angles) ≤ 2θ — the
+// bisector of a wider gap is an unsafe facing direction (paper, Section
+// III-A).
+//
+// For an empty input the gap is the whole circle (2π) with bisector 0.
+// For a single direction a the gap is 2π with bisector opposite a.
+// The input slice is not modified.
+func MaxCircularGap(angles []float64) (gap, bisector float64) {
+	switch len(angles) {
+	case 0:
+		return TwoPi, 0
+	case 1:
+		return TwoPi, NormalizeAngle(angles[0] + TwoPi/2)
+	}
+	sorted := make([]float64, len(angles))
+	for i, a := range angles {
+		sorted[i] = NormalizeAngle(a)
+	}
+	sort.Float64s(sorted)
+
+	// Start from the wrap-around gap (last angle back to the first).
+	gapStart := sorted[len(sorted)-1]
+	gap = sorted[0] + TwoPi - sorted[len(sorted)-1]
+	for i := 1; i < len(sorted); i++ {
+		if g := sorted[i] - sorted[i-1]; g > gap {
+			gap = g
+			gapStart = sorted[i-1]
+		}
+	}
+	return gap, NormalizeAngle(gapStart + gap/2)
+}
+
+// SortAngles returns a new slice with the angles normalized to [0, 2π)
+// and sorted ascending.
+func SortAngles(angles []float64) []float64 {
+	out := make([]float64, len(angles))
+	for i, a := range angles {
+		out[i] = NormalizeAngle(a)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// CoversAllDirections reports whether every direction on the circle is
+// within tolerance θ of at least one of the given directions — i.e.
+// whether the directions θ-cover the circle. Equivalent to
+// MaxCircularGap(angles) ≤ 2θ.
+func CoversAllDirections(angles []float64, theta float64) bool {
+	if len(angles) == 0 {
+		return false
+	}
+	gap, _ := MaxCircularGap(angles)
+	return gap <= 2*theta
+}

@@ -1,0 +1,118 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadSectorWidth reports a sector width outside (0, 2π].
+var ErrBadSectorWidth = errors.New("geom: sector width must be in (0, 2π]")
+
+// Sector is a closed angular sector [Start, Start+Width] on the circle of
+// directions. Start is normalized to [0, 2π); Width is in (0, 2π].
+//
+// Sectors model the paper's T_j constructions (Figures 4 and 6): the
+// circle of viewed directions around a point is partitioned into sectors
+// and each sector must contain at least one covering sensor.
+type Sector struct {
+	Start float64
+	Width float64
+}
+
+// NewSector returns the closed sector starting at start (any angle,
+// normalized internally) spanning width radians counter-clockwise.
+func NewSector(start, width float64) (Sector, error) {
+	if !(width > 0) || width > TwoPi {
+		return Sector{}, fmt.Errorf("%w: got %v", ErrBadSectorWidth, width)
+	}
+	return Sector{Start: NormalizeAngle(start), Width: width}, nil
+}
+
+// SectorAround returns the sector of the given width whose angular
+// bisector is center. This mirrors the paper's extra sector T_{k+1},
+// re-centred on the bisector of the remainder sector T_α.
+func SectorAround(center, width float64) (Sector, error) {
+	return NewSector(center-width/2, width)
+}
+
+// End returns the end angle of the sector, normalized to [0, 2π).
+func (s Sector) End() float64 { return NormalizeAngle(s.Start + s.Width) }
+
+// Bisector returns the angular bisector of the sector, in [0, 2π).
+func (s Sector) Bisector() float64 {
+	return NormalizeAngle(s.Start + s.Width/2)
+}
+
+// Contains reports whether direction a lies inside the closed sector.
+func (s Sector) Contains(a float64) bool {
+	if s.Width >= TwoPi {
+		return true
+	}
+	return CCWDelta(a, s.Start) <= s.Width
+}
+
+// String implements fmt.Stringer.
+func (s Sector) String() string {
+	return fmt.Sprintf("[%.6g, %.6g)", s.Start, s.Start+s.Width)
+}
+
+// AnchoredPartition builds the paper's anchored sector construction for a
+// sector width w: full sectors T_1, T_2, … of width w starting at the
+// start line (angle 0), and — when w does not divide 2π exactly — one
+// extra sector of width w centred on the bisector of the remainder sector
+// T_α (α ∈ (0, w)).
+//
+// For the necessary condition w = 2θ, giving ⌈π/θ⌉ sectors; for the
+// sufficient condition w = θ, giving ⌈2π/θ⌉ sectors.
+func AnchoredPartition(w float64) ([]Sector, error) {
+	if !(w > 0) || w > TwoPi {
+		return nil, fmt.Errorf("%w: got %v", ErrBadSectorWidth, w)
+	}
+	full, alpha := splitCircle(w)
+	sectors := make([]Sector, 0, full+1)
+	for j := 0; j < full; j++ {
+		sectors = append(sectors, Sector{Start: NormalizeAngle(float64(j) * w), Width: w})
+	}
+	if alpha > 0 {
+		// Bisector of the remainder T_α = [full·w, 2π).
+		center := NormalizeAngle(float64(full)*w + alpha/2)
+		extra, err := SectorAround(center, w)
+		if err != nil {
+			return nil, err
+		}
+		sectors = append(sectors, extra)
+	}
+	return sectors, nil
+}
+
+// SectorCount returns the number of sectors AnchoredPartition produces
+// for width w: ⌈2π/w⌉ computed robustly against floating-point noise at
+// exact divisors (e.g. w = π/4).
+func SectorCount(w float64) int {
+	full, alpha := splitCircle(w)
+	if alpha > 0 {
+		return full + 1
+	}
+	return full
+}
+
+// splitCircle decomposes the circle into `full` whole sectors of width w
+// plus a remainder alpha ∈ [0, w). A remainder smaller than circleEps is
+// treated as zero so that exact divisors of 2π are not perturbed by
+// floating-point rounding.
+func splitCircle(w float64) (full int, alpha float64) {
+	const circleEps = 1e-9
+	q := TwoPi / w
+	full = int(q)
+	alpha = TwoPi - float64(full)*w
+	if alpha < circleEps {
+		alpha = 0
+	}
+	// Guard against q itself rounding just below an integer
+	// (e.g. 2π/(π/4) = 7.9999999999…).
+	if w-alpha < circleEps && alpha > 0 {
+		full++
+		alpha = 0
+	}
+	return full, alpha
+}

@@ -1,0 +1,246 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSector(t *testing.T) {
+	tests := []struct {
+		name    string
+		start   float64
+		width   float64
+		wantErr bool
+	}{
+		{name: "quarter", start: 0, width: math.Pi / 2},
+		{name: "full circle", start: 1, width: TwoPi},
+		{name: "negative start normalizes", start: -math.Pi / 2, width: 1},
+		{name: "zero width", start: 0, width: 0, wantErr: true},
+		{name: "negative width", start: 0, width: -1, wantErr: true},
+		{name: "too wide", start: 0, width: TwoPi + 0.1, wantErr: true},
+		{name: "nan width", start: 0, width: math.NaN(), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s, err := NewSector(tt.start, tt.width)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("NewSector(%v, %v) succeeded, want error", tt.start, tt.width)
+				}
+				if !errors.Is(err, ErrBadSectorWidth) {
+					t.Errorf("error = %v, want ErrBadSectorWidth", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewSector error: %v", err)
+			}
+			if s.Start < 0 || s.Start >= TwoPi {
+				t.Errorf("Start %v not normalized", s.Start)
+			}
+		})
+	}
+}
+
+func TestSectorContains(t *testing.T) {
+	quarter, err := NewSector(0, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapping, err := NewSector(7*math.Pi/4, math.Pi/2) // spans 315°..45°
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		sector Sector
+		angle  float64
+		want   bool
+	}{
+		{name: "start inclusive", sector: quarter, angle: 0, want: true},
+		{name: "interior", sector: quarter, angle: math.Pi / 4, want: true},
+		{name: "end inclusive", sector: quarter, angle: math.Pi / 2, want: true},
+		{name: "outside", sector: quarter, angle: math.Pi, want: false},
+		{name: "just outside end", sector: quarter, angle: math.Pi/2 + 0.01, want: false},
+		{name: "wrapping interior before zero", sector: wrapping, angle: TwoPi - 0.1, want: true},
+		{name: "wrapping interior after zero", sector: wrapping, angle: 0.1, want: true},
+		{name: "wrapping outside", sector: wrapping, angle: math.Pi, want: false},
+		{name: "unnormalized angle", sector: quarter, angle: TwoPi + math.Pi/4, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.sector.Contains(tt.angle); got != tt.want {
+				t.Errorf("%v.Contains(%v) = %v, want %v", tt.sector, tt.angle, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFullCircleSectorContainsEverything(t *testing.T) {
+	full, err := NewSector(1.234, TwoPi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		return full.Contains(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSectorBisectorEnd(t *testing.T) {
+	s, err := NewSector(math.Pi/2, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Bisector(); !almostEqual(got, math.Pi, eps) {
+		t.Errorf("Bisector = %v, want π", got)
+	}
+	if got := s.End(); !almostEqual(got, 3*math.Pi/2, eps) {
+		t.Errorf("End = %v, want 3π/2", got)
+	}
+	// A wrapping sector's bisector also wraps.
+	w, err := NewSector(7*math.Pi/4, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Bisector(); !almostEqual(got, 0, eps) {
+		t.Errorf("wrapping Bisector = %v, want 0", got)
+	}
+}
+
+func TestSectorAround(t *testing.T) {
+	s, err := SectorAround(math.Pi, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Bisector(); !almostEqual(got, math.Pi, eps) {
+		t.Errorf("Bisector = %v, want π", got)
+	}
+	if !s.Contains(math.Pi) {
+		t.Error("sector should contain its own center")
+	}
+	if s.Contains(0) {
+		t.Error("sector should not contain the opposite direction")
+	}
+}
+
+func TestAnchoredPartitionExactDivisor(t *testing.T) {
+	// width π/2 divides 2π exactly: 4 sectors, no extra.
+	sectors, err := AnchoredPartition(math.Pi / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sectors) != 4 {
+		t.Fatalf("got %d sectors, want 4", len(sectors))
+	}
+	for j, s := range sectors {
+		wantStart := float64(j) * math.Pi / 2
+		if !almostEqual(s.Start, wantStart, 1e-9) {
+			t.Errorf("sector %d Start = %v, want %v", j, s.Start, wantStart)
+		}
+		if !almostEqual(s.Width, math.Pi/2, eps) {
+			t.Errorf("sector %d Width = %v", j, s.Width)
+		}
+	}
+}
+
+func TestAnchoredPartitionWithRemainder(t *testing.T) {
+	// width 2θ with θ = 0.3π: 2π/(0.6π) = 3.33…, so 3 full sectors plus
+	// one extra re-centred on the remainder.
+	w := 0.6 * math.Pi
+	sectors, err := AnchoredPartition(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sectors) != 4 {
+		t.Fatalf("got %d sectors, want 4", len(sectors))
+	}
+	extra := sectors[3]
+	alpha := TwoPi - 3*w
+	wantCenter := NormalizeAngle(3*w + alpha/2)
+	if !almostEqual(extra.Bisector(), wantCenter, 1e-9) {
+		t.Errorf("extra sector bisector = %v, want %v", extra.Bisector(), wantCenter)
+	}
+	if !almostEqual(extra.Width, w, eps) {
+		t.Errorf("extra sector width = %v, want %v", extra.Width, w)
+	}
+}
+
+func TestAnchoredPartitionCoversCircle(t *testing.T) {
+	widths := []float64{0.1, math.Pi / 3, math.Pi / 2, 1.0, 2.5, math.Pi, TwoPi}
+	for _, w := range widths {
+		sectors, err := AnchoredPartition(w)
+		if err != nil {
+			t.Fatalf("width %v: %v", w, err)
+		}
+		// Sample directions densely; every direction must be in ≥1 sector.
+		for i := 0; i < 1000; i++ {
+			a := TwoPi * float64(i) / 1000
+			found := false
+			for _, s := range sectors {
+				if s.Contains(a) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("width %v: direction %v in no sector", w, a)
+			}
+		}
+	}
+}
+
+func TestAnchoredPartitionBadWidth(t *testing.T) {
+	for _, w := range []float64{0, -1, TwoPi + 1, math.NaN()} {
+		if _, err := AnchoredPartition(w); err == nil {
+			t.Errorf("AnchoredPartition(%v) succeeded, want error", w)
+		}
+	}
+}
+
+func TestSectorCount(t *testing.T) {
+	tests := []struct {
+		name  string
+		width float64
+		want  int
+	}{
+		{name: "quarter divides exactly", width: math.Pi / 2, want: 4},
+		{name: "pi divides exactly", width: math.Pi, want: 2},
+		{name: "full circle", width: TwoPi, want: 1},
+		{name: "remainder adds one", width: 0.6 * math.Pi, want: 4},
+		{name: "theta pi over four necessary", width: math.Pi / 2, want: 4},
+		{name: "floating point near divisor", width: TwoPi / 8, want: 8},
+		{name: "tiny width", width: TwoPi / 1000, want: 1000},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SectorCount(tt.width); got != tt.want {
+				t.Errorf("SectorCount(%v) = %d, want %d", tt.width, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSectorCountMatchesPartitionLength(t *testing.T) {
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		w := math.Mod(math.Abs(raw), TwoPi-0.02) + 0.01
+		sectors, err := AnchoredPartition(w)
+		if err != nil {
+			return false
+		}
+		return len(sectors) == SectorCount(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTorus(t *testing.T) {
+	tests := []struct {
+		name    string
+		side    float64
+		wantErr bool
+	}{
+		{name: "unit", side: 1},
+		{name: "large", side: 100},
+		{name: "zero", side: 0, wantErr: true},
+		{name: "negative", side: -1, wantErr: true},
+		{name: "nan", side: math.NaN(), wantErr: true},
+		{name: "inf", side: math.Inf(1), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tor, err := NewTorus(tt.side)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("NewTorus(%v) succeeded, want error", tt.side)
+				}
+				if !errors.Is(err, ErrNonPositiveSide) {
+					t.Errorf("error = %v, want ErrNonPositiveSide", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewTorus(%v) error: %v", tt.side, err)
+			}
+			if tor.Side() != tt.side {
+				t.Errorf("Side = %v, want %v", tor.Side(), tt.side)
+			}
+			if tor.Area() != tt.side*tt.side {
+				t.Errorf("Area = %v", tor.Area())
+			}
+		})
+	}
+}
+
+func TestUnitTorusWrap(t *testing.T) {
+	tests := []struct {
+		name string
+		give Vec
+		want Vec
+	}{
+		{name: "inside", give: V(0.3, 0.7), want: V(0.3, 0.7)},
+		{name: "right edge", give: V(1, 0.5), want: V(0, 0.5)},
+		{name: "beyond right", give: V(1.25, 0.5), want: V(0.25, 0.5)},
+		{name: "negative", give: V(-0.25, -0.5), want: V(0.75, 0.5)},
+		{name: "far away", give: V(5.5, -3.25), want: V(0.5, 0.75)},
+		{name: "origin", give: V(0, 0), want: V(0, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := UnitTorus.Wrap(tt.give)
+			if !almostEqual(got.X, tt.want.X, eps) || !almostEqual(got.Y, tt.want.Y, eps) {
+				t.Errorf("Wrap(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWrapRangeProperty(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return true
+		}
+		p := UnitTorus.Wrap(V(x, y))
+		return p.X >= 0 && p.X < 1 && p.Y >= 0 && p.Y < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusDelta(t *testing.T) {
+	tests := []struct {
+		name     string
+		from, to Vec
+		want     Vec
+	}{
+		{name: "direct", from: V(0.2, 0.2), to: V(0.4, 0.3), want: V(0.2, 0.1)},
+		{name: "wrap x", from: V(0.9, 0.5), to: V(0.1, 0.5), want: V(0.2, 0)},
+		{name: "wrap y negative", from: V(0.5, 0.1), to: V(0.5, 0.9), want: V(0, -0.2)},
+		{name: "both wrap", from: V(0.95, 0.95), to: V(0.05, 0.05), want: V(0.1, 0.1)},
+		{name: "identical", from: V(0.5, 0.5), to: V(0.5, 0.5), want: V(0, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := UnitTorus.Delta(tt.from, tt.to)
+			if !almostEqual(got.X, tt.want.X, eps) || !almostEqual(got.Y, tt.want.Y, eps) {
+				t.Errorf("Delta(%v, %v) = %v, want %v", tt.from, tt.to, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTorusDist(t *testing.T) {
+	if got := UnitTorus.Dist(V(0.9, 0.5), V(0.1, 0.5)); !almostEqual(got, 0.2, eps) {
+		t.Errorf("wrap-around Dist = %v, want 0.2", got)
+	}
+	if got := UnitTorus.Dist2(V(0.9, 0.5), V(0.1, 0.5)); !almostEqual(got, 0.04, eps) {
+		t.Errorf("wrap-around Dist2 = %v, want 0.04", got)
+	}
+}
+
+func TestTorusDistProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0.25
+		}
+		return v
+	}
+	symmetric := func(ax, ay, bx, by float64) bool {
+		a := UnitTorus.Wrap(V(clamp(ax), clamp(ay)))
+		b := UnitTorus.Wrap(V(clamp(bx), clamp(by)))
+		return almostEqual(UnitTorus.Dist(a, b), UnitTorus.Dist(b, a), 1e-12)
+	}
+	if err := quick.Check(symmetric, cfg); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	bounded := func(ax, ay, bx, by float64) bool {
+		a := UnitTorus.Wrap(V(clamp(ax), clamp(ay)))
+		b := UnitTorus.Wrap(V(clamp(bx), clamp(by)))
+		d := UnitTorus.Dist(a, b)
+		return d >= 0 && d <= UnitTorus.MaxDist()+eps
+	}
+	if err := quick.Check(bounded, cfg); err != nil {
+		t.Errorf("bounds: %v", err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := UnitTorus.Wrap(V(clamp(ax), clamp(ay)))
+		b := UnitTorus.Wrap(V(clamp(bx), clamp(by)))
+		c := UnitTorus.Wrap(V(clamp(cx), clamp(cy)))
+		return UnitTorus.Dist(a, c) <= UnitTorus.Dist(a, b)+UnitTorus.Dist(b, c)+1e-12
+	}
+	if err := quick.Check(triangle, cfg); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+	translationInvariant := func(ax, ay, bx, by, dx, dy float64) bool {
+		a := UnitTorus.Wrap(V(clamp(ax), clamp(ay)))
+		b := UnitTorus.Wrap(V(clamp(bx), clamp(by)))
+		d := V(clamp(dx), clamp(dy))
+		return almostEqual(
+			UnitTorus.Dist(a, b),
+			UnitTorus.Dist(UnitTorus.Translate(a, d), UnitTorus.Translate(b, d)),
+			1e-9,
+		)
+	}
+	if err := quick.Check(translationInvariant, cfg); err != nil {
+		t.Errorf("translation invariance: %v", err)
+	}
+}
+
+func TestTorusMaxDist(t *testing.T) {
+	want := math.Sqrt2 / 2
+	if got := UnitTorus.MaxDist(); !almostEqual(got, want, eps) {
+		t.Errorf("MaxDist = %v, want %v", got, want)
+	}
+	// The two most distant points on the unit torus are (0,0) and (0.5,0.5).
+	if got := UnitTorus.Dist(V(0, 0), V(0.5, 0.5)); !almostEqual(got, want, eps) {
+		t.Errorf("Dist to antipode = %v, want %v", got, want)
+	}
+}
+
+func TestTorusDeltaConsistentWithDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax + ay + bx + by) {
+			return true
+		}
+		a := UnitTorus.Wrap(V(ax, ay))
+		b := UnitTorus.Wrap(V(bx, by))
+		return almostEqual(UnitTorus.Delta(a, b).Norm(), UnitTorus.Dist(a, b), eps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledTorus(t *testing.T) {
+	tor, err := NewTorus(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tor.Dist(V(9.5, 5), V(0.5, 5)); !almostEqual(got, 1, eps) {
+		t.Errorf("scaled torus wrap Dist = %v, want 1", got)
+	}
+	if got := tor.Wrap(V(-1, 12)); !almostEqual(got.X, 9, eps) || !almostEqual(got.Y, 2, eps) {
+		t.Errorf("scaled torus Wrap = %v", got)
+	}
+}

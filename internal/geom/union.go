@@ -1,0 +1,77 @@
+package geom
+
+import "sort"
+
+// ArcUnionLength returns the total length of the union of closed arcs
+// [c−halfWidth, c+halfWidth] on the circle, in radians (≤ 2π).
+//
+// With centers = viewed directions and halfWidth = θ this measures the
+// paper's *safe* directions (Definition 1): the set of facing directions
+// within θ of some covering camera. A point is full-view covered exactly
+// when the union is the whole circle.
+//
+// Implementation: the same start/end event sweep as MinArcCoverageDepth,
+// accumulating the lengths of intervals where the coverage depth is at
+// least one.
+func ArcUnionLength(centers []float64, halfWidth float64) float64 {
+	if len(centers) == 0 || halfWidth <= 0 {
+		return 0
+	}
+	if halfWidth >= TwoPi/2 {
+		return TwoPi
+	}
+	type event struct {
+		angle float64
+		delta int
+	}
+	events := make([]event, 0, 2*len(centers))
+	for _, c := range centers {
+		events = append(events,
+			event{angle: NormalizeAngle(c - halfWidth), delta: +1},
+			event{angle: NormalizeAngle(c + halfWidth), delta: -1},
+		)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].angle != events[j].angle {
+			return events[i].angle < events[j].angle
+		}
+		return events[i].delta > events[j].delta
+	})
+
+	// Initialize depth on the wrap interval (last event angle → first
+	// event angle); the sweep's final interval re-visits and counts it.
+	first := events[0].angle
+	last := events[len(events)-1].angle
+	wrapLen := NormalizeAngle(first - last)
+	if wrapLen == 0 {
+		wrapLen = TwoPi // all events at a single angle
+	}
+	wrapMid := NormalizeAngle(last + wrapLen/2)
+	depth := 0
+	for _, c := range centers {
+		if AngularDistance(wrapMid, c) <= halfWidth {
+			depth++
+		}
+	}
+
+	total := 0.0
+	for i := 0; i < len(events); {
+		j := i
+		for j < len(events) && events[j].angle == events[i].angle {
+			depth += events[j].delta
+			j++
+		}
+		nextAngle := first + TwoPi
+		if j < len(events) {
+			nextAngle = events[j].angle
+		}
+		if depth > 0 {
+			total += nextAngle - events[i].angle
+		}
+		i = j
+	}
+	if total > TwoPi {
+		total = TwoPi
+	}
+	return total
+}

@@ -1,0 +1,95 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteUnionLength estimates the union measure by dense sampling.
+func bruteUnionLength(centers []float64, halfWidth float64) float64 {
+	const samples = 200000
+	hits := 0
+	for i := 0; i < samples; i++ {
+		x := TwoPi * float64(i) / samples
+		for _, c := range centers {
+			if AngularDistance(x, c) <= halfWidth {
+				hits++
+				break
+			}
+		}
+	}
+	return TwoPi * float64(hits) / samples
+}
+
+func TestArcUnionLengthCases(t *testing.T) {
+	tests := []struct {
+		name      string
+		centers   []float64
+		halfWidth float64
+		want      float64
+	}{
+		{name: "empty", centers: nil, halfWidth: 1, want: 0},
+		{name: "zero width", centers: []float64{1}, halfWidth: 0, want: 0},
+		{name: "single arc", centers: []float64{1}, halfWidth: 0.5, want: 1},
+		{name: "half-circle arcs at poles", centers: []float64{0, math.Pi}, halfWidth: math.Pi / 2, want: TwoPi},
+		{name: "two disjoint arcs", centers: []float64{0, math.Pi}, halfWidth: 0.25, want: 1},
+		{name: "two overlapping arcs", centers: []float64{0, 0.5}, halfWidth: 0.5, want: 1.5},
+		{name: "duplicate centers", centers: []float64{1, 1, 1}, halfWidth: 0.3, want: 0.6},
+		{name: "full circle via wide arc", centers: []float64{2}, halfWidth: math.Pi, want: TwoPi},
+		{name: "arc wrapping origin", centers: []float64{0.1}, halfWidth: 0.3, want: 0.6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := ArcUnionLength(tt.centers, tt.halfWidth)
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("ArcUnionLength = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestArcUnionLengthMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		centers := make([]float64, n)
+		for i := range centers {
+			centers[i] = rng.Float64() * TwoPi
+		}
+		halfWidth := rng.Float64() * math.Pi
+		got := ArcUnionLength(centers, halfWidth)
+		want := bruteUnionLength(centers, halfWidth)
+		if math.Abs(got-want) > 0.001 {
+			t.Fatalf("trial %d (n=%d h=%v): union %v, brute %v", trial, n, halfWidth, got, want)
+		}
+	}
+}
+
+func TestArcUnionConsistentWithDepthAndGap(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		centers := make([]float64, n)
+		for i := range centers {
+			centers[i] = rng.Float64() * TwoPi
+		}
+		halfWidth := rng.Float64() * (math.Pi - 0.01)
+		union := ArcUnionLength(centers, halfWidth)
+		depth, _ := MinArcCoverageDepth(centers, halfWidth)
+		gap, _ := MaxCircularGap(centers)
+		// Full-circle union ⇔ min depth ≥ 1 ⇔ gap ≤ 2·halfWidth
+		// (away from float boundary noise).
+		if math.Abs(gap-2*halfWidth) < 1e-9 {
+			continue
+		}
+		fullByUnion := union >= TwoPi-1e-9
+		if fullByUnion != (depth >= 1) {
+			t.Fatalf("trial %d: union %v vs depth %d disagree", trial, union, depth)
+		}
+		// Union bounded by sum of arc lengths.
+		if union > float64(n)*2*halfWidth+1e-9 {
+			t.Fatalf("trial %d: union %v exceeds total arc length", trial, union)
+		}
+	}
+}

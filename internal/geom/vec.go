@@ -1,0 +1,71 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a point or displacement in the plane.
+type Vec struct {
+	X, Y float64
+}
+
+// V is shorthand for constructing a Vec.
+func V(x, y float64) Vec { return Vec{X: x, Y: y} }
+
+// FromPolar returns the vector of the given length pointing in direction
+// angle (radians, measured counter-clockwise from the positive x-axis).
+func FromPolar(length, angle float64) Vec {
+	s, c := math.Sincos(angle)
+	return Vec{X: length * c, Y: length * s}
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{X: v.X + w.X, Y: v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{X: v.X - w.X, Y: v.Y - w.Y} }
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec { return Vec{X: k * v.X, Y: k * v.Y} }
+
+// Neg returns -v.
+func (v Vec) Neg() Vec { return Vec{X: -v.X, Y: -v.Y} }
+
+// Dot returns the dot product v · w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z-component of the cross product v × w.
+func (v Vec) Cross(w Vec) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Norm2 returns the squared Euclidean length of v. It avoids the square
+// root and is the preferred form for radius comparisons on hot paths.
+func (v Vec) Norm2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Angle returns the direction of v in [0, 2π). The angle of the zero
+// vector is 0 by convention.
+func (v Vec) Angle() float64 {
+	if v.X == 0 && v.Y == 0 {
+		return 0
+	}
+	return NormalizeAngle(math.Atan2(v.Y, v.X))
+}
+
+// Unit returns the unit vector in the direction of v. The zero vector is
+// returned unchanged.
+func (v Vec) Unit() Vec {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// IsZero reports whether both components are exactly zero.
+func (v Vec) IsZero() bool { return v.X == 0 && v.Y == 0 }
+
+// String implements fmt.Stringer.
+func (v Vec) String() string { return fmt.Sprintf("(%.6g, %.6g)", v.X, v.Y) }

@@ -1,0 +1,107 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecArithmetic(t *testing.T) {
+	a := V(1, 2)
+	b := V(3, -4)
+
+	if got := a.Add(b); got != V(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Neg(); got != V(-1, -2) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Dot(b); got != 1*3+2*(-4) {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != 1*(-4)-2*3 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestVecNorm(t *testing.T) {
+	v := V(3, 4)
+	if got := v.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v, want 25", got)
+	}
+	u := v.Unit()
+	if !almostEqual(u.Norm(), 1, eps) {
+		t.Errorf("Unit().Norm() = %v, want 1", u.Norm())
+	}
+	if !almostEqual(u.X, 0.6, eps) || !almostEqual(u.Y, 0.8, eps) {
+		t.Errorf("Unit = %v", u)
+	}
+}
+
+func TestVecZero(t *testing.T) {
+	var z Vec
+	if !z.IsZero() {
+		t.Error("zero vector should report IsZero")
+	}
+	if got := z.Unit(); !got.IsZero() {
+		t.Errorf("Unit of zero = %v, want zero", got)
+	}
+	if got := z.Angle(); got != 0 {
+		t.Errorf("Angle of zero = %v, want 0", got)
+	}
+	if V(1, 0).IsZero() {
+		t.Error("non-zero vector reported IsZero")
+	}
+}
+
+func TestVecAngle(t *testing.T) {
+	tests := []struct {
+		name string
+		give Vec
+		want float64
+	}{
+		{name: "east", give: V(1, 0), want: 0},
+		{name: "north", give: V(0, 1), want: math.Pi / 2},
+		{name: "west", give: V(-1, 0), want: math.Pi},
+		{name: "south", give: V(0, -1), want: 3 * math.Pi / 2},
+		{name: "northeast", give: V(1, 1), want: math.Pi / 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.Angle(); !almostEqual(got, tt.want, eps) {
+				t.Errorf("Angle(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFromPolarRoundTrip(t *testing.T) {
+	f := func(length, angle float64) bool {
+		if math.IsNaN(length) || math.IsNaN(angle) ||
+			math.Abs(length) > 1e9 || math.Abs(angle) > 1e9 {
+			return true
+		}
+		length = math.Abs(math.Mod(length, 1e6)) + 0.5
+		v := FromPolar(length, angle)
+		return almostEqual(v.Norm(), length, length*1e-12) &&
+			AngularDistance(v.Angle(), angle) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if got := V(0.5, -1).String(); got != "(0.5, -1)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,277 @@
+// Package holes locates and repairs full-view coverage holes in a
+// deployed network: it sweeps a grid, clusters uncovered points into
+// connected holes, and proposes patch cameras (an inward-facing ring per
+// hole, sized by the same geometry as package construct) until the
+// region is fully covered. This is the operational task the paper's
+// theory motivates — a random deployment between the two CSAs "depends
+// on the actual deployment", and an operator must find and fix whatever
+// holes the dice rolled.
+package holes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fullview/internal/core"
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/sensor"
+)
+
+// Validation errors.
+var (
+	ErrBadGridSide = errors.New("holes: grid side must be positive")
+	ErrBadRounds   = errors.New("holes: max rounds must be positive")
+	ErrNotHealed   = errors.New("holes: region still has holes after the round budget")
+)
+
+// Hole is a connected cluster of grid points that are not full-view
+// covered.
+type Hole struct {
+	// Points are the uncovered grid points, in grid order.
+	Points []geom.Vec
+	// Centroid is the toroidal centroid of the points.
+	Centroid geom.Vec
+	// Radius is the maximum toroidal distance from the centroid to a
+	// point of the hole.
+	Radius float64
+}
+
+// Size returns the number of grid points in the hole.
+func (h Hole) Size() int { return len(h.Points) }
+
+// Find sweeps a gridSide×gridSide grid and clusters the points that are
+// not full-view covered into connected holes (4-adjacency, wrapping
+// across the torus seam). Holes are returned largest first.
+func Find(checker *core.Checker, gridSide int) ([]Hole, error) {
+	if gridSide <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadGridSide, gridSide)
+	}
+	t := checker.Index().Torus()
+	points, err := deploy.GridPoints(t, gridSide)
+	if err != nil {
+		return nil, err
+	}
+	uncovered := make([]bool, len(points))
+	any := false
+	for i, p := range points {
+		if !checker.FullViewCovered(p) {
+			uncovered[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil, nil
+	}
+
+	// Union-find over uncovered grid cells.
+	parent := make([]int, len(points))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	idx := func(i, j int) int {
+		i = (i%gridSide + gridSide) % gridSide
+		j = (j%gridSide + gridSide) % gridSide
+		return i*gridSide + j
+	}
+	for i := 0; i < gridSide; i++ {
+		for j := 0; j < gridSide; j++ {
+			at := idx(i, j)
+			if !uncovered[at] {
+				continue
+			}
+			if right := idx(i+1, j); uncovered[right] {
+				union(at, right)
+			}
+			if up := idx(i, j+1); uncovered[up] {
+				union(at, up)
+			}
+		}
+	}
+
+	clusters := make(map[int][]geom.Vec)
+	for i, bad := range uncovered {
+		if bad {
+			root := find(i)
+			clusters[root] = append(clusters[root], points[i])
+		}
+	}
+	holes := make([]Hole, 0, len(clusters))
+	for _, pts := range clusters {
+		centroid := toroidalCentroid(t, pts)
+		radius := 0.0
+		for _, p := range pts {
+			if d := t.Dist(centroid, p); d > radius {
+				radius = d
+			}
+		}
+		holes = append(holes, Hole{Points: pts, Centroid: centroid, Radius: radius})
+	}
+	sort.Slice(holes, func(a, b int) bool {
+		if len(holes[a].Points) != len(holes[b].Points) {
+			return len(holes[a].Points) > len(holes[b].Points)
+		}
+		// Deterministic tiebreak for equal sizes.
+		pa, pb := holes[a].Points[0], holes[b].Points[0]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	return holes, nil
+}
+
+// toroidalCentroid averages points on the torus by accumulating wrapped
+// displacements from the first point. Exact for clusters smaller than
+// half the torus, which coverage holes always are in practice.
+func toroidalCentroid(t geom.Torus, pts []geom.Vec) geom.Vec {
+	anchor := pts[0]
+	var sum geom.Vec
+	for _, p := range pts {
+		sum = sum.Add(t.Delta(anchor, p))
+	}
+	return t.Translate(anchor, sum.Scale(1/float64(len(pts))))
+}
+
+// Patch proposes cameras that full-view cover the hole (with effective
+// angle theta) when added to the network: a ring of ⌈2π/θ⌉ inward-facing
+// cameras around the hole centroid. pad widens the protected disk beyond
+// the sampled hole points — pass the grid spacing so the true hole
+// between grid samples is enclosed too.
+func Patch(t geom.Torus, h Hole, theta, pad float64) ([]sensor.Camera, error) {
+	if !(theta > 0) || theta > math.Pi {
+		return nil, fmt.Errorf("holes: effective angle θ must be in (0, π], got %v", theta)
+	}
+	if pad < 0 || math.IsNaN(pad) {
+		pad = 0
+	}
+	const margin = 1.05
+	protect := h.Radius + pad
+	if protect <= 0 {
+		protect = 0.01 * t.Side()
+	}
+	ring := margin * protect / math.Sin(theta/2)
+	aperture := margin * 2 * math.Asin(protect/ring)
+	if aperture > geom.TwoPi {
+		aperture = geom.TwoPi
+	}
+	k := geom.SectorCount(theta)
+	cameras := make([]sensor.Camera, 0, k)
+	for i := 0; i < k; i++ {
+		bearing := geom.TwoPi * float64(i) / float64(k)
+		cameras = append(cameras, sensor.Camera{
+			Pos:      t.Translate(h.Centroid, geom.FromPolar(ring, bearing)),
+			Orient:   geom.NormalizeAngle(bearing + math.Pi),
+			Radius:   margin * (ring + protect),
+			Aperture: aperture,
+		})
+	}
+	return cameras, nil
+}
+
+// maxProtect returns the largest protected-disk radius a ring patch can
+// guarantee on torus t: the outermost patch geometry (ring plus sensing
+// reach) must stay below half the torus side, or the planar ring
+// argument breaks across the wrap-around.
+func maxProtect(t geom.Torus, theta float64) float64 {
+	const margin = 1.05
+	// margin·(margin·P/sin(θ/2) + P) ≤ 0.45·side  ⇒  P ≤ bound.
+	return 0.45 * t.Side() / (margin * (margin/math.Sin(theta/2) + 1))
+}
+
+// Result reports a healing run.
+type Result struct {
+	// Network is the healed network (original plus patch cameras).
+	Network *sensor.Network
+	// Added are the patch cameras, in the order proposed.
+	Added []sensor.Camera
+	// Rounds is the number of find-patch iterations performed.
+	Rounds int
+}
+
+// Heal repeatedly finds holes on a gridSide×gridSide sweep and patches
+// them until the grid is fully covered or maxRounds is exhausted (in
+// which case ErrNotHealed is returned along with the best network so
+// far).
+func Heal(net *sensor.Network, theta float64, gridSide, maxRounds int) (Result, error) {
+	if maxRounds <= 0 {
+		return Result{}, fmt.Errorf("%w: got %d", ErrBadRounds, maxRounds)
+	}
+	t := net.Torus()
+	pad := t.Side() / float64(gridSide)
+	current := net
+	var added []sensor.Camera
+	for round := 1; round <= maxRounds; round++ {
+		checker, err := core.NewChecker(current, theta)
+		if err != nil {
+			return Result{}, err
+		}
+		found, err := Find(checker, gridSide)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(found) == 0 {
+			return Result{Network: current, Added: added, Rounds: round - 1}, nil
+		}
+		maxP := maxProtect(t, theta)
+		if pad > maxP {
+			return Result{}, fmt.Errorf(
+				"holes: θ = %v is too small for ring patches on a torus of side %v (needs protect ≤ %v, grid pad is %v)",
+				theta, t.Side(), maxP, pad)
+		}
+		cameras := current.Cameras()
+		for _, h := range found {
+			// A hole too wide for one ring is patched point by point;
+			// each mini-ring's geometry then stays planar on the torus.
+			patches := []Hole{h}
+			if h.Radius+pad > maxP {
+				patches = patches[:0]
+				for _, p := range h.Points {
+					patches = append(patches, Hole{Points: []geom.Vec{p}, Centroid: p})
+				}
+			}
+			for _, sub := range patches {
+				patch, err := Patch(t, sub, theta, pad)
+				if err != nil {
+					return Result{}, err
+				}
+				added = append(added, patch...)
+				cameras = append(cameras, patch...)
+			}
+		}
+		current, err = sensor.NewNetwork(t, cameras)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	// One final verification after the last round's patches.
+	checker, err := core.NewChecker(current, theta)
+	if err != nil {
+		return Result{}, err
+	}
+	found, err := Find(checker, gridSide)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Network: current, Added: added, Rounds: maxRounds}
+	if len(found) > 0 {
+		return res, fmt.Errorf("%w: %d holes remain", ErrNotHealed, len(found))
+	}
+	return res, nil
+}

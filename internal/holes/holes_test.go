@@ -1,0 +1,249 @@
+package holes
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullview/internal/core"
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func checkerFor(t *testing.T, net *sensor.Network, theta float64) *core.Checker {
+	t.Helper()
+	c, err := core.NewChecker(net, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func denseNetwork(t *testing.T, n int, seed uint64) *sensor.Network {
+	t.Helper()
+	profile, err := sensor.Homogeneous(0.3, 2*math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, n, rng.New(seed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestFindNoHolesOnDenseNetwork(t *testing.T) {
+	net := denseNetwork(t, 3000, 1)
+	holes, err := Find(checkerFor(t, net, math.Pi/2), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(holes) != 0 {
+		t.Errorf("dense network reported %d holes", len(holes))
+	}
+}
+
+func TestFindAllHolesOnEmptyNetwork(t *testing.T) {
+	net, err := sensor.NewNetwork(geom.UnitTorus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holes, err := Find(checkerFor(t, net, math.Pi/2), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point uncovered ⇒ one single connected hole spanning the grid.
+	if len(holes) != 1 {
+		t.Fatalf("got %d holes, want 1", len(holes))
+	}
+	if holes[0].Size() != 100 {
+		t.Errorf("hole size = %d, want 100", holes[0].Size())
+	}
+}
+
+func TestFindValidatesGridSide(t *testing.T) {
+	net := denseNetwork(t, 10, 1)
+	if _, err := Find(checkerFor(t, net, math.Pi/2), 0); !errors.Is(err, ErrBadGridSide) {
+		t.Errorf("error = %v, want ErrBadGridSide", err)
+	}
+}
+
+func TestFindClustersAcrossSeam(t *testing.T) {
+	// Cover everything except a band straddling the x-seam; the
+	// uncovered points must cluster into ONE hole, not two.
+	var cams []sensor.Camera
+	// Omnidirectional cameras cover x ∈ [0.15, 0.85] densely.
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 10; j++ {
+			cams = append(cams, sensor.Camera{
+				Pos:      geom.V(0.15+0.7*float64(i)/29, float64(j)/10+0.05),
+				Orient:   0,
+				Radius:   0.09,
+				Aperture: 2 * math.Pi,
+			})
+		}
+	}
+	net, err := sensor.NewNetwork(geom.UnitTorus, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holes, err := Find(checkerFor(t, net, math.Pi), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(holes) != 1 {
+		t.Fatalf("seam band split into %d holes, want 1", len(holes))
+	}
+	// The hole's centroid sits on the seam band (x near 0 or near 1).
+	cx := holes[0].Centroid.X
+	if cx > 0.2 && cx < 0.8 {
+		t.Errorf("hole centroid x = %v, expected near the seam", cx)
+	}
+}
+
+func TestHolesSortedBySize(t *testing.T) {
+	// Two separated uncovered pockets of different sizes: leave holes
+	// around (0.2, 0.2) and (0.7, 0.7) in an otherwise covered region.
+	var cams []sensor.Camera
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			p := geom.V(float64(i)/40+0.0125, float64(j)/40+0.0125)
+			inBig := geom.UnitTorus.Dist(p, geom.V(0.2, 0.2)) < 0.15
+			inSmall := geom.UnitTorus.Dist(p, geom.V(0.7, 0.7)) < 0.07
+			if inBig || inSmall {
+				continue
+			}
+			cams = append(cams, sensor.Camera{
+				Pos: p, Orient: 0, Radius: 0.05, Aperture: 2 * math.Pi,
+			})
+		}
+	}
+	net, err := sensor.NewNetwork(geom.UnitTorus, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holes, err := Find(checkerFor(t, net, math.Pi), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(holes) < 2 {
+		t.Fatalf("got %d holes, want ≥ 2", len(holes))
+	}
+	for i := 1; i < len(holes); i++ {
+		if holes[i].Size() > holes[i-1].Size() {
+			t.Errorf("holes not sorted by size: %d before %d", holes[i-1].Size(), holes[i].Size())
+		}
+	}
+	// The biggest hole should be near the big pocket.
+	if geom.UnitTorus.Dist(holes[0].Centroid, geom.V(0.2, 0.2)) > 0.15 {
+		t.Errorf("largest hole centroid %v, want near (0.2, 0.2)", holes[0].Centroid)
+	}
+}
+
+func TestPatchCoversHole(t *testing.T) {
+	theta := math.Pi / 4
+	hole := Hole{
+		Points:   []geom.Vec{geom.V(0.48, 0.5), geom.V(0.52, 0.5), geom.V(0.5, 0.53)},
+		Centroid: geom.V(0.5, 0.51),
+		Radius:   0.03,
+	}
+	cams, err := Patch(geom.UnitTorus, hole, theta, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cams) != geom.SectorCount(theta) {
+		t.Fatalf("patch size = %d, want %d", len(cams), geom.SectorCount(theta))
+	}
+	net, err := sensor.NewNetwork(geom.UnitTorus, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := checkerFor(t, net, theta)
+	for _, p := range hole.Points {
+		if !checker.FullViewCovered(p) {
+			t.Errorf("patch does not cover hole point %v", p)
+		}
+	}
+	// Points inside the pad are covered too.
+	if !checker.FullViewCovered(geom.V(0.5, 0.47)) {
+		t.Error("patch should cover the padded neighbourhood")
+	}
+}
+
+func TestPatchValidatesTheta(t *testing.T) {
+	hole := Hole{Points: []geom.Vec{geom.V(0.5, 0.5)}, Centroid: geom.V(0.5, 0.5)}
+	for _, theta := range []float64{0, -1, 4} {
+		if _, err := Patch(geom.UnitTorus, hole, theta, 0); err == nil {
+			t.Errorf("Patch(θ=%v) succeeded, want error", theta)
+		}
+	}
+}
+
+func TestPatchZeroRadiusHole(t *testing.T) {
+	hole := Hole{Points: []geom.Vec{geom.V(0.3, 0.3)}, Centroid: geom.V(0.3, 0.3), Radius: 0}
+	cams, err := Patch(geom.UnitTorus, hole, math.Pi/3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := sensor.NewNetwork(geom.UnitTorus, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !checkerFor(t, net, math.Pi/3).FullViewCovered(geom.V(0.3, 0.3)) {
+		t.Error("zero-radius hole not covered by its patch")
+	}
+}
+
+func TestHealSparseNetwork(t *testing.T) {
+	// A sparse network with plenty of holes must come out fully covered.
+	profile, err := sensor.Homogeneous(0.2, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, 150, rng.New(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := math.Pi / 3
+	res, err := Heal(net, theta, 20, 10)
+	if err != nil {
+		t.Fatalf("Heal: %v", err)
+	}
+	if len(res.Added) == 0 {
+		t.Fatal("sparse network should have needed patches")
+	}
+	if res.Network.Len() != net.Len()+len(res.Added) {
+		t.Errorf("network size %d, want %d", res.Network.Len(), net.Len()+len(res.Added))
+	}
+	// Verify on a finer grid than the healing sweep used.
+	checker := checkerFor(t, res.Network, theta)
+	grid, err := deploy.GridPoints(geom.UnitTorus, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := checker.SurveyRegion(grid)
+	if !stats.AllFullView() {
+		t.Errorf("healed network still has holes: %d/%d covered", stats.FullView, stats.Points)
+	}
+}
+
+func TestHealAlreadyCovered(t *testing.T) {
+	net := denseNetwork(t, 3000, 9)
+	res, err := Heal(net, math.Pi/2, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 0 || res.Rounds != 0 {
+		t.Errorf("covered network should need no patches: added=%d rounds=%d",
+			len(res.Added), res.Rounds)
+	}
+}
+
+func TestHealValidatesRounds(t *testing.T) {
+	net := denseNetwork(t, 10, 1)
+	if _, err := Heal(net, math.Pi/2, 10, 0); !errors.Is(err, ErrBadRounds) {
+		t.Errorf("error = %v, want ErrBadRounds", err)
+	}
+}

@@ -1,0 +1,279 @@
+// Package orient optimizes camera *orientations* for full-view coverage
+// when positions are already fixed. The paper's model freezes each
+// orientation at deployment time and draws it uniformly at random; when
+// an installer gets one chance to aim the cameras before walking away
+// (positions dictated by mounting points, drops, or a prior random
+// deployment), a good aiming pass recovers a large part of the coverage
+// that randomness wastes.
+//
+// The optimizer is a deterministic greedy local search over probe
+// points: each step re-aims the camera whose new orientation most
+// increases the number of full-view-covered probes, until a local
+// optimum or the move budget. Scoring is incremental — re-aiming a
+// camera can only change probes within its sensing radius, and a
+// camera's *viewed direction* at a probe depends on its position alone,
+// so candidates are evaluated by toggling set membership rather than
+// rebuilding the network.
+package orient
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/sensor"
+)
+
+// Validation errors.
+var (
+	ErrBadTheta  = errors.New("orient: effective angle θ must be in (0, π]")
+	ErrBadProbes = errors.New("orient: probe grid side must be positive")
+	ErrBadBudget = errors.New("orient: move budget must be positive")
+)
+
+// candidateResolution buckets candidate orientations to 2π/64 ≈ 5.6° so
+// aiming at many nearby probes doesn't multiply near-identical
+// candidates.
+const candidateResolution = 64
+
+// Result reports an optimization run.
+type Result struct {
+	// Network carries the optimized orientations.
+	Network *sensor.Network
+	// Moves is the number of re-aimings applied.
+	Moves int
+	// Before and After are the covered probe counts at start and end.
+	Before, After int
+	// Probes is the number of probe points scored against.
+	Probes int
+}
+
+// ImprovedFraction returns the coverage gain as a fraction of probes.
+func (r Result) ImprovedFraction() float64 {
+	if r.Probes == 0 {
+		return 0
+	}
+	return float64(r.After-r.Before) / float64(r.Probes)
+}
+
+// camReach is one in-range probe as seen from a camera.
+type camReach struct {
+	probe   int
+	fromCam float64 // direction camera→probe
+}
+
+// probeReach is one in-range camera as seen from a probe.
+type probeReach struct {
+	cam      int
+	beta     float64 // viewed direction P→S
+	fromCam  float64 // direction camera→probe
+	halfAper float64
+}
+
+// state is the incremental scoring structure.
+type state struct {
+	theta     float64
+	sectors   []geom.Sector // anchored 2θ partition for the potential
+	cameras   []sensor.Camera
+	perCamera [][]camReach
+	perProbe  [][]probeReach
+	betaBuf   []float64
+	covered   []bool
+	eligible  []bool // probe can possibly be full-view covered
+	potential []int  // occupied 2θ sectors per eligible probe
+	score     int
+}
+
+func newState(t geom.Torus, cameras []sensor.Camera, probes []geom.Vec, theta float64) (*state, error) {
+	sectors, err := geom.AnchoredPartition(2 * theta)
+	if err != nil {
+		return nil, err
+	}
+	s := &state{
+		theta:     theta,
+		sectors:   sectors,
+		cameras:   cameras,
+		perCamera: make([][]camReach, len(cameras)),
+		perProbe:  make([][]probeReach, len(probes)),
+		covered:   make([]bool, len(probes)),
+		eligible:  make([]bool, len(probes)),
+		potential: make([]int, len(probes)),
+	}
+	for ci, cam := range cameras {
+		r2 := cam.Radius * cam.Radius
+		for pi, p := range probes {
+			d := t.Delta(cam.Pos, p)
+			if d.Norm2() > r2 {
+				continue
+			}
+			s.perCamera[ci] = append(s.perCamera[ci], camReach{probe: pi, fromCam: d.Angle()})
+			s.perProbe[pi] = append(s.perProbe[pi], probeReach{
+				cam:      ci,
+				beta:     t.Delta(p, cam.Pos).Angle(),
+				fromCam:  d.Angle(),
+				halfAper: cam.Aperture / 2,
+			})
+		}
+	}
+	// A probe is eligible for the potential only if enough cameras are
+	// in range that full-view coverage is possible at all: a single beta
+	// leaves a 2π gap, so θ < π needs at least two cameras. Potential
+	// spent on hopeless probes would cancel genuine progress elsewhere.
+	minCams := 2
+	if theta >= math.Pi {
+		minCams = 1
+	}
+	for pi := range probes {
+		s.eligible[pi] = len(s.perProbe[pi]) >= minCams
+		s.covered[pi], s.potential[pi] = s.probeState(pi, -1, 0)
+		if s.covered[pi] {
+			s.score++
+		}
+	}
+	return s, nil
+}
+
+// probeState recomputes full-view coverage and the sector-occupancy
+// potential of probe pi, with camera overrideCam (when ≥ 0)
+// hypothetically aimed at overrideOrient.
+func (s *state) probeState(pi, overrideCam int, overrideOrient float64) (covered bool, potential int) {
+	betas := s.betaBuf[:0]
+	for _, pr := range s.perProbe[pi] {
+		orient := s.cameras[pr.cam].Orient
+		if pr.cam == overrideCam {
+			orient = overrideOrient
+		}
+		if geom.AngularDistance(pr.fromCam, orient) <= pr.halfAper {
+			betas = append(betas, pr.beta)
+		}
+	}
+	s.betaBuf = betas
+	if len(betas) == 0 {
+		return false, 0
+	}
+	for _, sec := range s.sectors {
+		for _, b := range betas {
+			if sec.Contains(b) {
+				potential++
+				break
+			}
+		}
+	}
+	gap, _ := geom.MaxCircularGap(betas)
+	return gap <= 2*s.theta, potential
+}
+
+// gain returns the coverage delta of aiming camera ci at orient, plus
+// the secondary objective: the change in total sector-occupancy
+// potential across affected probes. Full-view coverage often needs two
+// coordinated aims (cameras on opposite sides of a point); the potential
+// rewards each aim separately, letting the greedy search climb through
+// the zero-primary plateau between them.
+func (s *state) gain(ci int, orient float64) (primary, potential int) {
+	for _, cr := range s.perCamera[ci] {
+		wasCovered, wasPot := s.covered[cr.probe], s.potential[cr.probe]
+		isCovered, isPot := s.probeState(cr.probe, ci, orient)
+		if isCovered && !wasCovered {
+			primary++
+		} else if !isCovered && wasCovered {
+			primary--
+		}
+		if s.eligible[cr.probe] {
+			potential += isPot - wasPot
+		}
+	}
+	return primary, potential
+}
+
+// apply re-aims camera ci and refreshes affected probes.
+func (s *state) apply(ci int, orient float64) {
+	s.cameras[ci].Orient = orient
+	for _, cr := range s.perCamera[ci] {
+		covered, pot := s.probeState(cr.probe, -1, 0)
+		if covered != s.covered[cr.probe] {
+			s.covered[cr.probe] = covered
+			if covered {
+				s.score++
+			} else {
+				s.score--
+			}
+		}
+		s.potential[cr.probe] = pot
+	}
+}
+
+// candidates proposes orientations for camera ci: the bearing of each
+// in-range probe, bucketed to candidateResolution.
+func (s *state) candidates(ci int) []float64 {
+	seen := make(map[int]bool, candidateResolution)
+	var out []float64
+	for _, cr := range s.perCamera[ci] {
+		bucket := int(cr.fromCam / geom.TwoPi * candidateResolution)
+		if bucket >= candidateResolution {
+			bucket = candidateResolution - 1
+		}
+		if !seen[bucket] {
+			seen[bucket] = true
+			out = append(out, cr.fromCam)
+		}
+	}
+	return out
+}
+
+// Optimize re-aims the network's cameras to maximize the number of
+// full-view-covered points on a probeSide×probeSide grid, applying at
+// most budget re-aimings. Positions, radii, and apertures never change;
+// the result is deterministic for a given input.
+func Optimize(net *sensor.Network, theta float64, probeSide, budget int) (Result, error) {
+	if !(theta > 0) || theta > math.Pi {
+		return Result{}, fmt.Errorf("%w: got %v", ErrBadTheta, theta)
+	}
+	if probeSide <= 0 {
+		return Result{}, fmt.Errorf("%w: got %d", ErrBadProbes, probeSide)
+	}
+	if budget <= 0 {
+		return Result{}, fmt.Errorf("%w: got %d", ErrBadBudget, budget)
+	}
+	t := net.Torus()
+	probes, err := deploy.GridPoints(t, probeSide)
+	if err != nil {
+		return Result{}, err
+	}
+	st, err := newState(t, net.Cameras(), probes, theta)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Before: st.score, After: st.score, Probes: len(probes)}
+
+	for move := 0; move < budget; move++ {
+		bestPrimary, bestPotential, bestCam, bestOrient := 0, 0, -1, 0.0
+		for ci := range st.cameras {
+			for _, cand := range st.candidates(ci) {
+				if geom.AngularDistance(cand, st.cameras[ci].Orient) < 1e-9 {
+					continue
+				}
+				primary, potential := st.gain(ci, cand)
+				better := primary > bestPrimary ||
+					(primary == bestPrimary && potential > bestPotential)
+				if better && (primary > 0 || (primary == 0 && potential > 0)) {
+					bestPrimary, bestPotential, bestCam, bestOrient = primary, potential, ci, cand
+				}
+			}
+		}
+		if bestCam < 0 {
+			break // local optimum under both objectives
+		}
+		st.apply(bestCam, bestOrient)
+		res.Moves++
+		res.After = st.score
+	}
+
+	optimized, err := sensor.NewNetwork(t, st.cameras)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Network = optimized
+	return res, nil
+}

@@ -1,0 +1,222 @@
+package orient
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullview/internal/core"
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func TestOptimizeValidation(t *testing.T) {
+	net, err := sensor.NewNetwork(geom.UnitTorus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(net, 0, 10, 5); !errors.Is(err, ErrBadTheta) {
+		t.Errorf("error = %v, want ErrBadTheta", err)
+	}
+	if _, err := Optimize(net, math.Pi/4, 0, 5); !errors.Is(err, ErrBadProbes) {
+		t.Errorf("error = %v, want ErrBadProbes", err)
+	}
+	if _, err := Optimize(net, math.Pi/4, 10, 0); !errors.Is(err, ErrBadBudget) {
+		t.Errorf("error = %v, want ErrBadBudget", err)
+	}
+}
+
+func TestOptimizeEmptyNetwork(t *testing.T) {
+	net, err := sensor.NewNetwork(geom.UnitTorus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(net, math.Pi/4, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves != 0 || res.Before != 0 || res.After != 0 {
+		t.Errorf("empty network result = %+v", res)
+	}
+}
+
+// TestOptimizeFixesDeliberatelyBadAiming is the package's core promise:
+// cameras placed perfectly but aimed away from the target point get
+// re-aimed to cover it.
+func TestOptimizeFixesDeliberatelyBadAiming(t *testing.T) {
+	p := geom.V(0.5, 0.5)
+	theta := math.Pi / 2
+	// Four cameras at the cardinal points around p, all facing AWAY.
+	var cams []sensor.Camera
+	for i := 0; i < 4; i++ {
+		bearing := float64(i) * math.Pi / 2
+		cams = append(cams, sensor.Camera{
+			Pos:      geom.UnitTorus.Translate(p, geom.FromPolar(0.08, bearing)),
+			Orient:   bearing, // pointing outward
+			Radius:   0.25,
+			Aperture: math.Pi / 2,
+		})
+	}
+	net, err := sensor.NewNetwork(geom.UnitTorus, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := core.NewChecker(net, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.FullViewCovered(p) {
+		t.Fatal("test setup: p should start uncovered")
+	}
+
+	// A probe grid fine enough that the eligible central cluster
+	// dominates the greedy potential (see package doc: the optimizer is
+	// a heuristic and needs probes where coverage is winnable).
+	res, err := Optimize(net, theta, 21, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves == 0 {
+		t.Fatal("optimizer made no moves on an obviously fixable layout")
+	}
+	if res.After <= res.Before {
+		t.Fatalf("no improvement: before %d after %d", res.Before, res.After)
+	}
+	after, err := core.NewChecker(res.Network, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.FullViewCovered(p) {
+		t.Error("optimizer failed to cover the central point")
+	}
+}
+
+func TestOptimizeNeverDecreasesScore(t *testing.T) {
+	profile, err := sensor.Homogeneous(0.2, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 3; seed++ {
+		net, err := deploy.Uniform(geom.UnitTorus, profile, 80, rng.New(seed, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Optimize(net, math.Pi/3, 12, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.After < res.Before {
+			t.Errorf("seed %d: score decreased %d → %d", seed, res.Before, res.After)
+		}
+		if res.ImprovedFraction() < 0 {
+			t.Errorf("seed %d: negative improvement fraction", seed)
+		}
+	}
+}
+
+func TestOptimizePreservesEverythingButOrientation(t *testing.T) {
+	profile, err := sensor.Homogeneous(0.2, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, 50, rng.New(7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(net, math.Pi/3, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Network.Len() != net.Len() {
+		t.Fatalf("camera count changed: %d → %d", net.Len(), res.Network.Len())
+	}
+	for i := 0; i < net.Len(); i++ {
+		a, b := net.Camera(i), res.Network.Camera(i)
+		if a.Pos != b.Pos || a.Radius != b.Radius || a.Aperture != b.Aperture || a.Group != b.Group {
+			t.Fatalf("camera %d changed beyond orientation: %+v → %+v", i, a, b)
+		}
+	}
+}
+
+func TestOptimizeScoreMatchesIndependentChecker(t *testing.T) {
+	// The incremental scorer must agree with the reference checker on
+	// the final configuration.
+	profile, err := sensor.Homogeneous(0.25, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, 60, rng.New(11, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := math.Pi / 3
+	const side = 13
+	res, err := Optimize(net, theta, side, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := core.NewChecker(res.Network, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, err := deploy.GridPoints(geom.UnitTorus, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for _, p := range probes {
+		if checker.FullViewCovered(p) {
+			covered++
+		}
+	}
+	if covered != res.After {
+		t.Errorf("incremental score %d, reference checker %d", res.After, covered)
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	profile, err := sensor.Homogeneous(0.2, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, 60, rng.New(13, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Optimize(net, math.Pi/3, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(net, math.Pi/3, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.After != b.After || a.Moves != b.Moves {
+		t.Error("optimizer not deterministic")
+	}
+	for i := 0; i < a.Network.Len(); i++ {
+		if a.Network.Camera(i).Orient != b.Network.Camera(i).Orient {
+			t.Fatalf("orientations differ at %d", i)
+		}
+	}
+}
+
+func TestOptimizeBudgetRespected(t *testing.T) {
+	profile, err := sensor.Homogeneous(0.2, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, 100, rng.New(17, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(net, math.Pi/3, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves > 3 {
+		t.Errorf("Moves = %d exceeds budget 3", res.Moves)
+	}
+}

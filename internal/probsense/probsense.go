@@ -1,0 +1,167 @@
+// Package probsense extends the binary sector model to probabilistic
+// sensing, the second extension the paper's conclusion proposes
+// ("extending our results in probabilistic sensing models"): detection
+// inside the sensing sector is certain only up to a confident radius and
+// decays exponentially beyond it, so full-view coverage becomes a
+// probability per facing direction rather than a boolean.
+package probsense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fullview/internal/geom"
+	"fullview/internal/sensor"
+)
+
+// Validation errors.
+var (
+	ErrBadModel = errors.New("probsense: certain radius must be in [0, 1] of the sensing radius and decay must be positive")
+	ErrBadTheta = errors.New("probsense: effective angle θ must be in (0, π]")
+	ErrBadSteps = errors.New("probsense: direction steps must be at least 4")
+)
+
+// Model maps a camera and a target distance to a detection probability.
+type Model interface {
+	// DetectionProb returns the probability that cam detects a target at
+	// the given distance, assuming the target lies inside the camera's
+	// angular field of view. Implementations return 0 beyond the sensing
+	// radius.
+	DetectionProb(cam sensor.Camera, dist float64) float64
+}
+
+// ExpDecay is the standard probabilistic sensing model: detection is
+// certain within CertainFraction·r and decays as
+// exp(−Decay·(d − r_c)/(r − r_c)) between the confident radius r_c and
+// the full sensing radius r.
+type ExpDecay struct {
+	// CertainFraction is r_c/r ∈ [0, 1].
+	CertainFraction float64
+	// Decay is the exponential rate λ > 0; detection probability at the
+	// sector boundary is exp(−Decay).
+	Decay float64
+}
+
+// Validate checks the model parameters.
+func (m ExpDecay) Validate() error {
+	if m.CertainFraction < 0 || m.CertainFraction > 1 ||
+		!(m.Decay > 0) || math.IsInf(m.Decay, 0) {
+		return fmt.Errorf("%w: got %+v", ErrBadModel, m)
+	}
+	return nil
+}
+
+// DetectionProb implements Model.
+func (m ExpDecay) DetectionProb(cam sensor.Camera, dist float64) float64 {
+	if dist > cam.Radius {
+		return 0
+	}
+	rc := m.CertainFraction * cam.Radius
+	if dist <= rc {
+		return 1
+	}
+	span := cam.Radius - rc
+	if span == 0 {
+		return 0
+	}
+	return math.Exp(-m.Decay * (dist - rc) / span)
+}
+
+// Binary reproduces the paper's binary sector model as a Model:
+// detection probability 1 anywhere inside the sector.
+type Binary struct{}
+
+// DetectionProb implements Model.
+func (Binary) DetectionProb(cam sensor.Camera, dist float64) float64 {
+	if dist > cam.Radius {
+		return 0
+	}
+	return 1
+}
+
+// Evaluator computes probabilistic full-view coverage for one network.
+type Evaluator struct {
+	torus   geom.Torus
+	cameras []sensor.Camera
+	model   Model
+	theta   float64
+}
+
+// NewEvaluator builds an evaluator over the network's cameras.
+func NewEvaluator(net *sensor.Network, model Model, theta float64) (*Evaluator, error) {
+	if !(theta > 0) || theta > math.Pi {
+		return nil, fmt.Errorf("%w: got %v", ErrBadTheta, theta)
+	}
+	if v, ok := model.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Evaluator{
+		torus:   net.Torus(),
+		cameras: net.Cameras(),
+		model:   model,
+		theta:   theta,
+	}, nil
+}
+
+// DirectionProb returns the probability that facing direction dir at
+// point p is "safe": at least one camera whose viewed direction is
+// within θ of dir detects the target. Cameras detect independently, so
+// the probability is 1 − Π(1 − p_i).
+func (e *Evaluator) DirectionProb(p geom.Vec, dir float64) float64 {
+	missAll := 1.0
+	for _, cam := range e.cameras {
+		d := e.torus.Delta(cam.Pos, p)
+		dist := d.Norm()
+		if dist > cam.Radius {
+			continue
+		}
+		if dist > 0 && geom.AngularDistance(d.Angle(), cam.Orient) > cam.Aperture/2 {
+			continue // outside the camera's field of view
+		}
+		viewed := e.torus.Delta(p, cam.Pos).Angle()
+		if geom.AngularDistance(viewed, dir) > e.theta {
+			continue // not a frontal enough viewpoint
+		}
+		missAll *= 1 - e.model.DetectionProb(cam, dist)
+		if missAll == 0 {
+			return 1
+		}
+	}
+	return 1 - missAll
+}
+
+// PointProfile is the probabilistic full-view diagnosis of a point.
+type PointProfile struct {
+	// WorstProb is the minimum safe-direction probability over the
+	// evaluated directions — the guarantee against an adversarial
+	// intruder who knows the layout.
+	WorstProb float64
+	// WorstDir is a direction attaining WorstProb.
+	WorstDir float64
+	// MeanProb is the average safe-direction probability — the guarantee
+	// against an oblivious intruder.
+	MeanProb float64
+}
+
+// Evaluate sweeps steps evenly spaced facing directions at p.
+func (e *Evaluator) Evaluate(p geom.Vec, steps int) (PointProfile, error) {
+	if steps < 4 {
+		return PointProfile{}, fmt.Errorf("%w: got %d", ErrBadSteps, steps)
+	}
+	prof := PointProfile{WorstProb: math.Inf(1)}
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		dir := geom.TwoPi * float64(i) / float64(steps)
+		prob := e.DirectionProb(p, dir)
+		sum += prob
+		if prob < prof.WorstProb {
+			prof.WorstProb = prob
+			prof.WorstDir = dir
+		}
+	}
+	prof.MeanProb = sum / float64(steps)
+	return prof, nil
+}

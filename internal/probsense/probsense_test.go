@@ -1,0 +1,243 @@
+package probsense
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullview/internal/core"
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func TestExpDecayValidate(t *testing.T) {
+	good := ExpDecay{CertainFraction: 0.5, Decay: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []ExpDecay{
+		{CertainFraction: -0.1, Decay: 1},
+		{CertainFraction: 1.1, Decay: 1},
+		{CertainFraction: 0.5, Decay: 0},
+		{CertainFraction: 0.5, Decay: math.Inf(1)},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); !errors.Is(err, ErrBadModel) {
+			t.Errorf("%+v: error = %v, want ErrBadModel", m, err)
+		}
+	}
+}
+
+func TestExpDecayDetectionProb(t *testing.T) {
+	cam := sensor.Camera{Radius: 0.2, Aperture: math.Pi}
+	m := ExpDecay{CertainFraction: 0.5, Decay: 2}
+	tests := []struct {
+		name string
+		dist float64
+		want float64
+	}{
+		{name: "inside certain radius", dist: 0.05, want: 1},
+		{name: "at certain radius", dist: 0.1, want: 1},
+		{name: "halfway through decay", dist: 0.15, want: math.Exp(-1)},
+		{name: "at full radius", dist: 0.2, want: math.Exp(-2)},
+		{name: "beyond radius", dist: 0.25, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.DetectionProb(cam, tt.dist); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("DetectionProb(%v) = %v, want %v", tt.dist, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExpDecayDegenerateCertainFraction(t *testing.T) {
+	cam := sensor.Camera{Radius: 0.2, Aperture: math.Pi}
+	m := ExpDecay{CertainFraction: 1, Decay: 3}
+	if got := m.DetectionProb(cam, 0.2); got != 1 {
+		t.Errorf("certain everywhere: DetectionProb at boundary = %v", got)
+	}
+	if got := m.DetectionProb(cam, 0.21); got != 0 {
+		t.Errorf("beyond radius = %v", got)
+	}
+}
+
+func TestBinaryModel(t *testing.T) {
+	cam := sensor.Camera{Radius: 0.2, Aperture: math.Pi}
+	var m Binary
+	if m.DetectionProb(cam, 0.2) != 1 || m.DetectionProb(cam, 0.0) != 1 {
+		t.Error("binary model should detect everywhere inside the radius")
+	}
+	if m.DetectionProb(cam, 0.200001) != 0 {
+		t.Error("binary model should not detect beyond the radius")
+	}
+}
+
+func evalFor(t *testing.T, cams []sensor.Camera, model Model, theta float64) *Evaluator {
+	t.Helper()
+	net, err := sensor.NewNetwork(geom.UnitTorus, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(net, model, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEvaluatorValidation(t *testing.T) {
+	net, err := sensor.NewNetwork(geom.UnitTorus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEvaluator(net, Binary{}, 0); !errors.Is(err, ErrBadTheta) {
+		t.Errorf("theta 0: error = %v, want ErrBadTheta", err)
+	}
+	if _, err := NewEvaluator(net, ExpDecay{CertainFraction: 2, Decay: 1}, math.Pi/2); !errors.Is(err, ErrBadModel) {
+		t.Errorf("invalid model: error = %v, want ErrBadModel", err)
+	}
+}
+
+func TestDirectionProbSingleCamera(t *testing.T) {
+	p := geom.V(0.5, 0.5)
+	// Camera due east of p at distance 0.15, looking west.
+	cam := sensor.Camera{
+		Pos:      geom.V(0.65, 0.5),
+		Orient:   math.Pi,
+		Radius:   0.2,
+		Aperture: math.Pi,
+	}
+	m := ExpDecay{CertainFraction: 0.5, Decay: 2}
+	e := evalFor(t, []sensor.Camera{cam}, m, math.Pi/4)
+
+	// Facing east (toward the camera): viewed direction is 0, within θ.
+	want := m.DetectionProb(cam, 0.15)
+	if got := e.DirectionProb(p, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("facing camera: prob = %v, want %v", got, want)
+	}
+	// Facing west: no camera within θ of that direction.
+	if got := e.DirectionProb(p, math.Pi); got != 0 {
+		t.Errorf("facing away: prob = %v, want 0", got)
+	}
+}
+
+func TestDirectionProbIndependentCameras(t *testing.T) {
+	p := geom.V(0.5, 0.5)
+	// Two cameras stacked due east, both seeing p frontally.
+	cams := []sensor.Camera{
+		{Pos: geom.V(0.65, 0.5), Orient: math.Pi, Radius: 0.2, Aperture: math.Pi},
+		{Pos: geom.V(0.68, 0.5), Orient: math.Pi, Radius: 0.2, Aperture: math.Pi},
+	}
+	m := ExpDecay{CertainFraction: 0.5, Decay: 2}
+	e := evalFor(t, cams, m, math.Pi/4)
+	p1 := m.DetectionProb(cams[0], 0.15)
+	p2 := m.DetectionProb(cams[1], 0.18)
+	want := 1 - (1-p1)*(1-p2)
+	if got := e.DirectionProb(p, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("combined prob = %v, want %v", got, want)
+	}
+}
+
+func TestDirectionProbRespectsAperture(t *testing.T) {
+	p := geom.V(0.5, 0.5)
+	// Camera east of p but looking north: p is outside its field of view.
+	cam := sensor.Camera{
+		Pos:      geom.V(0.6, 0.5),
+		Orient:   math.Pi / 2,
+		Radius:   0.2,
+		Aperture: math.Pi / 4,
+	}
+	e := evalFor(t, []sensor.Camera{cam}, Binary{}, math.Pi)
+	if got := e.DirectionProb(p, 0); got != 0 {
+		t.Errorf("camera not viewing p should contribute 0, got %v", got)
+	}
+}
+
+func TestEvaluateProfile(t *testing.T) {
+	p := geom.V(0.5, 0.5)
+	// Cameras surrounding p at the certain radius: every direction safe
+	// with probability 1 under Binary and θ=π/2.
+	var cams []sensor.Camera
+	for i := 0; i < 4; i++ {
+		beta := float64(i) * math.Pi / 2
+		cams = append(cams, sensor.Camera{
+			Pos:      geom.UnitTorus.Translate(p, geom.FromPolar(0.1, beta)),
+			Orient:   geom.NormalizeAngle(beta + math.Pi),
+			Radius:   0.2,
+			Aperture: math.Pi,
+		})
+	}
+	e := evalFor(t, cams, Binary{}, math.Pi/2)
+	prof, err := e.Evaluate(p, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.WorstProb != 1 || prof.MeanProb != 1 {
+		t.Errorf("surrounded point: profile = %+v, want all 1", prof)
+	}
+
+	// Remove one side: worst direction drops to 0, mean in (0, 1).
+	e2 := evalFor(t, cams[:2], Binary{}, math.Pi/4)
+	prof2, err := e2.Evaluate(p, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof2.WorstProb != 0 {
+		t.Errorf("half-covered point worst prob = %v, want 0", prof2.WorstProb)
+	}
+	if prof2.MeanProb <= 0 || prof2.MeanProb >= 1 {
+		t.Errorf("half-covered point mean prob = %v", prof2.MeanProb)
+	}
+}
+
+func TestEvaluateStepsValidation(t *testing.T) {
+	e := evalFor(t, nil, Binary{}, math.Pi/2)
+	if _, err := e.Evaluate(geom.V(0.5, 0.5), 3); !errors.Is(err, ErrBadSteps) {
+		t.Errorf("error = %v, want ErrBadSteps", err)
+	}
+}
+
+// TestBinaryModelMatchesCoreChecker ties the extension back to the
+// paper's model: under Binary sensing, WorstProb == 1 exactly when the
+// core checker declares the point full-view covered (up to direction
+// discretisation, which 720 steps makes finer than the test geometry).
+func TestBinaryModelMatchesCoreChecker(t *testing.T) {
+	profile, err := sensor.Homogeneous(0.25, math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, 400, rng.New(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := math.Pi / 3
+	checker, err := core.NewChecker(net, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(net, Binary{}, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4, 0)
+	agree := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		p := geom.V(r.Float64(), r.Float64())
+		prof, err := e.Evaluate(p, 720)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (prof.WorstProb == 1) == checker.FullViewCovered(p) {
+			agree++
+		}
+	}
+	// Discretisation can disagree only within ~2π/720 of a gap boundary;
+	// demand near-perfect agreement.
+	if agree < trials-2 {
+		t.Errorf("binary probsense agrees with core checker on %d/%d points", agree, trials)
+	}
+}

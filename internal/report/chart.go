@@ -1,0 +1,112 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart rendering errors.
+var (
+	ErrNoSeries  = errors.New("report: chart needs at least one series with data")
+	ErrBadExtent = errors.New("report: chart dimensions must be at least 2×2")
+)
+
+// Series is one line of an ASCII chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// seriesMarkers are cycled across series.
+var seriesMarkers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// RenderChart draws the series as an ASCII scatter/line chart of the
+// given dimensions (plot area in characters). Axes are labelled with the
+// data extents; each series gets a marker from a fixed cycle and a
+// legend line. Points are nearest-cell rasterised; later series
+// overwrite earlier ones where they collide.
+func RenderChart(w io.Writer, title string, series []Series, width, height int) error {
+	if width < 2 || height < 2 {
+		return fmt.Errorf("%w: got %d×%d", ErrBadExtent, width, height)
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			points++
+			xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+			yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+		}
+	}
+	if points == 0 {
+		return ErrNoSeries
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := seriesMarkers[si%len(seriesMarkers)]
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+			row := height - 1 - int(math.Round((y-yMin)/(yMax-yMin)*float64(height-1)))
+			grid[row][col] = marker
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	yTop := fmt.Sprintf("%.4g", yMax)
+	yBot := fmt.Sprintf("%.4g", yMin)
+	labelWidth := len(yTop)
+	if len(yBot) > labelWidth {
+		labelWidth = len(yBot)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelWidth, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", labelWidth), width/2, xMin, width-width/2, xMax)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", seriesMarkers[si%len(seriesMarkers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,41 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMarkdown emits the table as GitHub-flavoured Markdown: an
+// optional bold title paragraph, then a pipe table. Cell content is
+// escaped so stray pipes cannot break the table structure.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", escapeMarkdownCell(t.title))
+	}
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for _, cell := range cells {
+			b.WriteByte(' ')
+			b.WriteString(escapeMarkdownCell(cell))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	b.WriteByte('|')
+	for range t.headers {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeMarkdownCell(s string) string {
+	return strings.ReplaceAll(s, "|", `\|`)
+}

@@ -1,0 +1,71 @@
+package rng
+
+import "math"
+
+// poissonPTRSThreshold is the mean above which the transformed-rejection
+// sampler takes over from Knuth's product method. Knuth's method costs
+// O(λ) per draw and loses accuracy once exp(-λ) underflows.
+const poissonPTRSThreshold = 10
+
+// Poisson returns a draw from the Poisson distribution with the given
+// mean. It panics if mean is negative or not finite. A mean of zero
+// always returns 0.
+//
+// Small means use Knuth's product method; large means use Hörmann's
+// transformed rejection with squeeze (PTRS, 1993), which is exact and
+// O(1) expected time.
+func (p *PCG) Poisson(mean float64) int {
+	switch {
+	case math.IsNaN(mean) || math.IsInf(mean, 0) || mean < 0:
+		panic("rng: Poisson with invalid mean")
+	case mean == 0:
+		return 0
+	case mean < poissonPTRSThreshold:
+		return p.poissonKnuth(mean)
+	default:
+		return p.poissonPTRS(mean)
+	}
+}
+
+// poissonKnuth multiplies uniforms until the product drops below
+// exp(-mean).
+func (p *PCG) poissonKnuth(mean float64) int {
+	limit := math.Exp(-mean)
+	k := 0
+	prod := p.Float64()
+	for prod > limit {
+		k++
+		prod *= p.Float64()
+	}
+	return k
+}
+
+// poissonPTRS is Hörmann's transformed rejection sampler ("The
+// transformed rejection method for generating Poisson random variables",
+// 1993), valid for mean ≥ 10.
+func (p *PCG) poissonPTRS(mean float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logMean := math.Log(mean)
+
+	for {
+		u := p.Float64() - 0.5
+		v := p.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lhs := math.Log(v * invAlpha / (a/(us*us) + b))
+		lg, _ := math.Lgamma(k + 1)
+		if lhs <= k*logMean-mean-lg {
+			return int(k)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// poissonMoments draws n samples and returns their mean and variance.
+func poissonMoments(t *testing.T, p *PCG, mean float64, n int) (sampleMean, sampleVar float64) {
+	t.Helper()
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		k := p.Poisson(mean)
+		if k < 0 {
+			t.Fatalf("Poisson(%v) returned negative %d", mean, k)
+		}
+		f := float64(k)
+		sum += f
+		sumSq += f * f
+	}
+	sampleMean = sum / float64(n)
+	sampleVar = sumSq/float64(n) - sampleMean*sampleMean
+	return sampleMean, sampleVar
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	p := New(1, 0)
+	for i := 0; i < 100; i++ {
+		if k := p.Poisson(0); k != 0 {
+			t.Fatalf("Poisson(0) = %d", k)
+		}
+	}
+}
+
+func TestPoissonInvalidMeanPanics(t *testing.T) {
+	p := New(1, 0)
+	for _, mean := range []float64{-1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Poisson(%v) did not panic", mean)
+				}
+			}()
+			p.Poisson(mean)
+		}()
+	}
+}
+
+func TestPoissonMomentsSmallMean(t *testing.T) {
+	// Exercises the Knuth path (mean < 10).
+	for _, mean := range []float64{0.1, 0.5, 1, 3, 7.5} {
+		p := New(101, uint64(mean*1000))
+		const n = 100000
+		m, v := poissonMoments(t, p, mean, n)
+		se := math.Sqrt(mean / n)
+		if math.Abs(m-mean) > 6*se {
+			t.Errorf("mean %v: sample mean %v (se %v)", mean, m, se)
+		}
+		// Poisson variance equals the mean; allow a loose band.
+		if math.Abs(v-mean) > 0.1*mean+6*se {
+			t.Errorf("mean %v: sample variance %v, want ≈ %v", mean, v, mean)
+		}
+	}
+}
+
+func TestPoissonMomentsLargeMean(t *testing.T) {
+	// Exercises the PTRS path (mean ≥ 10).
+	for _, mean := range []float64{10, 25, 100, 1000, 10000} {
+		p := New(202, uint64(mean))
+		const n = 50000
+		m, v := poissonMoments(t, p, mean, n)
+		se := math.Sqrt(mean / n)
+		if math.Abs(m-mean) > 6*se {
+			t.Errorf("mean %v: sample mean %v (se %v)", mean, m, se)
+		}
+		if math.Abs(v-mean) > 0.1*mean {
+			t.Errorf("mean %v: sample variance %v, want ≈ %v", mean, v, mean)
+		}
+	}
+}
+
+func TestPoissonPMFSmallMean(t *testing.T) {
+	// Compare empirical frequencies of k = 0..4 against the exact pmf
+	// for mean 2.
+	const mean = 2.0
+	p := New(303, 0)
+	const n = 200000
+	counts := make(map[int]int)
+	for i := 0; i < n; i++ {
+		counts[p.Poisson(mean)]++
+	}
+	for k := 0; k <= 4; k++ {
+		lg, _ := math.Lgamma(float64(k) + 1)
+		want := math.Exp(float64(k)*math.Log(mean) - mean - lg)
+		got := float64(counts[k]) / n
+		se := math.Sqrt(want * (1 - want) / n)
+		if math.Abs(got-want) > 8*se {
+			t.Errorf("P(X=%d): got %v, want %v (se %v)", k, got, want, se)
+		}
+	}
+}
+
+func TestPoissonPMFLargeMeanTail(t *testing.T) {
+	// For mean 50, ~95% of mass lies within mean ± 2√mean.
+	const mean = 50.0
+	p := New(404, 0)
+	const n = 50000
+	within := 0
+	lo, hi := mean-2*math.Sqrt(mean), mean+2*math.Sqrt(mean)
+	for i := 0; i < n; i++ {
+		k := float64(p.Poisson(mean))
+		if k >= lo && k <= hi {
+			within++
+		}
+	}
+	frac := float64(within) / n
+	if frac < 0.92 || frac > 0.98 {
+		t.Errorf("fraction within ±2σ = %v, want ≈ 0.95", frac)
+	}
+}
+
+func TestPoissonDeterministicAcrossEqualGenerators(t *testing.T) {
+	a := New(7, 9)
+	b := New(7, 9)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Poisson(42), b.Poisson(42); av != bv {
+			t.Fatalf("diverged at %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func BenchmarkPoissonSmall(b *testing.B) {
+	p := New(1, 0)
+	for i := 0; i < b.N; i++ {
+		p.Poisson(3)
+	}
+}
+
+func BenchmarkPoissonLarge(b *testing.B) {
+	p := New(1, 0)
+	for i := 0; i < b.N; i++ {
+		p.Poisson(5000)
+	}
+}

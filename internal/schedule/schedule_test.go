@@ -1,0 +1,186 @@
+package schedule
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullview/internal/core"
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func overProvisioned(t *testing.T, n int, seed uint64) *sensor.Network {
+	t.Helper()
+	profile, err := sensor.Homogeneous(0.3, 2*math.Pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, n, rng.New(seed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestMinimalCoverValidation(t *testing.T) {
+	net := overProvisioned(t, 10, 1)
+	if _, err := MinimalCover(net, 0, 10); !errors.Is(err, ErrBadTheta) {
+		t.Errorf("error = %v, want ErrBadTheta", err)
+	}
+	if _, err := MinimalCover(net, math.Pi/4, 0); !errors.Is(err, ErrBadGridSide) {
+		t.Errorf("error = %v, want ErrBadGridSide", err)
+	}
+}
+
+func TestMinimalCoverInfeasibleWhenSparse(t *testing.T) {
+	net := overProvisioned(t, 5, 2)
+	if _, err := MinimalCover(net, math.Pi/4, 15); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMinimalCoverShrinksAndCovers(t *testing.T) {
+	theta := math.Pi / 2
+	const gridSide = 12
+	net := overProvisioned(t, 3000, 3)
+	cover, err := MinimalCover(net, theta, gridSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) == 0 || len(cover) >= net.Len()/4 {
+		t.Fatalf("cover size %d of %d cameras — expected a drastic reduction", len(cover), net.Len())
+	}
+	// No duplicates.
+	seen := make(map[int]bool, len(cover))
+	for _, ci := range cover {
+		if ci < 0 || ci >= net.Len() || seen[ci] {
+			t.Fatalf("invalid selection %v", cover)
+		}
+		seen[ci] = true
+	}
+	// The selected subnetwork really full-view covers the grid: the
+	// sufficient condition is a certificate.
+	sub, err := Subnetwork(net, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := core.NewChecker(sub, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := deploy.GridPoints(geom.UnitTorus, gridSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := checker.SurveyRegion(points)
+	if !stats.AllSufficient() {
+		t.Errorf("selected subset violates the sufficient condition: %d/%d",
+			stats.Sufficient, stats.Points)
+	}
+	if !stats.AllFullView() {
+		t.Errorf("selected subset does not full-view cover the grid: %d/%d",
+			stats.FullView, stats.Points)
+	}
+}
+
+func TestMinimalCoverDeterministic(t *testing.T) {
+	net := overProvisioned(t, 1000, 4)
+	a, err := MinimalCover(net, math.Pi/2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MinimalCover(net, math.Pi/2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("selections differ at %d", i)
+		}
+	}
+}
+
+func TestShiftsDisjointAndEachCovers(t *testing.T) {
+	theta := math.Pi / 2
+	const gridSide = 10
+	net := overProvisioned(t, 3000, 5)
+	shifts, err := Shifts(net, theta, gridSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shifts) < 2 {
+		t.Fatalf("got %d shifts from a heavily over-provisioned network", len(shifts))
+	}
+	points, err := deploy.GridPoints(geom.UnitTorus, gridSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make(map[int]bool)
+	for si, shift := range shifts {
+		for _, ci := range shift {
+			if used[ci] {
+				t.Fatalf("camera %d appears in two shifts", ci)
+			}
+			used[ci] = true
+		}
+		sub, err := Subnetwork(net, shift)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checker, err := core.NewChecker(sub, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats := checker.SurveyRegion(points); !stats.AllFullView() {
+			t.Errorf("shift %d does not full-view cover the grid", si)
+		}
+	}
+}
+
+func TestShiftsInfeasibleNetwork(t *testing.T) {
+	net := overProvisioned(t, 5, 6)
+	if _, err := Shifts(net, math.Pi/4, 15); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSubnetworkValidation(t *testing.T) {
+	net := overProvisioned(t, 10, 7)
+	if _, err := Subnetwork(net, []int{0, 11}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := Subnetwork(net, []int{-1}); err == nil {
+		t.Error("negative index accepted")
+	}
+	sub, err := Subnetwork(net, []int{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 {
+		t.Errorf("subnetwork size = %d", sub.Len())
+	}
+	if sub.Camera(0) != net.Camera(3) || sub.Camera(1) != net.Camera(7) {
+		t.Error("subnetwork cameras do not match the selected indices")
+	}
+}
+
+func TestMinimalCoverSmallerThetaNeedsMoreCameras(t *testing.T) {
+	net := overProvisioned(t, 4000, 8)
+	big, err := MinimalCover(net, math.Pi/2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := MinimalCover(net, math.Pi/4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) <= len(big) {
+		t.Errorf("θ=π/4 cover (%d) should exceed θ=π/2 cover (%d)", len(small), len(big))
+	}
+}

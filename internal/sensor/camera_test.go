@@ -1,0 +1,168 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fullview/internal/geom"
+)
+
+func TestCameraSensingArea(t *testing.T) {
+	tests := []struct {
+		name string
+		give Camera
+		want float64
+	}{
+		{
+			name: "quarter aperture unit radius",
+			give: Camera{Radius: 1, Aperture: math.Pi / 2},
+			want: math.Pi / 4,
+		},
+		{
+			name: "full circle is disk",
+			give: Camera{Radius: 2, Aperture: 2 * math.Pi},
+			want: 4 * math.Pi,
+		},
+		{
+			name: "half radius quarters area",
+			give: Camera{Radius: 0.5, Aperture: 1},
+			want: 0.125,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.give.SensingArea(); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("SensingArea = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCameraCovers(t *testing.T) {
+	// Camera at center, looking east (+x), 90° aperture, radius 0.2.
+	cam := Camera{
+		Pos:      geom.V(0.5, 0.5),
+		Orient:   0,
+		Radius:   0.2,
+		Aperture: math.Pi / 2,
+	}
+	tests := []struct {
+		name string
+		p    geom.Vec
+		want bool
+	}{
+		{name: "dead ahead inside", p: geom.V(0.6, 0.5), want: true},
+		{name: "at exact radius", p: geom.V(0.7, 0.5), want: true},
+		{name: "beyond radius", p: geom.V(0.71, 0.5), want: false},
+		{name: "on upper sector edge", p: geom.V(0.5+0.1*math.Cos(math.Pi/4), 0.5+0.1*math.Sin(math.Pi/4)), want: true},
+		{name: "outside angular range", p: geom.V(0.5, 0.6), want: false},
+		{name: "behind camera", p: geom.V(0.4, 0.5), want: false},
+		{name: "at camera position", p: geom.V(0.5, 0.5), want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := cam.Covers(geom.UnitTorus, tt.p); got != tt.want {
+				t.Errorf("Covers(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCameraCoversAcrossTorusSeam(t *testing.T) {
+	// Camera near the right edge looking east must see points wrapped to
+	// the left edge.
+	cam := Camera{
+		Pos:      geom.V(0.95, 0.5),
+		Orient:   0,
+		Radius:   0.2,
+		Aperture: math.Pi / 2,
+	}
+	if !cam.Covers(geom.UnitTorus, geom.V(0.05, 0.5)) {
+		t.Error("camera should cover across the seam")
+	}
+	if cam.Covers(geom.UnitTorus, geom.V(0.25, 0.5)) {
+		t.Error("point beyond radius across the seam should not be covered")
+	}
+}
+
+func TestCameraFullCircleApertureIsDisk(t *testing.T) {
+	cam := Camera{Pos: geom.V(0.5, 0.5), Orient: 1.234, Radius: 0.3, Aperture: 2 * math.Pi}
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		p := geom.UnitTorus.Wrap(geom.V(x, y))
+		inDisk := geom.UnitTorus.Dist(cam.Pos, p) <= cam.Radius
+		return cam.Covers(geom.UnitTorus, p) == inDisk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViewedDirection(t *testing.T) {
+	cam := Camera{Pos: geom.V(0.7, 0.5), Orient: math.Pi, Radius: 0.5, Aperture: math.Pi}
+	p := geom.V(0.5, 0.5)
+	// Vector P→S points east.
+	if got := cam.ViewedDirection(geom.UnitTorus, p); math.Abs(got) > 1e-12 {
+		t.Errorf("ViewedDirection = %v, want 0", got)
+	}
+	// Viewed direction wraps across the seam too.
+	cam2 := Camera{Pos: geom.V(0.05, 0.5), Orient: math.Pi, Radius: 0.5, Aperture: math.Pi}
+	p2 := geom.V(0.95, 0.5)
+	if got := cam2.ViewedDirection(geom.UnitTorus, p2); math.Abs(got) > 1e-12 {
+		t.Errorf("seam ViewedDirection = %v, want 0", got)
+	}
+}
+
+func TestViewedDirectionOppositeOfCameraView(t *testing.T) {
+	// The viewed direction (P→S) is the reverse of the camera→point ray.
+	f := func(sx, sy, px, py float64) bool {
+		if math.IsNaN(sx + sy + px + py) {
+			return true
+		}
+		s := geom.UnitTorus.Wrap(geom.V(sx, sy))
+		p := geom.UnitTorus.Wrap(geom.V(px, py))
+		if geom.UnitTorus.Dist(s, p) < 1e-9 || geom.UnitTorus.Dist(s, p) > 0.49 {
+			return true // degenerate or ambiguous shortest path
+		}
+		cam := Camera{Pos: s, Radius: 1, Aperture: math.Pi}
+		toPoint := geom.UnitTorus.Delta(s, p).Angle()
+		viewed := cam.ViewedDirection(geom.UnitTorus, p)
+		return geom.AngularDistance(viewed, toPoint+math.Pi) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCameraValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Camera
+		wantErr bool
+	}{
+		{name: "valid", give: Camera{Radius: 0.1, Aperture: 1}},
+		{name: "zero radius", give: Camera{Radius: 0, Aperture: 1}, wantErr: true},
+		{name: "negative radius", give: Camera{Radius: -1, Aperture: 1}, wantErr: true},
+		{name: "zero aperture", give: Camera{Radius: 1, Aperture: 0}, wantErr: true},
+		{name: "aperture beyond full circle", give: Camera{Radius: 1, Aperture: 7}, wantErr: true},
+		{name: "nan radius", give: Camera{Radius: math.NaN(), Aperture: 1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCameraString(t *testing.T) {
+	c := Camera{Pos: geom.V(0.1, 0.2), Orient: 1, Radius: 0.3, Aperture: 2, Group: 1}
+	if got := c.String(); got == "" {
+		t.Error("String returned empty")
+	}
+}

@@ -1,0 +1,74 @@
+package sensor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fullview/internal/geom"
+)
+
+func FuzzParseProfile(f *testing.F) {
+	f.Add("1:0.15:0.5")
+	f.Add("0.3:0.2:0.33,0.7:0.1:0.5")
+	f.Add("")
+	f.Add("::")
+	f.Add("1:0.15:0.5,")
+	f.Add("NaN:Inf:-1")
+	f.Add(strings.Repeat("0.1:0.1:0.1,", 9) + "0.1:0.1:0.1")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseProfile(s) // must never panic
+		if err != nil {
+			return
+		}
+		// Whatever parses must be a valid profile…
+		sum := 0.0
+		for _, g := range p.Groups() {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("parsed invalid group from %q: %v", s, err)
+			}
+			sum += g.Fraction
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("parsed fractions sum to %v from %q", sum, s)
+		}
+		// …and round-trip through FormatProfile.
+		again, err := ParseProfile(FormatProfile(p))
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", s, err)
+		}
+		if again.NumGroups() != p.NumGroups() {
+			t.Fatalf("round trip changed group count for %q", s)
+		}
+	})
+}
+
+func FuzzCameraCovers(f *testing.F) {
+	f.Add(0.5, 0.5, 0.0, 0.2, 1.0, 0.6, 0.5)
+	f.Add(0.95, 0.95, 3.0, 0.3, 6.0, 0.05, 0.05)
+	f.Fuzz(func(t *testing.T, cx, cy, orient, radius, aperture, px, py float64) {
+		for _, v := range []float64{cx, cy, orient, radius, aperture, px, py} {
+			if math.IsNaN(v) || math.Abs(v) > 1e6 {
+				return
+			}
+		}
+		radius = math.Mod(math.Abs(radius), 0.5) + 0.001
+		aperture = math.Mod(math.Abs(aperture), 2*math.Pi-0.01) + 0.005
+		cam := Camera{
+			Pos:      geom.UnitTorus.Wrap(geom.V(cx, cy)),
+			Orient:   orient,
+			Radius:   radius,
+			Aperture: aperture,
+		}
+		p := geom.UnitTorus.Wrap(geom.V(px, py))
+		covered := cam.Covers(geom.UnitTorus, p)
+		// Coverage implies being within the sensing radius.
+		if covered && geom.UnitTorus.Dist(cam.Pos, p) > radius+1e-12 {
+			t.Fatalf("covered point beyond radius: cam=%+v p=%v", cam, p)
+		}
+		// The viewed direction is always a valid angle.
+		if d := cam.ViewedDirection(geom.UnitTorus, p); d < 0 || d >= 2*math.Pi {
+			t.Fatalf("viewed direction %v out of range", d)
+		}
+	})
+}

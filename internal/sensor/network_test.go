@@ -1,0 +1,137 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"fullview/internal/geom"
+)
+
+func testCameras() []Camera {
+	return []Camera{
+		{Pos: geom.V(0.3, 0.5), Orient: 0, Radius: 0.3, Aperture: math.Pi / 2, Group: 0},
+		{Pos: geom.V(0.7, 0.5), Orient: math.Pi, Radius: 0.3, Aperture: math.Pi / 2, Group: 1},
+		{Pos: geom.V(0.5, 0.8), Orient: 3 * math.Pi / 2, Radius: 0.1, Aperture: math.Pi, Group: 0},
+	}
+}
+
+func TestNewNetwork(t *testing.T) {
+	n, err := NewNetwork(geom.UnitTorus, testCameras())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 3 {
+		t.Errorf("Len = %d", n.Len())
+	}
+	if n.Torus() != geom.UnitTorus {
+		t.Error("Torus mismatch")
+	}
+}
+
+func TestNewNetworkRejectsInvalidCamera(t *testing.T) {
+	cams := testCameras()
+	cams[1].Radius = -1
+	if _, err := NewNetwork(geom.UnitTorus, cams); err == nil {
+		t.Error("NewNetwork accepted invalid camera")
+	}
+}
+
+func TestNewNetworkNormalizes(t *testing.T) {
+	cams := []Camera{{
+		Pos:      geom.V(1.3, -0.5),
+		Orient:   -math.Pi / 2,
+		Radius:   0.1,
+		Aperture: 1,
+	}}
+	n, err := NewNetwork(geom.UnitTorus, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.Camera(0)
+	if math.Abs(c.Pos.X-0.3) > 1e-12 || math.Abs(c.Pos.Y-0.5) > 1e-12 {
+		t.Errorf("position not wrapped: %v", c.Pos)
+	}
+	if math.Abs(c.Orient-3*math.Pi/2) > 1e-12 {
+		t.Errorf("orientation not normalized: %v", c.Orient)
+	}
+}
+
+func TestNewNetworkCopiesInput(t *testing.T) {
+	cams := testCameras()
+	n, err := NewNetwork(geom.UnitTorus, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cams[0].Radius = 99
+	if n.Camera(0).Radius == 99 {
+		t.Error("network aliases the caller's slice")
+	}
+	out := n.Cameras()
+	out[0].Radius = 77
+	if n.Camera(0).Radius == 77 {
+		t.Error("Cameras() aliases internal storage")
+	}
+}
+
+func TestNetworkEmpty(t *testing.T) {
+	n, err := NewNetwork(geom.UnitTorus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 0 || n.MaxRadius() != 0 || n.TotalSensingArea() != 0 || n.MeanSensingArea() != 0 {
+		t.Error("empty network aggregate values should be zero")
+	}
+	if n.GroupCounts() != nil {
+		t.Error("empty network GroupCounts should be nil")
+	}
+	if got := n.CoveringIndices(geom.V(0.5, 0.5)); got != nil {
+		t.Errorf("CoveringIndices on empty = %v", got)
+	}
+}
+
+func TestNetworkAggregates(t *testing.T) {
+	n, err := NewNetwork(geom.UnitTorus, testCameras())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.MaxRadius(); got != 0.3 {
+		t.Errorf("MaxRadius = %v", got)
+	}
+	wantTotal := math.Pi/2*0.09/2 + math.Pi/2*0.09/2 + math.Pi*0.01/2
+	if got := n.TotalSensingArea(); math.Abs(got-wantTotal) > 1e-12 {
+		t.Errorf("TotalSensingArea = %v, want %v", got, wantTotal)
+	}
+	if got := n.MeanSensingArea(); math.Abs(got-wantTotal/3) > 1e-12 {
+		t.Errorf("MeanSensingArea = %v", got)
+	}
+	counts := n.GroupCounts()
+	if len(counts) != 2 || counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("GroupCounts = %v", counts)
+	}
+}
+
+func TestCoveringIndicesAndViewedDirections(t *testing.T) {
+	n, err := NewNetwork(geom.UnitTorus, testCameras())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geom.V(0.5, 0.5)
+	// Camera 0 looks east from (0.3, 0.5): covers p.
+	// Camera 1 looks west from (0.7, 0.5): covers p.
+	// Camera 2 looks south from (0.5, 0.8) with radius 0.1: too far.
+	idx := n.CoveringIndices(p)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("CoveringIndices = %v, want [0 1]", idx)
+	}
+	dirs := n.ViewedDirections(p)
+	if len(dirs) != 2 {
+		t.Fatalf("ViewedDirections = %v", dirs)
+	}
+	// Viewed direction of camera 0 (west of p) is π; camera 1 is 0.
+	if geom.AngularDistance(dirs[0], math.Pi) > 1e-12 {
+		t.Errorf("dirs[0] = %v, want π", dirs[0])
+	}
+	if geom.AngularDistance(dirs[1], 0) > 1e-12 {
+		t.Errorf("dirs[1] = %v, want 0", dirs[1])
+	}
+}

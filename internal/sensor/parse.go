@@ -1,0 +1,65 @@
+package sensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ErrParse reports a malformed profile string.
+var ErrParse = errors.New("sensor: malformed profile string")
+
+// ParseProfile parses a heterogeneity profile from its compact textual
+// form: comma-separated groups, each "fraction:radius:aperture", with
+// the aperture given as a fraction of π. Whitespace around separators is
+// ignored.
+//
+//	"1:0.15:0.5"                 one group, r=0.15, φ=π/2
+//	"0.3:0.2:0.33, 0.7:0.1:0.5"  30% r=0.2 φ=0.33π + 70% r=0.1 φ=π/2
+//
+// The parsed groups go through the same validation as NewProfile
+// (fractions must sum to 1, apertures in (0, 2π], …).
+func ParseProfile(s string) (Profile, error) {
+	parts := strings.Split(s, ",")
+	groups := make([]GroupSpec, 0, len(parts))
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Profile{}, fmt.Errorf("%w: empty group %d", ErrParse, i+1)
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return Profile{}, fmt.Errorf(
+				"%w: group %d %q needs fraction:radius:aperture", ErrParse, i+1, part)
+		}
+		var vals [3]float64
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return Profile{}, fmt.Errorf("%w: group %d field %d: %v", ErrParse, i+1, j+1, err)
+			}
+			vals[j] = v
+		}
+		groups = append(groups, GroupSpec{
+			Fraction: vals[0],
+			Radius:   vals[1],
+			Aperture: vals[2] * math.Pi,
+		})
+	}
+	return NewProfile(groups...)
+}
+
+// FormatProfile renders a profile in the ParseProfile syntax
+// (round-trippable up to float formatting).
+func FormatProfile(p Profile) string {
+	var b strings.Builder
+	for i, g := range p.groups {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%g:%g:%g", g.Fraction, g.Radius, g.Aperture/math.Pi)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package sensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestParseProfileSingleGroup(t *testing.T) {
+	p, err := ParseProfile("1:0.15:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Groups()
+	if len(g) != 1 {
+		t.Fatalf("groups = %d", len(g))
+	}
+	if g[0].Fraction != 1 || g[0].Radius != 0.15 {
+		t.Errorf("group = %+v", g[0])
+	}
+	if math.Abs(g[0].Aperture-math.Pi/2) > 1e-12 {
+		t.Errorf("aperture = %v, want π/2", g[0].Aperture)
+	}
+}
+
+func TestParseProfileMultiGroupWithSpaces(t *testing.T) {
+	p, err := ParseProfile(" 0.3 : 0.2 : 0.33 , 0.7:0.1:0.5 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Groups()
+	if len(g) != 2 {
+		t.Fatalf("groups = %d", len(g))
+	}
+	if g[0].Fraction != 0.3 || g[1].Fraction != 0.7 {
+		t.Errorf("fractions = %v, %v", g[0].Fraction, g[1].Fraction)
+	}
+	if math.Abs(g[0].Aperture-0.33*math.Pi) > 1e-12 {
+		t.Errorf("aperture = %v", g[0].Aperture)
+	}
+}
+
+func TestParseProfileErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: ""},
+		{name: "missing field", give: "1:0.15"},
+		{name: "extra field", give: "1:0.15:0.5:9"},
+		{name: "non-numeric", give: "one:0.15:0.5"},
+		{name: "trailing comma", give: "1:0.15:0.5,"},
+		{name: "nan radius", give: "1:NaN:0.5"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseProfile(tt.give); err == nil {
+				t.Errorf("ParseProfile(%q) accepted", tt.give)
+			}
+		})
+	}
+	// Structurally fine but semantically invalid: fractions don't sum
+	// to 1 — must surface the profile validation error, not ErrParse.
+	_, err := ParseProfile("0.5:0.1:0.5")
+	if err == nil {
+		t.Fatal("fractions-not-one accepted")
+	}
+	if errors.Is(err, ErrParse) {
+		t.Errorf("validation failure misreported as parse error: %v", err)
+	}
+	if !errors.Is(err, ErrFractionSum) {
+		t.Errorf("error = %v, want ErrFractionSum", err)
+	}
+}
+
+func TestFormatProfileRoundTrip(t *testing.T) {
+	orig, err := NewProfile(
+		GroupSpec{Fraction: 0.25, Radius: 0.12, Aperture: math.Pi / 3},
+		GroupSpec{Fraction: 0.75, Radius: 0.3, Aperture: math.Pi},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseProfile(FormatProfile(orig))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	a, b := orig.Groups(), parsed.Groups()
+	if len(a) != len(b) {
+		t.Fatalf("group count changed: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Abs(a[i].Fraction-b[i].Fraction) > 1e-12 ||
+			math.Abs(a[i].Radius-b[i].Radius) > 1e-12 ||
+			math.Abs(a[i].Aperture-b[i].Aperture) > 1e-12 {
+			t.Errorf("group %d changed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package sensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fullview/internal/geom"
+)
+
+// Validation errors for group specifications and profiles.
+var (
+	ErrNoGroups        = errors.New("sensor: profile needs at least one group")
+	ErrBadFraction     = errors.New("sensor: group fraction must be in (0, 1]")
+	ErrBadRadius       = errors.New("sensor: group radius must be positive and finite")
+	ErrBadAperture     = errors.New("sensor: group aperture must be in (0, 2π]")
+	ErrFractionSum     = errors.New("sensor: group fractions must sum to 1")
+	ErrNonPositiveArea = errors.New("sensor: target sensing area must be positive")
+)
+
+// fractionSumTolerance is how far Σc_y may drift from 1 before a profile
+// is rejected; it absorbs accumulated floating-point error in hand-built
+// profiles such as 1.0/3 three times.
+const fractionSumTolerance = 1e-9
+
+// GroupSpec describes one heterogeneity group G_y: a fraction c_y of the
+// n deployed sensors, each with sensing radius r_y and angle of view φ_y.
+type GroupSpec struct {
+	// Fraction is c_y ∈ (0, 1]; fractions across a profile sum to 1.
+	Fraction float64
+	// Radius is r_y > 0.
+	Radius float64
+	// Aperture is φ_y ∈ (0, 2π].
+	Aperture float64
+}
+
+// SensingArea returns s_y = φ_y·r_y²/2.
+func (g GroupSpec) SensingArea() float64 {
+	return g.Aperture * g.Radius * g.Radius / 2
+}
+
+// Validate checks the group parameters.
+func (g GroupSpec) Validate() error {
+	if !(g.Fraction > 0) || g.Fraction > 1 {
+		return fmt.Errorf("%w: got %v", ErrBadFraction, g.Fraction)
+	}
+	if !(g.Radius > 0) || math.IsInf(g.Radius, 0) {
+		return fmt.Errorf("%w: got %v", ErrBadRadius, g.Radius)
+	}
+	if !(g.Aperture > 0) || g.Aperture > geom.TwoPi {
+		return fmt.Errorf("%w: got %v", ErrBadAperture, g.Aperture)
+	}
+	return nil
+}
+
+// Profile is a validated heterogeneity profile: the list of group
+// specifications for a network. Construct with NewProfile or Homogeneous.
+type Profile struct {
+	groups []GroupSpec
+}
+
+// NewProfile validates the groups and returns a Profile. Group fractions
+// must sum to 1 (the paper's Σc_y = 1).
+func NewProfile(groups ...GroupSpec) (Profile, error) {
+	if len(groups) == 0 {
+		return Profile{}, ErrNoGroups
+	}
+	sum := 0.0
+	for i, g := range groups {
+		if err := g.Validate(); err != nil {
+			return Profile{}, fmt.Errorf("group %d: %w", i, err)
+		}
+		sum += g.Fraction
+	}
+	if math.Abs(sum-1) > fractionSumTolerance {
+		return Profile{}, fmt.Errorf("%w: got %v", ErrFractionSum, sum)
+	}
+	out := make([]GroupSpec, len(groups))
+	copy(out, groups)
+	return Profile{groups: out}, nil
+}
+
+// Homogeneous returns the single-group profile with the given radius and
+// aperture. It panics only on invalid parameters, reported via error.
+func Homogeneous(radius, aperture float64) (Profile, error) {
+	return NewProfile(GroupSpec{Fraction: 1, Radius: radius, Aperture: aperture})
+}
+
+// Groups returns a copy of the group specifications.
+func (p Profile) Groups() []GroupSpec {
+	out := make([]GroupSpec, len(p.groups))
+	copy(out, p.groups)
+	return out
+}
+
+// NumGroups returns u, the number of heterogeneity groups.
+func (p Profile) NumGroups() int { return len(p.groups) }
+
+// WeightedSensingArea returns s_c = Σ_y c_y·s_y, the paper's weighted
+// summation of sensing areas — the quantity compared against the critical
+// sensing area.
+func (p Profile) WeightedSensingArea() float64 {
+	s := 0.0
+	for _, g := range p.groups {
+		s += g.Fraction * g.SensingArea()
+	}
+	return s
+}
+
+// MaxRadius returns the largest group radius; spatial indexes use it as
+// the query radius bound.
+func (p Profile) MaxRadius() float64 {
+	r := 0.0
+	for _, g := range p.groups {
+		if g.Radius > r {
+			r = g.Radius
+		}
+	}
+	return r
+}
+
+// Counts apportions n sensors to the groups so that group y receives
+// approximately c_y·n and the counts sum to exactly n (largest-remainder
+// rounding, ties broken by group order).
+func (p Profile) Counts(n int) []int {
+	if n < 0 {
+		n = 0
+	}
+	counts := make([]int, len(p.groups))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	remainders := make([]rem, len(p.groups))
+	assigned := 0
+	for i, g := range p.groups {
+		exact := g.Fraction * float64(n)
+		counts[i] = int(math.Floor(exact))
+		assigned += counts[i]
+		remainders[i] = rem{idx: i, frac: exact - math.Floor(exact)}
+	}
+	sort.SliceStable(remainders, func(a, b int) bool {
+		return remainders[a].frac > remainders[b].frac
+	})
+	for i := 0; assigned < n; i++ {
+		counts[remainders[i%len(remainders)].idx]++
+		assigned++
+	}
+	return counts
+}
+
+// ScaleToArea returns a copy of the profile with every radius scaled by
+// the same factor so that the weighted sensing area equals target. Since
+// s_y ∝ r_y², the factor is √(target/current). Apertures and fractions
+// are unchanged, preserving the heterogeneity "shape" — this is how the
+// experiments sweep a profile across multiples of the critical sensing
+// area.
+func (p Profile) ScaleToArea(target float64) (Profile, error) {
+	if !(target > 0) || math.IsInf(target, 0) {
+		return Profile{}, fmt.Errorf("%w: got %v", ErrNonPositiveArea, target)
+	}
+	current := p.WeightedSensingArea()
+	k := math.Sqrt(target / current)
+	groups := make([]GroupSpec, len(p.groups))
+	for i, g := range p.groups {
+		g.Radius *= k
+		groups[i] = g
+	}
+	return NewProfile(groups...)
+}
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	return fmt.Sprintf("Profile{u=%d, s_c=%.6g}", len(p.groups), p.WeightedSensingArea())
+}

@@ -1,0 +1,239 @@
+package sensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustProfile(t *testing.T, groups ...GroupSpec) Profile {
+	t.Helper()
+	p, err := NewProfile(groups...)
+	if err != nil {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	return p
+}
+
+func TestNewProfileValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    []GroupSpec
+		wantErr error
+	}{
+		{
+			name:    "empty",
+			wantErr: ErrNoGroups,
+		},
+		{
+			name: "valid single",
+			give: []GroupSpec{{Fraction: 1, Radius: 0.1, Aperture: 1}},
+		},
+		{
+			name: "valid pair",
+			give: []GroupSpec{
+				{Fraction: 0.25, Radius: 0.1, Aperture: 1},
+				{Fraction: 0.75, Radius: 0.2, Aperture: 2},
+			},
+		},
+		{
+			name: "three thirds within tolerance",
+			give: []GroupSpec{
+				{Fraction: 1.0 / 3, Radius: 0.1, Aperture: 1},
+				{Fraction: 1.0 / 3, Radius: 0.2, Aperture: 1},
+				{Fraction: 1.0 / 3, Radius: 0.3, Aperture: 1},
+			},
+		},
+		{
+			name: "fractions short of one",
+			give: []GroupSpec{
+				{Fraction: 0.5, Radius: 0.1, Aperture: 1},
+			},
+			wantErr: ErrFractionSum,
+		},
+		{
+			name: "fraction zero",
+			give: []GroupSpec{
+				{Fraction: 0, Radius: 0.1, Aperture: 1},
+				{Fraction: 1, Radius: 0.1, Aperture: 1},
+			},
+			wantErr: ErrBadFraction,
+		},
+		{
+			name:    "bad radius",
+			give:    []GroupSpec{{Fraction: 1, Radius: -0.1, Aperture: 1}},
+			wantErr: ErrBadRadius,
+		},
+		{
+			name:    "bad aperture",
+			give:    []GroupSpec{{Fraction: 1, Radius: 0.1, Aperture: 0}},
+			wantErr: ErrBadAperture,
+		},
+		{
+			name:    "aperture above 2pi",
+			give:    []GroupSpec{{Fraction: 1, Radius: 0.1, Aperture: 2*math.Pi + 0.1}},
+			wantErr: ErrBadAperture,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewProfile(tt.give...)
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("NewProfile error: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	p, err := Homogeneous(0.2, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumGroups() != 1 {
+		t.Errorf("NumGroups = %d", p.NumGroups())
+	}
+	want := math.Pi / 2 * 0.04 / 2
+	if got := p.WeightedSensingArea(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("WeightedSensingArea = %v, want %v", got, want)
+	}
+}
+
+func TestWeightedSensingArea(t *testing.T) {
+	p := mustProfile(t,
+		GroupSpec{Fraction: 0.5, Radius: 0.1, Aperture: 2}, // s = 0.01
+		GroupSpec{Fraction: 0.5, Radius: 0.2, Aperture: 1}, // s = 0.02
+	)
+	if got, want := p.WeightedSensingArea(), 0.015; math.Abs(got-want) > 1e-12 {
+		t.Errorf("WeightedSensingArea = %v, want %v", got, want)
+	}
+}
+
+func TestProfileGroupsIsCopy(t *testing.T) {
+	p := mustProfile(t, GroupSpec{Fraction: 1, Radius: 0.1, Aperture: 1})
+	g := p.Groups()
+	g[0].Radius = 99
+	if p.Groups()[0].Radius != 0.1 {
+		t.Error("mutating Groups() result affected the profile")
+	}
+}
+
+func TestProfileMaxRadius(t *testing.T) {
+	p := mustProfile(t,
+		GroupSpec{Fraction: 0.3, Radius: 0.05, Aperture: 1},
+		GroupSpec{Fraction: 0.7, Radius: 0.25, Aperture: 1},
+	)
+	if got := p.MaxRadius(); got != 0.25 {
+		t.Errorf("MaxRadius = %v", got)
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	tests := []struct {
+		name      string
+		fractions []float64
+		n         int
+		want      []int
+	}{
+		{name: "even split", fractions: []float64{0.5, 0.5}, n: 10, want: []int{5, 5}},
+		{name: "rounding up largest remainder", fractions: []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}, n: 10, want: []int{4, 3, 3}},
+		{name: "uneven", fractions: []float64{0.7, 0.3}, n: 10, want: []int{7, 3}},
+		{name: "zero n", fractions: []float64{0.5, 0.5}, n: 0, want: []int{0, 0}},
+		{name: "single group", fractions: []float64{1}, n: 17, want: []int{17}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			groups := make([]GroupSpec, len(tt.fractions))
+			for i, f := range tt.fractions {
+				groups[i] = GroupSpec{Fraction: f, Radius: 0.1, Aperture: 1}
+			}
+			p := mustProfile(t, groups...)
+			got := p.Counts(tt.n)
+			if len(got) != len(tt.want) {
+				t.Fatalf("len = %d", len(got))
+			}
+			for i := range tt.want {
+				if got[i] != tt.want[i] {
+					t.Errorf("Counts = %v, want %v", got, tt.want)
+					break
+				}
+			}
+		})
+	}
+}
+
+func TestProfileCountsSumProperty(t *testing.T) {
+	f := func(rawN uint16, split uint8) bool {
+		n := int(rawN)
+		frac := (float64(split)/255)*0.98 + 0.01
+		p, err := NewProfile(
+			GroupSpec{Fraction: frac, Radius: 0.1, Aperture: 1},
+			GroupSpec{Fraction: 1 - frac, Radius: 0.2, Aperture: 1},
+		)
+		if err != nil {
+			return false
+		}
+		counts := p.Counts(n)
+		sum := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleToArea(t *testing.T) {
+	p := mustProfile(t,
+		GroupSpec{Fraction: 0.5, Radius: 0.1, Aperture: 2},
+		GroupSpec{Fraction: 0.5, Radius: 0.2, Aperture: 1},
+	)
+	target := 0.003
+	scaled, err := p.ScaleToArea(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scaled.WeightedSensingArea(); math.Abs(got-target) > 1e-12 {
+		t.Errorf("scaled area = %v, want %v", got, target)
+	}
+	// Apertures and fractions are preserved; radii keep their ratio.
+	orig, now := p.Groups(), scaled.Groups()
+	for i := range orig {
+		if orig[i].Aperture != now[i].Aperture || orig[i].Fraction != now[i].Fraction {
+			t.Errorf("group %d aperture/fraction changed", i)
+		}
+	}
+	ratioBefore := orig[1].Radius / orig[0].Radius
+	ratioAfter := now[1].Radius / now[0].Radius
+	if math.Abs(ratioBefore-ratioAfter) > 1e-12 {
+		t.Errorf("radius ratio changed: %v → %v", ratioBefore, ratioAfter)
+	}
+}
+
+func TestScaleToAreaInvalidTarget(t *testing.T) {
+	p := mustProfile(t, GroupSpec{Fraction: 1, Radius: 0.1, Aperture: 1})
+	for _, target := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := p.ScaleToArea(target); !errors.Is(err, ErrNonPositiveArea) {
+			t.Errorf("ScaleToArea(%v) error = %v, want ErrNonPositiveArea", target, err)
+		}
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p := mustProfile(t, GroupSpec{Fraction: 1, Radius: 0.1, Aperture: 1})
+	if p.String() == "" {
+		t.Error("String returned empty")
+	}
+}

@@ -1,0 +1,180 @@
+// Package spatial provides a toroidal bucket-grid index over a camera
+// network. Grid sweeps ask "which cameras cover point P?" for hundreds of
+// thousands of points; the index answers in O(local density) instead of
+// O(n) by only examining cameras in cells within the maximum sensing
+// radius of P. Results are always filtered through the exact
+// Camera.Covers predicate, so the index returns exactly what a
+// brute-force scan would.
+package spatial
+
+import (
+	"math"
+
+	"fullview/internal/geom"
+	"fullview/internal/sensor"
+)
+
+// maxCellsPerSide bounds index memory: cells² ints regardless of how
+// small the sensing radius gets.
+const maxCellsPerSide = 2048
+
+// Index is an immutable spatial index over the cameras of one network.
+type Index struct {
+	torus    geom.Torus
+	cameras  []sensor.Camera
+	maxR     float64
+	cells    int
+	cellSize float64
+	buckets  [][]int32
+}
+
+// NewIndex builds an index for the network. Building is O(n); the
+// network's cameras are copied so later mutations of the source slice
+// cannot corrupt the index.
+func NewIndex(net *sensor.Network) *Index {
+	cameras := net.Cameras()
+	t := net.Torus()
+	maxR := net.MaxRadius()
+
+	cells := cellsPerSide(t.Side(), maxR, len(cameras))
+	idx := &Index{
+		torus:    t,
+		cameras:  cameras,
+		maxR:     maxR,
+		cells:    cells,
+		cellSize: t.Side() / float64(cells),
+		buckets:  make([][]int32, cells*cells),
+	}
+	for i, c := range cameras {
+		b := idx.bucketOf(c.Pos)
+		idx.buckets[b] = append(idx.buckets[b], int32(i))
+	}
+	return idx
+}
+
+// cellsPerSide picks the grid resolution: ideally one cell per maximum
+// sensing radius (so a query touches a 3×3 neighbourhood), but never more
+// cells than roughly 2√n per side (so memory stays proportional to n) and
+// never more than maxCellsPerSide.
+func cellsPerSide(side, maxR float64, n int) int {
+	if n == 0 || maxR <= 0 {
+		return 1
+	}
+	cells := int(side / maxR)
+	if byCount := int(2*math.Sqrt(float64(n))) + 1; cells > byCount {
+		cells = byCount
+	}
+	if cells > maxCellsPerSide {
+		cells = maxCellsPerSide
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	return cells
+}
+
+func (ix *Index) bucketOf(p geom.Vec) int {
+	p = ix.torus.Wrap(p)
+	cx := int(p.X / ix.cellSize)
+	cy := int(p.Y / ix.cellSize)
+	// Wrap guards against p.X/cellSize rounding to ix.cells.
+	if cx >= ix.cells {
+		cx = ix.cells - 1
+	}
+	if cy >= ix.cells {
+		cy = ix.cells - 1
+	}
+	return cy*ix.cells + cx
+}
+
+// Len returns the number of indexed cameras.
+func (ix *Index) Len() int { return len(ix.cameras) }
+
+// Camera returns the i-th indexed camera.
+func (ix *Index) Camera(i int) sensor.Camera { return ix.cameras[i] }
+
+// Torus returns the operational region.
+func (ix *Index) Torus() geom.Torus { return ix.torus }
+
+// ForEachCovering calls fn for every camera that covers p, in
+// unspecified order. fn must not retain the camera pointer past the
+// call.
+func (ix *Index) ForEachCovering(p geom.Vec, fn func(cam *sensor.Camera)) {
+	p = ix.torus.Wrap(p)
+	ix.forEachCandidate(p, func(i int32) {
+		cam := &ix.cameras[i]
+		if cam.Covers(ix.torus, p) {
+			fn(cam)
+		}
+	})
+}
+
+// CountCovering returns the number of cameras covering p — the point's
+// traditional k-coverage multiplicity.
+func (ix *Index) CountCovering(p geom.Vec) int {
+	count := 0
+	ix.ForEachCovering(p, func(*sensor.Camera) { count++ })
+	return count
+}
+
+// AppendViewedDirections appends the viewed directions (angle of P→S)
+// of every camera covering p to dst and returns the extended slice.
+// Passing a reused buffer avoids per-point allocations in grid sweeps.
+func (ix *Index) AppendViewedDirections(dst []float64, p geom.Vec) []float64 {
+	p = ix.torus.Wrap(p)
+	ix.forEachCandidate(p, func(i int32) {
+		cam := &ix.cameras[i]
+		if cam.Covers(ix.torus, p) {
+			dst = append(dst, cam.ViewedDirection(ix.torus, p))
+		}
+	})
+	return dst
+}
+
+// forEachCandidate visits the indices of all cameras whose cell lies
+// within the maximum sensing radius of p (plus one cell of slack). Each
+// candidate is visited exactly once, including when the reach spans the
+// whole torus.
+func (ix *Index) forEachCandidate(p geom.Vec, fn func(i int32)) {
+	if ix.cells == 1 {
+		for _, i := range ix.buckets[0] {
+			fn(i)
+		}
+		return
+	}
+	reach := int(ix.maxR/ix.cellSize) + 1
+	if 2*reach+1 >= ix.cells {
+		for _, bucket := range ix.buckets {
+			for _, i := range bucket {
+				fn(i)
+			}
+		}
+		return
+	}
+	pcx := int(p.X / ix.cellSize)
+	pcy := int(p.Y / ix.cellSize)
+	if pcx >= ix.cells {
+		pcx = ix.cells - 1
+	}
+	if pcy >= ix.cells {
+		pcy = ix.cells - 1
+	}
+	for dy := -reach; dy <= reach; dy++ {
+		cy := wrapCell(pcy+dy, ix.cells)
+		row := cy * ix.cells
+		for dx := -reach; dx <= reach; dx++ {
+			cx := wrapCell(pcx+dx, ix.cells)
+			for _, i := range ix.buckets[row+cx] {
+				fn(i)
+			}
+		}
+	}
+}
+
+func wrapCell(c, cells int) int {
+	c %= cells
+	if c < 0 {
+		c += cells
+	}
+	return c
+}

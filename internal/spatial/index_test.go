@@ -1,0 +1,219 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+func randomNetwork(t *testing.T, n int, seed uint64) *sensor.Network {
+	t.Helper()
+	p, err := sensor.NewProfile(
+		sensor.GroupSpec{Fraction: 0.5, Radius: 0.08, Aperture: math.Pi / 2},
+		sensor.GroupSpec{Fraction: 0.5, Radius: 0.15, Aperture: math.Pi / 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, p, n, rng.New(seed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestIndexMatchesBruteForce(t *testing.T) {
+	net := randomNetwork(t, 500, 42)
+	ix := NewIndex(net)
+	r := rng.New(7, 1)
+	for trial := 0; trial < 500; trial++ {
+		p := geom.V(r.Float64(), r.Float64())
+
+		want := net.CoveringIndices(p)
+		got := make([]int, 0, len(want))
+		ix.ForEachCovering(p, func(cam *sensor.Camera) {
+			// Recover the index by matching position: positions are
+			// almost surely unique under uniform deployment.
+			for i := 0; i < net.Len(); i++ {
+				if net.Camera(i).Pos == cam.Pos {
+					got = append(got, i)
+					break
+				}
+			}
+		})
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: index found %d cameras, brute force %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: index %v, brute force %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestAppendViewedDirectionsMatchesBruteForce(t *testing.T) {
+	net := randomNetwork(t, 300, 99)
+	ix := NewIndex(net)
+	r := rng.New(11, 1)
+	buf := make([]float64, 0, 64)
+	for trial := 0; trial < 300; trial++ {
+		p := geom.V(r.Float64(), r.Float64())
+		want := net.ViewedDirections(p)
+		buf = ix.AppendViewedDirections(buf[:0], p)
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d: lengths differ: %d vs %d", trial, len(buf), len(want))
+		}
+		sort.Float64s(buf)
+		sort.Float64s(want)
+		for i := range want {
+			if math.Abs(buf[i]-want[i]) > 1e-12 {
+				t.Fatalf("trial %d: directions differ at %d: %v vs %v", trial, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCountCovering(t *testing.T) {
+	net := randomNetwork(t, 400, 5)
+	ix := NewIndex(net)
+	r := rng.New(13, 1)
+	for trial := 0; trial < 200; trial++ {
+		p := geom.V(r.Float64(), r.Float64())
+		if got, want := ix.CountCovering(p), len(net.CoveringIndices(p)); got != want {
+			t.Fatalf("trial %d: CountCovering = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestIndexEmptyNetwork(t *testing.T) {
+	net, err := sensor.NewNetwork(geom.UnitTorus, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(net)
+	if ix.Len() != 0 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	if got := ix.CountCovering(geom.V(0.5, 0.5)); got != 0 {
+		t.Errorf("CountCovering = %d", got)
+	}
+}
+
+func TestIndexSingleCamera(t *testing.T) {
+	cams := []sensor.Camera{{
+		Pos: geom.V(0.5, 0.5), Orient: 0, Radius: 0.2, Aperture: math.Pi,
+	}}
+	net, err := sensor.NewNetwork(geom.UnitTorus, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(net)
+	if got := ix.CountCovering(geom.V(0.6, 0.5)); got != 1 {
+		t.Errorf("point in sector: CountCovering = %d, want 1", got)
+	}
+	if got := ix.CountCovering(geom.V(0.4, 0.5)); got != 0 {
+		t.Errorf("point behind camera: CountCovering = %d, want 0", got)
+	}
+}
+
+func TestIndexLargeRadiusCoversWholeTorus(t *testing.T) {
+	// Radius beyond the torus diameter forces the scan-everything path.
+	cams := []sensor.Camera{{
+		Pos: geom.V(0.1, 0.1), Orient: 0, Radius: 2, Aperture: 2 * math.Pi,
+	}}
+	net, err := sensor.NewNetwork(geom.UnitTorus, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(net)
+	r := rng.New(17, 0)
+	for i := 0; i < 100; i++ {
+		p := geom.V(r.Float64(), r.Float64())
+		if ix.CountCovering(p) != 1 {
+			t.Fatalf("omnidirectional full-range camera missed %v", p)
+		}
+	}
+}
+
+func TestIndexSeamQueries(t *testing.T) {
+	// Cameras clustered at the torus corner; queries from the opposite
+	// side of the seam must still find them.
+	cams := []sensor.Camera{
+		{Pos: geom.V(0.02, 0.02), Orient: math.Pi, Radius: 0.1, Aperture: 2 * math.Pi},
+		{Pos: geom.V(0.98, 0.98), Orient: 0, Radius: 0.1, Aperture: 2 * math.Pi},
+	}
+	net, err := sensor.NewNetwork(geom.UnitTorus, cams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(net)
+	if got := ix.CountCovering(geom.V(0.99, 0.99)); got != 2 {
+		t.Errorf("corner point sees %d cameras, want 2 (seam wrap)", got)
+	}
+}
+
+func TestCellsPerSide(t *testing.T) {
+	tests := []struct {
+		name string
+		side float64
+		maxR float64
+		n    int
+		want int
+	}{
+		{name: "empty network", side: 1, maxR: 0.1, n: 0, want: 1},
+		{name: "zero radius", side: 1, maxR: 0, n: 100, want: 1},
+		{name: "radius bound", side: 1, maxR: 0.25, n: 10000, want: 4},
+		{name: "count bound", side: 1, maxR: 0.001, n: 100, want: 21},
+		{name: "hard cap", side: 1, maxR: 1e-9, n: 100000000, want: maxCellsPerSide},
+		{name: "radius larger than side", side: 1, maxR: 3, n: 100, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := cellsPerSide(tt.side, tt.maxR, tt.n); got != tt.want {
+				t.Errorf("cellsPerSide(%v, %v, %d) = %d, want %d",
+					tt.side, tt.maxR, tt.n, got, tt.want)
+			}
+		})
+	}
+}
+
+func BenchmarkIndexQuery(b *testing.B) {
+	p, err := sensor.Homogeneous(0.05, math.Pi/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, p, 10000, rng.New(1, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := NewIndex(net)
+	r := rng.New(2, 0)
+	buf := make([]float64, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = ix.AppendViewedDirections(buf[:0], geom.V(r.Float64(), r.Float64()))
+	}
+}
+
+func BenchmarkBruteForceQuery(b *testing.B) {
+	p, err := sensor.Homogeneous(0.05, math.Pi/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, p, 10000, rng.New(1, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ViewedDirections(geom.V(r.Float64(), r.Float64()))
+	}
+}
