@@ -141,6 +141,35 @@ func BenchmarkSurveyDenseGrid500(b *testing.B) {
 	}
 }
 
+// Sweep-engine benchmarks over a ~100k-point grid (317² = 100489):
+// BenchmarkSweepSequential is the single-worker baseline and the
+// BenchmarkSweepParallelN variants track the speedup of the shared
+// parallel sweep engine in the bench trajectory.
+
+func benchSweepGrid(b *testing.B) (*fullview.Checker, []fullview.Vec) {
+	b.Helper()
+	_, checker := benchNetwork(b, 600)
+	grid, err := fullview.GridPoints(fullview.UnitTorus, 317)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return checker, grid
+}
+
+func benchSweepParallel(b *testing.B, workers int) {
+	b.Helper()
+	checker, grid := benchSweepGrid(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker.SurveyRegionParallel(grid, workers)
+	}
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchSweepParallel(b, 1) }
+func BenchmarkSweepParallel2(b *testing.B)  { benchSweepParallel(b, 2) }
+func BenchmarkSweepParallel4(b *testing.B)  { benchSweepParallel(b, 4) }
+func BenchmarkSweepParallel8(b *testing.B)  { benchSweepParallel(b, 8) }
+
 func BenchmarkCSAEvaluation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := fullview.CSANecessary(1000, math.Pi/4); err != nil {

@@ -11,7 +11,9 @@
 //	-quick        shrink populations and trial counts (seconds, not minutes)
 //	-seed N       master RNG seed (default 2012)
 //	-trials N     override the per-cell Monte-Carlo trial count
-//	-parallel N   cap worker goroutines (default GOMAXPROCS)
+//	-parallel N   cap worker goroutines (default GOMAXPROCS); applies to
+//	              trial scheduling and grid sweeps alike, both of which
+//	              run through the shared internal/sweep engine
 //	-list         list registered experiments and exit
 package main
 
@@ -37,7 +39,7 @@ func run(args []string, stdout io.Writer) error {
 		quick    = fs.Bool("quick", false, "shrink populations and trial counts")
 		seed     = fs.Uint64("seed", 0, "master RNG seed (0 = default 2012)")
 		trials   = fs.Int("trials", 0, "override per-cell trial count (0 = experiment default)")
-		parallel = fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+		parallel = fs.Int("parallel", 0, "worker goroutines for trials and sweeps (0 = GOMAXPROCS)")
 		list     = fs.Bool("list", false, "list experiments and exit")
 	)
 	fs.Usage = func() {

@@ -72,6 +72,24 @@ func TestRunDeterministicAcrossSeeds(t *testing.T) {
 	}
 }
 
+func TestRunParallelMatchesSequential(t *testing.T) {
+	base := []string{"-n", "300", "-grid", "20", "-barrier", "0.5", "-seed", "9"}
+	var seq strings.Builder
+	if err := run(append([]string{"-parallel", "1"}, base...), &seq); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []string{"0", "2", "3", "7"} {
+		var par strings.Builder
+		if err := run(append([]string{"-parallel", workers}, base...), &par); err != nil {
+			t.Fatal(err)
+		}
+		if par.String() != seq.String() {
+			t.Errorf("-parallel %s output differs from sequential:\n%s\nvs\n%s",
+				workers, par.String(), seq.String())
+		}
+	}
+}
+
 func TestRunHeterogeneousGroups(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-n", "200", "-groups", "0.5:0.2:0.5,0.5:0.1:0.25", "-grid", "10"}, &b); err != nil {

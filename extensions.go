@@ -1,6 +1,8 @@
 package fullview
 
 import (
+	"context"
+
 	"fullview/internal/analytic"
 	"fullview/internal/construct"
 	"fullview/internal/core"
@@ -104,9 +106,18 @@ func BestGuaranteedTheta(s float64, n int) (float64, error) {
 }
 
 // FindHoles sweeps a gridSide×gridSide grid and returns the connected
-// full-view coverage holes, largest first.
+// full-view coverage holes, largest first. The grid labelling runs in
+// parallel over all cores.
 func FindHoles(checker *Checker, gridSide int) ([]Hole, error) {
 	return holes.Find(checker, gridSide)
+}
+
+// FindHolesContext is FindHoles with context cancellation and an
+// explicit worker count (GOMAXPROCS when workers ≤ 0) for the
+// grid-labelling sweep. The holes found are identical at any worker
+// count.
+func FindHolesContext(ctx context.Context, checker *Checker, gridSide, workers int) ([]Hole, error) {
+	return holes.FindContext(ctx, checker, gridSide, workers)
 }
 
 // PatchHole proposes a ring of cameras that covers the hole (plus pad)

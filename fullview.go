@@ -32,9 +32,23 @@
 //
 // All geometry lives on a torus so results are free of boundary effects,
 // exactly as in the paper's model.
+//
+// # Concurrency
+//
+// Every point sweep runs through a shared parallel sweep engine with
+// deterministic chunked scheduling: Checker.SurveyRegionParallel and
+// Checker.SurveyRegionContext spread a region survey over a worker pool
+// (workers ≤ 0 selects GOMAXPROCS) and return statistics bit-identical
+// to the sequential Checker.SurveyRegion; SurveyBarrierContext and
+// FindHolesContext do the same for barrier sweeps and hole detection.
+// A Checker is not safe for concurrent use — derive per-goroutine
+// checkers with Checker.Clone, which shares the immutable spatial index
+// and costs one scratch-buffer allocation.
 package fullview
 
 import (
+	"context"
+
 	"fullview/internal/analytic"
 	"fullview/internal/barrier"
 	"fullview/internal/core"
@@ -169,8 +183,9 @@ func GridPoints(t Torus, k int) ([]Vec, error) { return deploy.GridPoints(t, k) 
 func DenseGrid(t Torus, n int) ([]Vec, error) { return deploy.DenseGrid(t, n) }
 
 // NewChecker builds a coverage checker for the network with effective
-// angle theta ∈ (0, π]. Checkers are not safe for concurrent use; create
-// one per goroutine.
+// angle theta ∈ (0, π]. Checkers are not safe for concurrent use; derive
+// one per goroutine with Checker.Clone (parallel survey methods do this
+// internally).
 func NewChecker(net *Network, theta float64) (*Checker, error) {
 	return core.NewChecker(net, theta)
 }
@@ -246,6 +261,13 @@ func HorizontalBarrier(y float64) Barrier { return barrier.Horizontal(y) }
 // given sample spacing.
 func SurveyBarrier(checker *Checker, b Barrier, spacing float64) (BarrierStats, error) {
 	return barrier.Survey(checker, b, spacing)
+}
+
+// SurveyBarrierContext is SurveyBarrier with context cancellation and a
+// worker count (GOMAXPROCS when workers ≤ 0). Results are bit-identical
+// to SurveyBarrier at any worker count.
+func SurveyBarrierContext(ctx context.Context, checker *Checker, b Barrier, spacing float64, workers int) (BarrierStats, error) {
+	return barrier.SurveyContext(ctx, checker, b, spacing, workers)
 }
 
 // NewProbEvaluator builds a probabilistic full-view evaluator over the

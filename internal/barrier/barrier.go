@@ -7,12 +7,14 @@
 package barrier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"fullview/internal/core"
 	"fullview/internal/geom"
+	"fullview/internal/sweep"
 )
 
 // Validation errors.
@@ -134,29 +136,73 @@ func (s Stats) WeakFraction() float64 {
 	return float64(s.Weak) / float64(s.Samples)
 }
 
+// surveyAcc is the mergeable aggregate of a barrier sweep chunk. Counts
+// are additive; the gap witness of the earliest chunk (in barrier
+// order) wins, so merged results match the sequential scan exactly.
+type surveyAcc struct {
+	fullView, weak int
+	gapFound       bool
+	gapPoint       geom.Vec
+	gapDirection   float64
+}
+
+// merge combines the aggregate of a later chunk into this one.
+func (a surveyAcc) merge(b surveyAcc) surveyAcc {
+	a.fullView += b.fullView
+	a.weak += b.weak
+	if !a.gapFound && b.gapFound {
+		a.gapFound = true
+		a.gapPoint = b.gapPoint
+		a.gapDirection = b.gapDirection
+	}
+	return a
+}
+
 // Survey evaluates full-view coverage along the barrier with the given
-// sample spacing.
+// sample spacing. It is the single-worker case of SurveyContext.
 func Survey(checker *core.Checker, b Barrier, spacing float64) (Stats, error) {
+	return SurveyContext(context.Background(), checker, b, spacing, 1)
+}
+
+// SurveyContext evaluates full-view coverage along the barrier with the
+// given number of workers (GOMAXPROCS when workers ≤ 0), executing
+// through the shared internal/sweep engine. Results are bit-identical
+// to the sequential Survey at any worker count: the reported gap point
+// is always the first uncovered sample in barrier order. A cancelled
+// context aborts the sweep and returns ctx.Err().
+func SurveyContext(ctx context.Context, checker *core.Checker, b Barrier, spacing float64, workers int) (Stats, error) {
 	points, err := b.Sample(spacing)
 	if err != nil {
 		return Stats{}, err
 	}
-	stats := Stats{Samples: len(points), Covered: true}
-	for _, p := range points {
-		rep := checker.Report(p)
-		if rep.NumCovering > 0 {
-			stats.Weak++
-		}
-		if rep.FullView {
-			stats.FullView++
-			continue
-		}
-		if stats.Covered {
-			stats.Covered = false
-			stats.GapPoint = p
-			dir, _ := checker.UnsafeDirection(p)
-			stats.GapDirection = dir
-		}
+	acc, err := sweep.Run(ctx, points, workers,
+		func() (*core.Checker, error) { return checker.Clone(), nil },
+		func(worker *core.Checker, acc surveyAcc, _ int, p geom.Vec) surveyAcc {
+			rep := worker.Report(p)
+			if rep.NumCovering > 0 {
+				acc.weak++
+			}
+			if rep.FullView {
+				acc.fullView++
+			} else if !acc.gapFound {
+				acc.gapFound = true
+				acc.gapPoint = p
+				dir, _ := worker.UnsafeDirection(p)
+				acc.gapDirection = dir
+			}
+			return acc
+		},
+		surveyAcc.merge,
+	)
+	if err != nil {
+		return Stats{}, err
 	}
-	return stats, nil
+	return Stats{
+		Samples:      len(points),
+		FullView:     acc.fullView,
+		Weak:         acc.weak,
+		Covered:      !acc.gapFound,
+		GapPoint:     acc.gapPoint,
+		GapDirection: acc.gapDirection,
+	}, nil
 }

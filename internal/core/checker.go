@@ -20,9 +20,9 @@ var ErrBadTheta = errors.New("core: effective angle θ must be in (0, π]")
 
 // Checker evaluates coverage predicates for one deployed network and one
 // effective angle θ. It reuses internal buffers across calls, so a
-// Checker must not be used from multiple goroutines concurrently; create
-// one per worker instead (construction is cheap relative to a grid
-// sweep).
+// Checker must not be used from multiple goroutines concurrently; use
+// Clone to derive one per worker instead (cloning shares the immutable
+// spatial index and costs one scratch-buffer allocation).
 type Checker struct {
 	index             *spatial.Index
 	theta             float64
@@ -63,6 +63,16 @@ func newChecker(ix *spatial.Index, theta float64) (*Checker, error) {
 		sufficientSectors: sufficient,
 		dirBuf:            make([]float64, 0, 64),
 	}, nil
+}
+
+// Clone returns an independent Checker over the same network and
+// effective angle: the immutable spatial index and sector partitions
+// are shared, the mutable scratch buffers are private. Use it to give
+// every goroutine of a parallel sweep its own Checker.
+func (c *Checker) Clone() *Checker {
+	clone := *c
+	clone.dirBuf = make([]float64, 0, cap(c.dirBuf))
+	return &clone
 }
 
 // Theta returns the effective angle θ.

@@ -1,93 +1,42 @@
 package core
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"fullview/internal/geom"
+	"fullview/internal/sweep"
 )
 
-// SurveyRegionParallel evaluates the sample points with the given number
-// of workers (GOMAXPROCS when workers ≤ 0) and aggregates exactly like
-// SurveyRegion. Each worker gets its own Checker over the shared
-// immutable spatial index, so the sweep scales with cores while the
-// result stays identical to the sequential sweep.
+// SurveyRegionContext evaluates the sample points through the shared
+// internal/sweep engine with the given number of workers (GOMAXPROCS
+// when workers ≤ 0) and aggregates exactly like SurveyRegion: results
+// are bit-identical to the sequential sweep at any worker count. Each
+// worker gets its own Clone of the Checker over the shared immutable
+// spatial index.
+//
+// A cancelled context aborts the sweep promptly and returns ctx.Err()
+// with zero statistics.
+func (c *Checker) SurveyRegionContext(ctx context.Context, points []geom.Vec, workers int) (RegionStats, error) {
+	return sweep.Run(ctx, points, workers,
+		func() (*Checker, error) { return c.Clone(), nil },
+		func(worker *Checker, acc RegionStats, _ int, p geom.Vec) RegionStats {
+			acc.observe(worker.Report(p))
+			return acc
+		},
+		RegionStats.Merge,
+	)
+}
+
+// SurveyRegionParallel is SurveyRegionContext without cancellation: it
+// evaluates the sample points with the given number of workers
+// (GOMAXPROCS when workers ≤ 0) and returns statistics identical to
+// SurveyRegion.
 func (c *Checker) SurveyRegionParallel(points []geom.Vec, workers int) RegionStats {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	stats, err := c.SurveyRegionContext(context.Background(), points, workers)
+	if err != nil {
+		// Unreachable: the background context never cancels and the
+		// worker factory never fails.
+		panic(err)
 	}
-	if workers > len(points) {
-		workers = len(points)
-	}
-	if workers <= 1 {
-		return c.SurveyRegion(points)
-	}
-
-	partials := make([]RegionStats, workers)
-	totals := make([]int, workers)
-	var wg sync.WaitGroup
-	chunk := (len(points) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(points) {
-			hi = len(points)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			// Workers share the index but not the scratch buffers.
-			worker, err := NewCheckerFromIndex(c.index, c.theta)
-			if err != nil {
-				// Unreachable: c.theta was already validated.
-				panic(err)
-			}
-			stats := RegionStats{Points: hi - lo}
-			covering := 0
-			for i, p := range points[lo:hi] {
-				rep := worker.Report(p)
-				covering += rep.NumCovering
-				if i == 0 || rep.NumCovering < stats.MinCovering {
-					stats.MinCovering = rep.NumCovering
-				}
-				if rep.FullView {
-					stats.FullView++
-				}
-				if rep.Necessary {
-					stats.Necessary++
-				}
-				if rep.Sufficient {
-					stats.Sufficient++
-				}
-			}
-			partials[w] = stats
-			totals[w] = covering
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	merged := RegionStats{}
-	totalCovering := 0
-	first := true
-	for w, part := range partials {
-		if part.Points == 0 {
-			continue
-		}
-		merged.Points += part.Points
-		merged.FullView += part.FullView
-		merged.Necessary += part.Necessary
-		merged.Sufficient += part.Sufficient
-		totalCovering += totals[w]
-		if first || part.MinCovering < merged.MinCovering {
-			merged.MinCovering = part.MinCovering
-			first = false
-		}
-	}
-	if merged.Points > 0 {
-		merged.MeanCovering = float64(totalCovering) / float64(merged.Points)
-	}
-	return merged
+	return stats
 }

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime"
 	"testing"
 
 	"fullview/internal/deploy"
@@ -31,10 +34,57 @@ func TestSurveyRegionParallelMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := c.SurveyRegion(points)
-	for _, workers := range []int{0, 1, 2, 4, 7, 16} {
+	for _, workers := range []int{0, 1, 2, 3, 4, 7, 16, runtime.GOMAXPROCS(0)} {
 		got := c.SurveyRegionParallel(points, workers)
 		if got != want {
 			t.Errorf("workers=%d: %+v != sequential %+v", workers, got, want)
+		}
+		viaCtx, err := c.SurveyRegionContext(context.Background(), points, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if viaCtx != want {
+			t.Errorf("workers=%d: context sweep %+v != sequential %+v", workers, viaCtx, want)
+		}
+	}
+}
+
+func TestSurveyRegionContextCancelled(t *testing.T) {
+	c := denseRandomChecker(t, 200, math.Pi/3, 3)
+	points, err := deploy.GridPoints(geom.UnitTorus, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := c.SurveyRegionContext(ctx, points, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if got != (RegionStats{}) {
+		t.Errorf("cancelled sweep returned stats %+v", got)
+	}
+}
+
+func TestCheckerCloneIsIndependent(t *testing.T) {
+	c := denseRandomChecker(t, 300, math.Pi/4, 4)
+	clone := c.Clone()
+	if clone == c {
+		t.Fatal("Clone returned the same checker")
+	}
+	if clone.Index() != c.Index() {
+		t.Error("Clone must share the spatial index")
+	}
+	if clone.Theta() != c.Theta() {
+		t.Errorf("Clone theta = %v, want %v", clone.Theta(), c.Theta())
+	}
+	points, err := deploy.GridPoints(geom.UnitTorus, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if c.Report(p) != clone.Report(p) {
+			t.Fatalf("clone disagrees with original at %v", p)
 		}
 	}
 }

@@ -42,6 +42,53 @@ type RegionStats struct {
 	// MinCovering / MeanCovering summarize k-coverage multiplicity.
 	MinCovering  int
 	MeanCovering float64
+	// totalCovering carries the exact integer covering-count sum so that
+	// Merge can recompute MeanCovering without floating-point drift —
+	// merged stats are bit-identical to a sequential sweep.
+	totalCovering int
+}
+
+// observe folds one point report into the aggregate.
+func (s *RegionStats) observe(r PointReport) {
+	if s.Points == 0 || r.NumCovering < s.MinCovering {
+		s.MinCovering = r.NumCovering
+	}
+	s.Points++
+	s.totalCovering += r.NumCovering
+	if r.FullView {
+		s.FullView++
+	}
+	if r.Necessary {
+		s.Necessary++
+	}
+	if r.Sufficient {
+		s.Sufficient++
+	}
+	s.MeanCovering = float64(s.totalCovering) / float64(s.Points)
+}
+
+// Merge combines two partial aggregates over disjoint point sets, as
+// produced by surveying two halves of a region. Merging the chunk
+// aggregates of a parallel sweep in chunk order reproduces the
+// sequential sweep's statistics exactly, including MeanCovering (the
+// integer covering-count sum is carried internally and re-divided).
+func (s RegionStats) Merge(other RegionStats) RegionStats {
+	if other.Points == 0 {
+		return s
+	}
+	if s.Points == 0 {
+		return other
+	}
+	if other.MinCovering < s.MinCovering {
+		s.MinCovering = other.MinCovering
+	}
+	s.Points += other.Points
+	s.FullView += other.FullView
+	s.Necessary += other.Necessary
+	s.Sufficient += other.Sufficient
+	s.totalCovering += other.totalCovering
+	s.MeanCovering = float64(s.totalCovering) / float64(s.Points)
+	return s
 }
 
 // FullViewFraction returns the fraction of sample points that are
@@ -79,29 +126,10 @@ func fraction(k, n int) float64 {
 }
 
 // SurveyRegion evaluates every sample point and aggregates the results.
+// It is the single-worker case of SurveyRegionParallel; both run
+// through the internal/sweep engine and produce identical statistics.
 func (c *Checker) SurveyRegion(points []geom.Vec) RegionStats {
-	stats := RegionStats{Points: len(points)}
-	totalCovering := 0
-	for i, p := range points {
-		r := c.Report(p)
-		totalCovering += r.NumCovering
-		if i == 0 || r.NumCovering < stats.MinCovering {
-			stats.MinCovering = r.NumCovering
-		}
-		if r.FullView {
-			stats.FullView++
-		}
-		if r.Necessary {
-			stats.Necessary++
-		}
-		if r.Sufficient {
-			stats.Sufficient++
-		}
-	}
-	if len(points) > 0 {
-		stats.MeanCovering = float64(totalCovering) / float64(len(points))
-	}
-	return stats
+	return c.SurveyRegionParallel(points, 1)
 }
 
 // FirstFullViewGap scans the sample points and returns the first point

@@ -68,7 +68,9 @@ func RunGrid(cfg Config, gridSide, trials, parallelism int, seed uint64) (GridOu
 		if err != nil {
 			return core.RegionStats{}, err
 		}
-		return checker.SurveyRegion(points), nil
+		// Single-trial runs push the parallelism into the grid sweep
+		// itself; multi-trial runs keep cores busy at the trial level.
+		return checker.SurveyRegionParallel(points, sweepWorkers(trials, parallelism)), nil
 	})
 	if err != nil {
 		return GridOutcome{}, fmt.Errorf("grid experiment: %w", err)

@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"fullview/internal/core"
 	"fullview/internal/geom"
 	"fullview/internal/rng"
 	"fullview/internal/stats"
+	"fullview/internal/sweep"
 )
 
 // PointOutcome aggregates a point-coverage experiment: random sample
@@ -61,32 +63,50 @@ func RunPoints(cfg Config, pointsPerTrial, trials, parallelism int, seed uint64)
 		if err != nil {
 			return trialResult{}, err
 		}
-		res := trialResult{covering: make([]float64, 0, pointsPerTrial)}
+		// Draw all sample points up front (the RNG sequence is exactly
+		// the interleaved one, since diagnosis consumes no randomness),
+		// then evaluate them through the sweep engine. Chunk-ordered
+		// merging keeps the covering series in point order.
 		side := cfg.Torus.Side()
-		for i := 0; i < pointsPerTrial; i++ {
-			p := geom.V(r.Float64()*side, r.Float64()*side)
-			rep := checker.Report(p)
-			if rep.Necessary {
-				res.necessary++
-				if !rep.FullView {
-					res.necessaryNotFullView++
-				}
-			}
-			if rep.FullView {
-				res.fullView++
-				if !rep.Sufficient {
-					res.fullViewNotSuf++
-				}
-			}
-			if rep.Sufficient {
-				res.sufficient++
-			}
-			if cfg.KTarget > 0 && rep.NumCovering >= cfg.KTarget {
-				res.kCovered++
-			}
-			res.covering = append(res.covering, float64(rep.NumCovering))
+		points := make([]geom.Vec, pointsPerTrial)
+		for i := range points {
+			points[i] = geom.V(r.Float64()*side, r.Float64()*side)
 		}
-		return res, nil
+		return sweep.Run(context.Background(), points, sweepWorkers(trials, parallelism),
+			func() (*core.Checker, error) { return checker.Clone(), nil },
+			func(worker *core.Checker, acc trialResult, _ int, p geom.Vec) trialResult {
+				rep := worker.Report(p)
+				if rep.Necessary {
+					acc.necessary++
+					if !rep.FullView {
+						acc.necessaryNotFullView++
+					}
+				}
+				if rep.FullView {
+					acc.fullView++
+					if !rep.Sufficient {
+						acc.fullViewNotSuf++
+					}
+				}
+				if rep.Sufficient {
+					acc.sufficient++
+				}
+				if cfg.KTarget > 0 && rep.NumCovering >= cfg.KTarget {
+					acc.kCovered++
+				}
+				acc.covering = append(acc.covering, float64(rep.NumCovering))
+				return acc
+			},
+			func(dst, src trialResult) trialResult {
+				dst.necessary += src.necessary
+				dst.sufficient += src.sufficient
+				dst.fullView += src.fullView
+				dst.necessaryNotFullView += src.necessaryNotFullView
+				dst.fullViewNotSuf += src.fullViewNotSuf
+				dst.kCovered += src.kCovered
+				dst.covering = append(dst.covering, src.covering...)
+				return dst
+			})
 	})
 	if err != nil {
 		return PointOutcome{}, fmt.Errorf("point experiment: %w", err)

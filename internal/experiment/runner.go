@@ -5,16 +5,17 @@
 //
 // Determinism: trial i always runs with the RNG stream derived from
 // (seed, i), so results are independent of GOMAXPROCS and scheduling.
+// Trial scheduling and point sweeps both execute through the shared
+// internal/sweep engine.
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"fullview/internal/rng"
+	"fullview/internal/sweep"
 )
 
 // ErrBadTrials reports a non-positive trial count.
@@ -29,48 +30,31 @@ type TrialFunc[T any] func(trial int, r *rng.PCG) (T, error)
 // The first trial error aborts the run: no further trials start, and the
 // error is returned after in-flight trials complete.
 func Run[T any](seed uint64, trials, parallelism int, fn TrialFunc[T]) ([]T, error) {
+	return RunContext(context.Background(), seed, trials, parallelism, fn)
+}
+
+// RunContext is Run with cancellation: a cancelled context stops
+// launching trials and returns ctx.Err() after in-flight trials
+// complete.
+func RunContext[T any](ctx context.Context, seed uint64, trials, parallelism int, fn TrialFunc[T]) ([]T, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadTrials, trials)
 	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > trials {
-		parallelism = trials
-	}
+	return sweep.Map(ctx, trials, parallelism, func(i int) (T, error) {
+		out, err := fn(i, rng.New(seed, uint64(i)))
+		if err != nil {
+			return out, fmt.Errorf("experiment: trial %d: %w", i, err)
+		}
+		return out, nil
+	})
+}
 
-	results := make([]T, trials)
-	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		errOnce  sync.Once
-		firstErr error
-		wg       sync.WaitGroup
-	)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= trials || failed.Load() {
-					return
-				}
-				out, err := fn(i, rng.New(seed, uint64(i)))
-				if err != nil {
-					errOnce.Do(func() {
-						firstErr = fmt.Errorf("experiment: trial %d: %w", i, err)
-					})
-					failed.Store(true)
-					return
-				}
-				results[i] = out
-			}
-		}()
+// sweepWorkers picks the worker count for a point sweep nested inside a
+// trial: trials already saturate the cores when there are several, so
+// inner sweeps stay sequential unless the experiment is a single trial.
+func sweepWorkers(trials, parallelism int) int {
+	if trials == 1 {
+		return parallelism
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
+	return 1
 }

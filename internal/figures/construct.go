@@ -55,7 +55,9 @@ func runConstruct(w io.Writer, opts Options) error {
 		if err != nil {
 			return err
 		}
-		stats := checker.SurveyRegion(grid)
+		// One deterministic deployment per θ — no trials to parallelise
+		// over, so the verification sweep itself takes the workers.
+		stats := checker.SurveyRegionParallel(grid, opts.Parallelism)
 		if !stats.AllFullView() {
 			return fmt.Errorf("construct: plan θ=%.3gπ left %d/%d grid points uncovered",
 				t, stats.Points-stats.FullView, stats.Points)

@@ -9,6 +9,7 @@
 package holes
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ import (
 	"fullview/internal/deploy"
 	"fullview/internal/geom"
 	"fullview/internal/sensor"
+	"fullview/internal/sweep"
 )
 
 // Validation errors.
@@ -44,8 +46,19 @@ func (h Hole) Size() int { return len(h.Points) }
 
 // Find sweeps a gridSide×gridSide grid and clusters the points that are
 // not full-view covered into connected holes (4-adjacency, wrapping
-// across the torus seam). Holes are returned largest first.
+// across the torus seam). Holes are returned largest first. The grid
+// labelling runs in parallel over all cores; use FindContext to bound
+// the worker count or cancel mid-sweep.
 func Find(checker *core.Checker, gridSide int) ([]Hole, error) {
+	return FindContext(context.Background(), checker, gridSide, 0)
+}
+
+// FindContext is Find with an explicit worker count (GOMAXPROCS when
+// workers ≤ 0) and context cancellation for the grid-labelling pass,
+// which executes through the shared internal/sweep engine. The hole
+// clustering itself is deterministic, so results are identical at any
+// worker count.
+func FindContext(ctx context.Context, checker *core.Checker, gridSide, workers int) ([]Hole, error) {
 	if gridSide <= 0 {
 		return nil, fmt.Errorf("%w: got %d", ErrBadGridSide, gridSide)
 	}
@@ -54,16 +67,27 @@ func Find(checker *core.Checker, gridSide int) ([]Hole, error) {
 	if err != nil {
 		return nil, err
 	}
-	uncovered := make([]bool, len(points))
-	any := false
-	for i, p := range points {
-		if !checker.FullViewCovered(p) {
-			uncovered[i] = true
-			any = true
-		}
+	// Label uncovered grid points in parallel; chunk-ordered merge keeps
+	// the index list in grid order.
+	badIdx, err := sweep.Run(ctx, points, workers,
+		func() (*core.Checker, error) { return checker.Clone(), nil },
+		func(worker *core.Checker, acc []int, i int, p geom.Vec) []int {
+			if !worker.FullViewCovered(p) {
+				acc = append(acc, i)
+			}
+			return acc
+		},
+		func(dst, src []int) []int { return append(dst, src...) },
+	)
+	if err != nil {
+		return nil, err
 	}
-	if !any {
+	if len(badIdx) == 0 {
 		return nil, nil
+	}
+	uncovered := make([]bool, len(points))
+	for _, i := range badIdx {
+		uncovered[i] = true
 	}
 
 	// Union-find over uncovered grid cells.

@@ -6,6 +6,7 @@
 package lifetime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -83,8 +84,9 @@ func (fs *FailureSchedule) AliveAt(t float64) (*sensor.Network, error) {
 	return sensor.NewNetwork(fs.net.Torus(), alive)
 }
 
-// coverageAt returns the full-view-covered fraction of points at time t.
-func (fs *FailureSchedule) coverageAt(t, theta float64, points []geom.Vec) (float64, error) {
+// coverageAt returns the full-view-covered fraction of points at time t,
+// sweeping the grid with the given number of workers.
+func (fs *FailureSchedule) coverageAt(ctx context.Context, t, theta float64, points []geom.Vec, workers int) (float64, error) {
 	net, err := fs.AliveAt(t)
 	if err != nil {
 		return 0, err
@@ -93,7 +95,11 @@ func (fs *FailureSchedule) coverageAt(t, theta float64, points []geom.Vec) (floa
 	if err != nil {
 		return 0, err
 	}
-	return checker.SurveyRegion(points).FullViewFraction(), nil
+	stats, err := checker.SurveyRegionContext(ctx, points, workers)
+	if err != nil {
+		return 0, err
+	}
+	return stats.FullViewFraction(), nil
 }
 
 // CoverageLifetime returns the time at which the full-view-covered
@@ -105,10 +111,19 @@ func (fs *FailureSchedule) coverageAt(t, theta float64, points []geom.Vec) (floa
 // it never drops (e.g. threshold met by the empty network is impossible,
 // so +Inf only occurs for unreachable thresholds).
 func (fs *FailureSchedule) CoverageLifetime(theta float64, points []geom.Vec, threshold float64) (float64, error) {
+	return fs.CoverageLifetimeContext(context.Background(), theta, points, threshold, 1)
+}
+
+// CoverageLifetimeContext is CoverageLifetime with cancellation and
+// parallel grid sweeps: each of the O(log n) bisection sweeps runs
+// through the sweep engine with the given number of workers (GOMAXPROCS
+// when workers ≤ 0). The lifetime found is identical at any worker
+// count.
+func (fs *FailureSchedule) CoverageLifetimeContext(ctx context.Context, theta float64, points []geom.Vec, threshold float64, workers int) (float64, error) {
 	if !(threshold > 0) || threshold > 1 {
 		return 0, fmt.Errorf("%w: got %v", ErrBadThreshold, threshold)
 	}
-	initial, err := fs.coverageAt(0, theta, points)
+	initial, err := fs.coverageAt(ctx, 0, theta, points, workers)
 	if err != nil {
 		return 0, err
 	}
@@ -125,7 +140,7 @@ func (fs *FailureSchedule) CoverageLifetime(theta float64, points []geom.Vec, th
 	lo, hi := 0, len(events) // lo: known ≥ threshold before event lo
 	for lo < hi {
 		mid := (lo + hi) / 2
-		cov, err := fs.coverageAt(events[mid], theta, points)
+		cov, err := fs.coverageAt(ctx, events[mid], theta, points, workers)
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package lifetime
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -156,14 +157,14 @@ func TestCoverageLifetime(t *testing.T) {
 		t.Fatalf("lifetime = %v, want finite positive", life)
 	}
 	// Just before the lifetime, coverage holds; just after, it doesn't.
-	before, err := fs.coverageAt(life*(1-1e-9), theta, points)
+	before, err := fs.coverageAt(context.Background(), life*(1-1e-9), theta, points, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if before < 0.9 {
 		t.Errorf("coverage %v below threshold just before the lifetime", before)
 	}
-	after, err := fs.coverageAt(life, theta, points)
+	after, err := fs.coverageAt(context.Background(), life, theta, points, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

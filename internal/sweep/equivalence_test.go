@@ -1,0 +1,165 @@
+package sweep_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"fullview/internal/barrier"
+	"fullview/internal/core"
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+// equivalenceWorkers is the worker set every sequential/parallel
+// equivalence assertion runs over.
+func equivalenceWorkers() []int {
+	return []int{1, 2, 3, 7, runtime.GOMAXPROCS(0)}
+}
+
+// seededCheckers builds one checker per table case: homogeneous and
+// heterogeneous profiles, uniform and Poisson deployments, several
+// effective angles — all seeded, so failures reproduce exactly.
+func seededCheckers(t *testing.T) map[string]*core.Checker {
+	t.Helper()
+	homogeneous, err := sensor.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := sensor.NewProfile(
+		sensor.GroupSpec{Fraction: 0.4, Radius: 0.22, Aperture: math.Pi / 3},
+		sensor.GroupSpec{Fraction: 0.6, Radius: 0.12, Aperture: 2 * math.Pi / 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkers := make(map[string]*core.Checker)
+	add := func(name string, net *sensor.Network, err error, theta float64) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := core.NewChecker(net, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkers[name] = c
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, homogeneous, 700, rng.New(11, 0))
+	add("uniform/homogeneous", net, err, math.Pi/4)
+	net, err = deploy.Uniform(geom.UnitTorus, mixed, 900, rng.New(12, 0))
+	add("uniform/heterogeneous", net, err, math.Pi/3)
+	net, err = deploy.Poisson(geom.UnitTorus, homogeneous, 500, rng.New(13, 0))
+	add("poisson/homogeneous", net, err, math.Pi/2)
+	// Deliberately sparse so the region has holes and barrier gaps: the
+	// MinCovering and gap-witness paths must agree too.
+	net, err = deploy.Uniform(geom.UnitTorus, homogeneous, 60, rng.New(14, 0))
+	add("uniform/sparse", net, err, math.Pi/5)
+	return checkers
+}
+
+// TestRegionSweepEquivalence asserts that SurveyRegion (sequential),
+// SurveyRegionParallel, and SurveyRegionContext — all running through
+// the sweep engine — produce identical RegionStats at every worker
+// count on seeded deployments.
+func TestRegionSweepEquivalence(t *testing.T) {
+	for name, checker := range seededCheckers(t) {
+		checker := checker
+		t.Run(name, func(t *testing.T) {
+			points, err := deploy.GridPoints(geom.UnitTorus, 37)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := checker.SurveyRegion(points)
+			for _, workers := range equivalenceWorkers() {
+				if got := checker.SurveyRegionParallel(points, workers); got != want {
+					t.Errorf("SurveyRegionParallel(workers=%d) = %+v, want %+v", workers, got, want)
+				}
+				got, err := checker.SurveyRegionContext(context.Background(), points, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got != want {
+					t.Errorf("SurveyRegionContext(workers=%d) = %+v, want %+v", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBarrierSweepEquivalence asserts the barrier survey produces
+// identical BarrierStats — including the first-gap witness point — at
+// every worker count.
+func TestBarrierSweepEquivalence(t *testing.T) {
+	diagonal, err := barrier.New(geom.V(0, 0.1), geom.V(0.6, 0.8), geom.V(1, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, checker := range seededCheckers(t) {
+		checker := checker
+		t.Run(name, func(t *testing.T) {
+			for _, line := range []barrier.Barrier{barrier.Horizontal(0.5), diagonal} {
+				want, err := barrier.Survey(checker, line, 0.005)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range equivalenceWorkers() {
+					got, err := barrier.SurveyContext(context.Background(), checker, line, 0.005, workers)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					if got != want {
+						t.Errorf("SurveyContext(workers=%d) = %+v, want %+v", workers, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRegionSweepCancellation asserts a context cancelled mid-sweep
+// stops a large survey promptly instead of running it to completion.
+func TestRegionSweepCancellation(t *testing.T) {
+	profile, err := sensor.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := deploy.Uniform(geom.UnitTorus, profile, 3000, rng.New(15, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := core.NewChecker(net, math.Pi/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A grid big enough that the full sweep takes far longer than the
+	// cancellation deadline.
+	points, err := deploy.GridPoints(geom.UnitTorus, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	stats, err := checker.SurveyRegionContext(ctx, points, 4)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if stats != (core.RegionStats{}) {
+		t.Errorf("cancelled sweep returned stats %+v", stats)
+	}
+	// The full 160k-point sweep takes seconds; a prompt abort does not.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled sweep took %v to return", elapsed)
+	}
+}

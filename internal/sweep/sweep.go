@@ -1,0 +1,239 @@
+// Package sweep is the repository's shared parallel execution engine
+// for point sweeps: evaluating a coverage predicate (or any other
+// kernel) over a large slice of sample points — the paper's √(n·ln n)
+// dense grid, barrier samples, Monte-Carlo probe points — and folding
+// the per-point results into one aggregate.
+//
+// Every sweeping layer of the repository (internal/core region surveys,
+// internal/barrier, internal/holes grid labelling, internal/experiment
+// point sweeps) runs through this package, so scheduling, worker-state
+// management, and cancellation exist exactly once.
+//
+// # Determinism
+//
+// Run splits the points into at most `workers` contiguous chunks and
+// merges the chunk aggregates in chunk order. As long as the caller's
+// merge is exact for reordered *chunk boundaries* (integer counters,
+// minima, order-preserving appends — everything this repository
+// aggregates), the result is bit-identical to the sequential sweep at
+// any worker count. Map assigns items to workers dynamically but stores
+// results by index, so its output order is deterministic too.
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fullview/internal/geom"
+)
+
+// cancelCheckInterval is how many points a worker processes between
+// context checks: coarse enough to stay off the hot path, fine enough
+// that cancellation lands within microseconds of real work.
+const cancelCheckInterval = 256
+
+// normalizeWorkers resolves the worker-count convention used across the
+// repository: ≤ 0 means GOMAXPROCS, and the count never exceeds the
+// number of work items.
+func normalizeWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run evaluates kernel over every point with the given number of
+// workers (GOMAXPROCS when workers ≤ 0) and folds the results into one
+// aggregate of type T.
+//
+// Each worker owns a private state S built once by newState — typically
+// a cloned coverage checker over a shared immutable spatial index — and
+// folds its contiguous chunk of points into a private accumulator
+// (starting from T's zero value) by calling kernel(state, acc, i, p)
+// for every point index i. Chunk accumulators are then combined with
+// merge in chunk order.
+//
+// Run returns early with ctx.Err() when the context is cancelled
+// (workers notice within cancelCheckInterval points), and with the
+// factory's error when newState fails. On error the aggregate is T's
+// zero value.
+func Run[S, T any](
+	ctx context.Context,
+	points []geom.Vec,
+	workers int,
+	newState func() (S, error),
+	kernel func(state S, acc T, i int, p geom.Vec) T,
+	merge func(dst, src T) T,
+) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	if len(points) == 0 {
+		return zero, nil
+	}
+	workers = normalizeWorkers(workers, len(points))
+
+	if workers == 1 {
+		state, err := newState()
+		if err != nil {
+			return zero, err
+		}
+		acc := zero
+		for i, p := range points {
+			if i%cancelCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return zero, err
+				}
+			}
+			acc = kernel(state, acc, i, p)
+		}
+		return acc, nil
+	}
+
+	// Contiguous chunks; merged in chunk order below, so the fold order
+	// over points is exactly the sequential order at every boundary.
+	chunk := (len(points) + workers - 1) / workers
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	partials := make([]T, workers)
+	used := make([]bool, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(points) {
+			hi = len(points)
+		}
+		if lo >= hi {
+			continue
+		}
+		used[w] = true
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			state, err := newState()
+			if err != nil {
+				errs[w] = err
+				cancel()
+				return
+			}
+			var acc T
+			for i := lo; i < hi; i++ {
+				if (i-lo)%cancelCheckInterval == 0 {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+				acc = kernel(state, acc, i, points[i])
+			}
+			partials[w] = acc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Lowest worker index wins so the reported error is deterministic.
+	for _, err := range errs {
+		if err != nil {
+			return zero, err
+		}
+	}
+	acc := zero
+	first := true
+	for w := 0; w < workers; w++ {
+		if !used[w] {
+			continue
+		}
+		if first {
+			acc = partials[w]
+			first = false
+			continue
+		}
+		acc = merge(acc, partials[w])
+	}
+	return acc, nil
+}
+
+// Map runs fn over the indices 0..n-1 with the given number of workers
+// (GOMAXPROCS when workers ≤ 0) and returns the results in index order.
+// Items are handed to workers dynamically (work stealing), which suits
+// heterogeneous-duration items such as Monte-Carlo trials; determinism
+// must come from fn itself (e.g. a per-index RNG stream).
+//
+// The first error aborts the run: no further items start, in-flight
+// items finish, and that error is returned with a nil slice. A
+// cancelled context likewise aborts with ctx.Err().
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = normalizeWorkers(workers, n)
+
+	results := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = out
+		}
+		return results, nil
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || runCtx.Err() != nil {
+					return
+				}
+				out, err := fn(i)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					cancel()
+					return
+				}
+				results[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The parent context may have been cancelled mid-run, leaving a
+	// partially-filled results slice; report that rather than returning
+	// incomplete data.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
