@@ -2,9 +2,11 @@ package main
 
 import (
 	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"fullview/internal/checkpoint"
 	"fullview/internal/figures"
 )
 
@@ -67,5 +69,49 @@ func TestRunHonorsTrialsOverride(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "2 trials/cell") {
 		t.Errorf("trials override not reflected in output:\n%s", b.String())
+	}
+}
+
+func TestRunCheckpointResumesBitIdentical(t *testing.T) {
+	args := []string{"-quick", "-trials", "3", "-seed", "11", "thm1"}
+	var plain strings.Builder
+	if err := run(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir() + "/journals" // exercise MkdirAll
+	ckptArgs := append([]string{"-checkpoint", dir}, args...)
+	var first strings.Builder
+	if err := run(ckptArgs, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != plain.String() {
+		t.Errorf("checkpointed output differs from plain:\n%s\nvs\n%s", first.String(), plain.String())
+	}
+	journals, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(journals) == 0 {
+		t.Fatal("no journals written")
+	}
+	// Second run resumes from the completed journals: same bytes out.
+	var second strings.Builder
+	if err := run(ckptArgs, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != plain.String() {
+		t.Error("resumed run output differs from plain run")
+	}
+}
+
+func TestRunCheckpointRefusesChangedSeed(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{"-checkpoint", dir, "-quick", "-trials", "2", "-seed", "3", "thm1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-checkpoint", dir, "-quick", "-trials", "2", "-seed", "4", "thm1"}, &b)
+	if !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Errorf("changed seed against same journals: err = %v, want ErrMismatch", err)
 	}
 }

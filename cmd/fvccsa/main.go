@@ -62,7 +62,14 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	k := analytic.KNecessary(theta)
+	k, err := analytic.KNecessaryChecked(theta)
+	if err != nil {
+		return err
+	}
+	kSuf, err := analytic.KSufficientChecked(theta)
+	if err != nil {
+		return err
+	}
 	kCov, err := analytic.KCoverageSufficientArea(*n, k)
 	if err != nil {
 		return err
@@ -80,7 +87,7 @@ func run(args []string, w io.Writer) error {
 		area float64
 	}{
 		{name: fmt.Sprintf("s_Nc — necessary CSA (%d sectors)", k), area: nec},
-		{name: fmt.Sprintf("s_Sc — sufficient CSA (%d sectors)", analytic.KSufficient(theta)), area: suf},
+		{name: fmt.Sprintf("s_Sc — sufficient CSA (%d sectors)", kSuf), area: suf},
 		{name: "1-coverage CSA (θ = π degeneracy)", area: oneCov},
 		{name: fmt.Sprintf("k-coverage area, k = %d", k), area: kCov},
 	}

@@ -25,11 +25,14 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"fullview/internal/analytic"
 	"fullview/internal/barrier"
+	"fullview/internal/checkpoint"
 	"fullview/internal/core"
 	"fullview/internal/deploy"
+	"fullview/internal/experiment"
 	"fullview/internal/geom"
 	"fullview/internal/report"
 	"fullview/internal/rng"
@@ -58,6 +61,7 @@ func run(args []string, w io.Writer) error {
 		barrierY   = fs.Float64("barrier", -1, "also survey a horizontal barrier at this height (negative = off)")
 		svgPath    = fs.String("svg", "", "write an SVG coverage map to this file")
 		parallel   = fs.Int("parallel", 0, "worker goroutines for the coverage sweeps (0 = GOMAXPROCS)")
+		ckptPath   = fs.String("checkpoint", "", "journal grid-survey progress to this file and resume from it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,8 +113,19 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	// The grid sweep dominates the run time; spread it over the cores.
-	// Results are bit-identical to the sequential sweep at any -parallel.
-	stats := checker.SurveyRegionParallel(points, *parallel)
+	// Results are bit-identical to the sequential sweep at any -parallel,
+	// and -checkpoint journals the sweep band by band so a killed run
+	// resumes where it left off with identical statistics.
+	var stats core.RegionStats
+	if *ckptPath != "" {
+		stats, err = surveyCheckpoint(*ckptPath, checker, points, side,
+			*deployment, *n, theta, profile, *seed, *parallel)
+		if err != nil {
+			return err
+		}
+	} else {
+		stats = checker.SurveyRegionParallel(points, *parallel)
+	}
 
 	table := report.NewTable(
 		fmt.Sprintf("fvcsim — %s deployment, %d cameras, θ = %.4gπ, grid %d×%d",
@@ -181,20 +196,85 @@ func run(args []string, w io.Writer) error {
 		if *barrierY >= 0 {
 			scene.AddBarrier([]geom.Vec{geom.V(0, *barrierY), geom.V(1, *barrierY)})
 		}
-		f, err := os.Create(*svgPath)
-		if err != nil {
-			return fmt.Errorf("create svg: %w", err)
-		}
-		if _, err := scene.WriteTo(f); err != nil {
-			f.Close()
-			return fmt.Errorf("write svg: %w", err)
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("close svg: %w", err)
+		if err := writeSVGAtomic(*svgPath, scene); err != nil {
+			return err
 		}
 		if _, err := fmt.Fprintf(w, "\ncoverage map written to %s\n", *svgPath); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeSVGAtomic renders the scene to a temp file in the target
+// directory and renames it into place, so a crash or write error never
+// leaves a truncated SVG under the requested name.
+func writeSVGAtomic(path string, scene *viz.Scene) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("create svg: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := scene.WriteTo(f)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("write svg: %w", werr)
+	}
+	return nil
+}
+
+// surveyCheckpoint surveys the grid as a resumable journaled run: the
+// grid's rows are the journal's trials, each row surveyed with a
+// per-goroutine checker clone and recorded durably on completion. The
+// merged statistics are bit-identical to SurveyRegionParallel — every
+// RegionStats field is an exact integer sum or minimum (MeanCovering is
+// re-derived from the carried integer total), so merging restored and
+// freshly-computed rows in row order reproduces the single-sweep
+// result.
+func surveyCheckpoint(
+	path string,
+	checker *core.Checker,
+	points []geom.Vec,
+	side int,
+	deployment string,
+	n int,
+	theta float64,
+	profile sensor.Profile,
+	seed uint64,
+	parallel int,
+) (core.RegionStats, error) {
+	header := checkpoint.Header{
+		Kind:   "fvcsim/survey",
+		Seed:   seed,
+		Trials: side,
+		Params: fmt.Sprintf("deploy=%s n=%d theta=%.17g profile=%s grid=%d",
+			deployment, n, theta, sensor.FormatProfile(profile), side),
+	}
+	journal, err := checkpoint.Open(path, header)
+	if err != nil {
+		return core.RegionStats{}, err
+	}
+	rows, err := experiment.RunResumable(context.Background(), journal, seed, side, parallel,
+		func(row int, _ *rng.PCG) (core.RegionStats, error) {
+			return checker.Clone().SurveyRegion(points[row*side : (row+1)*side]), nil
+		})
+	if err != nil {
+		return core.RegionStats{}, fmt.Errorf("checkpointed survey: %w", err)
+	}
+	var stats core.RegionStats
+	for _, row := range rows {
+		stats = stats.Merge(row)
+	}
+	if err := journal.Close(); err != nil {
+		return core.RegionStats{}, err
+	}
+	return stats, nil
 }

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"errors"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"fullview/internal/checkpoint"
 )
 
 func TestRunUniformDefaults(t *testing.T) {
@@ -139,6 +143,103 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	for _, args := range cases {
 		if err := run(args, &b); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunCheckpointBitIdentical(t *testing.T) {
+	base := []string{"-n", "200", "-grid", "12", "-seed", "5"}
+	var plain strings.Builder
+	if err := run(base, &plain); err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(t.TempDir(), "survey.jsonl")
+	args := append([]string{"-checkpoint", journal}, base...)
+	var first strings.Builder
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != plain.String() {
+		t.Errorf("checkpointed output differs from plain:\n%s\nvs\n%s", first.String(), plain.String())
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+	// Resume from the completed journal: no recomputation, same bytes.
+	var second strings.Builder
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != plain.String() {
+		t.Error("resumed output differs from plain run")
+	}
+}
+
+func TestRunCheckpointResumesPartialJournal(t *testing.T) {
+	base := []string{"-n", "200", "-grid", "12", "-seed", "5"}
+	journal := filepath.Join(t.TempDir(), "survey.jsonl")
+	args := append([]string{"-checkpoint", journal}, base...)
+	var full strings.Builder
+	if err := run(args, &full); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the journal to the header plus a few records — the state a
+	// killed run leaves behind — and resume.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("journal too short to truncate: %d lines", len(lines))
+	}
+	partial := strings.Join(lines[:4], "")
+	if err := os.WriteFile(journal, []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var resumed strings.Builder
+	if err := run(args, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.String() != full.String() {
+		t.Error("resume from partial journal produced different output")
+	}
+}
+
+func TestRunCheckpointRefusesChangedParams(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "survey.jsonl")
+	var b strings.Builder
+	if err := run([]string{"-checkpoint", journal, "-n", "150", "-grid", "10", "-seed", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-checkpoint", journal, "-n", "150", "-grid", "10", "-seed", "3"}, // seed changed
+		{"-checkpoint", journal, "-n", "160", "-grid", "10", "-seed", "2"}, // n changed
+	} {
+		if err := run(args, &b); !errors.Is(err, checkpoint.ErrMismatch) {
+			t.Errorf("args %v against stale journal: err = %v, want ErrMismatch", args, err)
+		}
+	}
+}
+
+func TestWriteSVGAtomicLeavesNoPartialFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "map.svg")
+	// A write into a nonexistent directory must fail without creating
+	// anything under the requested name.
+	if err := run([]string{"-n", "100", "-grid", "8", "-svg", filepath.Join(dir, "missing", "map.svg")}, &strings.Builder{}); err == nil {
+		t.Error("svg into missing directory should fail")
+	}
+	if err := run([]string{"-n", "100", "-grid", "8", "-svg", path}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "map.svg" {
+			t.Errorf("leftover temp file %q in svg directory", e.Name())
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"fullview/internal/geom"
+	"fullview/internal/numeric"
 )
 
 // Validation errors.
@@ -23,14 +24,44 @@ var (
 // KNecessary returns ⌈π/θ⌉ — the number of sectors (and the exponent in
 // the necessary-condition probability) for effective angle θ. Exact
 // divisors of the circle are handled robustly (θ = π/4 gives exactly 4).
+//
+// KNecessary forwards θ to the sector partition unvalidated; a θ
+// outside (0, π] (or small enough for ⌈π/θ⌉ to overflow int) yields a
+// meaningless count. Use KNecessaryChecked where θ comes from input.
 func KNecessary(theta float64) int {
 	return geom.SectorCount(2 * theta)
 }
 
 // KSufficient returns ⌈2π/θ⌉ — the sector count and exponent for the
-// sufficient condition.
+// sufficient condition. See KNecessary for the validation caveat;
+// KSufficientChecked is the validating variant.
 func KSufficient(theta float64) int {
 	return geom.SectorCount(theta)
+}
+
+// sectorCountChecked validates θ ∈ (0, π] and that the sector count for
+// width w is representable (⌈2π/w⌉ overflows int once θ drops below
+// ~1e-18, turning the downstream formulas into NaN factories).
+func sectorCountChecked(theta, w float64) (int, error) {
+	if !(theta > 0) || theta > math.Pi {
+		return 0, fmt.Errorf("%w: got %v", ErrBadTheta, theta)
+	}
+	k := geom.SectorCount(w)
+	if k < 1 {
+		return 0, fmt.Errorf("%w: sector count for θ=%v overflows", ErrBadTheta, theta)
+	}
+	return k, nil
+}
+
+// KNecessaryChecked is KNecessary with the same θ validation as the
+// theorem formulas: θ must lie in (0, π] and the count must fit an int.
+func KNecessaryChecked(theta float64) (int, error) {
+	return sectorCountChecked(theta, 2*theta)
+}
+
+// KSufficientChecked is KSufficient with θ validation.
+func KSufficientChecked(theta float64) (int, error) {
+	return sectorCountChecked(theta, theta)
 }
 
 func validateThetaN(n int, theta float64) error {
@@ -63,9 +94,14 @@ func CSANecessary(n int, theta float64) (float64, error) {
 	if err := validateThetaN(n, theta); err != nil {
 		return 0, err
 	}
+	k, err := KNecessaryChecked(theta)
+	if err != nil {
+		return 0, err
+	}
 	x := 1 / (float64(n) * math.Log(float64(n)))
-	inner := oneMinusPow(x, KNecessary(theta))
-	return -math.Pi / (theta * float64(n)) * math.Log(inner), nil
+	inner := oneMinusPow(x, k)
+	v := -math.Pi / (theta * float64(n)) * math.Log(inner)
+	return numeric.Checked("CSANecessary", v, nil, "n", n, "θ", theta)
 }
 
 // CSASufficient returns s_Sc(n), the critical sensing area for the
@@ -80,9 +116,14 @@ func CSASufficient(n int, theta float64) (float64, error) {
 	if err := validateThetaN(n, theta); err != nil {
 		return 0, err
 	}
+	k, err := KSufficientChecked(theta)
+	if err != nil {
+		return 0, err
+	}
 	x := 1 / (float64(n) * math.Log(float64(n)))
-	inner := oneMinusPow(x, KSufficient(theta))
-	return -2 * math.Pi / (theta * float64(n)) * math.Log(inner), nil
+	inner := oneMinusPow(x, k)
+	v := -2 * math.Pi / (theta * float64(n)) * math.Log(inner)
+	return numeric.Checked("CSASufficient", v, nil, "n", n, "θ", theta)
 }
 
 // OneCoverageCSA returns the critical sensing area for traditional

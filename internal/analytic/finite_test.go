@@ -1,0 +1,99 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fullview/internal/numeric"
+	"fullview/internal/sensor"
+)
+
+func TestKCheckedValidRange(t *testing.T) {
+	for _, theta := range []float64{math.Pi, math.Pi / 2, math.Pi / 4, 0.01} {
+		kn, err := KNecessaryChecked(theta)
+		if err != nil {
+			t.Fatalf("KNecessaryChecked(%v): %v", theta, err)
+		}
+		if kn != KNecessary(theta) {
+			t.Errorf("KNecessaryChecked(%v) = %d, unchecked = %d", theta, kn, KNecessary(theta))
+		}
+		ks, err := KSufficientChecked(theta)
+		if err != nil {
+			t.Fatalf("KSufficientChecked(%v): %v", theta, err)
+		}
+		if ks != KSufficient(theta) {
+			t.Errorf("KSufficientChecked(%v) = %d, unchecked = %d", theta, ks, KSufficient(theta))
+		}
+	}
+}
+
+func TestKCheckedRejectsBadTheta(t *testing.T) {
+	for _, theta := range []float64{0, -1, math.Pi * 1.001, math.NaN(), math.Inf(1),
+		1e-300, // ⌈π/θ⌉ overflows int: unchecked K returns garbage here
+	} {
+		if _, err := KNecessaryChecked(theta); !errors.Is(err, ErrBadTheta) {
+			t.Errorf("KNecessaryChecked(%v) err = %v, want ErrBadTheta", theta, err)
+		}
+		if _, err := KSufficientChecked(theta); !errors.Is(err, ErrBadTheta) {
+			t.Errorf("KSufficientChecked(%v) err = %v, want ErrBadTheta", theta, err)
+		}
+	}
+}
+
+// TestCSAExtremeThetaStructuredError pins the numeric-health contract:
+// θ small enough to overflow the sector count used to reach the
+// formulas and poison results with NaN; now it fails with a structured
+// validation or non-finite error, never a silent NaN.
+func TestCSAExtremeThetaStructuredError(t *testing.T) {
+	for _, theta := range []float64{1e-300, 1e-19} {
+		for name, f := range map[string]func(int, float64) (float64, error){
+			"CSANecessary":  CSANecessary,
+			"CSASufficient": CSASufficient,
+		} {
+			v, err := f(1000, theta)
+			if err == nil {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s(1000, %v) leaked non-finite %v without error", name, theta, v)
+				}
+				continue
+			}
+			if !errors.Is(err, ErrBadTheta) && !errors.Is(err, numeric.ErrNonFinite) {
+				t.Errorf("%s(1000, %v) err = %v, want ErrBadTheta or ErrNonFinite", name, theta, err)
+			}
+		}
+	}
+}
+
+func TestTheoremFormulasNeverReturnNonFinite(t *testing.T) {
+	profile, err := sensor.Homogeneous(0.2, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thetas := []float64{1e-6, 0.01, math.Pi / 4, math.Pi / 2, math.Pi}
+	ns := []int{2, 3, 100, 1 << 20, 1 << 40}
+	for _, theta := range thetas {
+		for _, n := range ns {
+			checkFiniteOrError := func(name string, v float64, err error) {
+				if err != nil {
+					return // structured refusal is fine
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s(n=%d, θ=%v) = %v with nil error", name, n, theta, v)
+				}
+			}
+			v, err := CSANecessary(n, theta)
+			checkFiniteOrError("CSANecessary", v, err)
+			v, err = CSASufficient(n, theta)
+			checkFiniteOrError("CSASufficient", v, err)
+			v, err = UniformNecessaryFailure(profile, n, theta)
+			checkFiniteOrError("UniformNecessaryFailure", v, err)
+			v, err = UniformSufficientFailure(profile, n, theta)
+			checkFiniteOrError("UniformSufficientFailure", v, err)
+			v, err = PoissonPN(profile, float64(n), theta)
+			checkFiniteOrError("PoissonPN", v, err)
+			v, err = PoissonPS(profile, float64(n), theta)
+			checkFiniteOrError("PoissonPS", v, err)
+		}
+	}
+}

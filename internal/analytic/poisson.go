@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"fullview/internal/numeric"
 	"fullview/internal/sensor"
 )
 
@@ -82,14 +83,24 @@ func validateTheta(theta float64) error {
 //
 //	P_N = [1 − Π_y (1 − Q_N,y)]^⌈π/θ⌉.
 func PoissonPN(profile sensor.Profile, density, theta float64) (float64, error) {
-	return poissonP(profile, density, theta, PoissonQNecessary, KNecessary(theta))
+	k, err := KNecessaryChecked(theta)
+	if err != nil {
+		return 0, err
+	}
+	v, err := poissonP(profile, density, theta, PoissonQNecessary, k)
+	return numeric.Checked("PoissonPN", v, err, "density", density, "θ", theta)
 }
 
 // PoissonPS returns P_S of Theorem 4: the probability that an arbitrary
 // point meets the sufficient condition (and is therefore full-view
 // covered), with exponent ⌈2π/θ⌉ and θ-sector Q values.
 func PoissonPS(profile sensor.Profile, density, theta float64) (float64, error) {
-	return poissonP(profile, density, theta, PoissonQSufficient, KSufficient(theta))
+	k, err := KSufficientChecked(theta)
+	if err != nil {
+		return 0, err
+	}
+	v, err := poissonP(profile, density, theta, PoissonQSufficient, k)
+	return numeric.Checked("PoissonPS", v, err, "density", density, "θ", theta)
 }
 
 func poissonP(

@@ -3,6 +3,7 @@ package analytic
 import (
 	"math"
 
+	"fullview/internal/numeric"
 	"fullview/internal/sensor"
 )
 
@@ -20,7 +21,12 @@ func UniformNecessaryFailure(profile sensor.Profile, n int, theta float64) (floa
 	if err := validateThetaN(n, theta); err != nil {
 		return 0, err
 	}
-	return uniformFailure(profile, n, theta/math.Pi, KNecessary(theta)), nil
+	k, err := KNecessaryChecked(theta)
+	if err != nil {
+		return 0, err
+	}
+	v := uniformFailure(profile, n, theta/math.Pi, k)
+	return numeric.Checked("UniformNecessaryFailure", v, nil, "n", n, "θ", theta)
 }
 
 // UniformSufficientFailure returns P(F_S,P) — equation (13): the
@@ -31,7 +37,12 @@ func UniformSufficientFailure(profile sensor.Profile, n int, theta float64) (flo
 	if err := validateThetaN(n, theta); err != nil {
 		return 0, err
 	}
-	return uniformFailure(profile, n, theta/(2*math.Pi), KSufficient(theta)), nil
+	k, err := KSufficientChecked(theta)
+	if err != nil {
+		return 0, err
+	}
+	v := uniformFailure(profile, n, theta/(2*math.Pi), k)
+	return numeric.Checked("UniformSufficientFailure", v, nil, "n", n, "θ", theta)
 }
 
 // uniformFailure evaluates 1 − [1 − Π_y (1 − areaCoeff·s_y)^(n_y)]^k.

@@ -1,6 +1,10 @@
 package core
 
-import "fullview/internal/geom"
+import (
+	"encoding/json"
+
+	"fullview/internal/geom"
+)
 
 // PointReport is the full coverage diagnosis of a single point.
 type PointReport struct {
@@ -123,6 +127,54 @@ func fraction(k, n int) float64 {
 		return 0
 	}
 	return float64(k) / float64(n)
+}
+
+// regionStatsJSON is the serialized form of RegionStats. The exact
+// integer covering-count sum travels explicitly so that stats restored
+// from a checkpoint journal merge bit-identically to never-serialized
+// ones; MeanCovering is derived, not stored.
+type regionStatsJSON struct {
+	Points        int `json:"points"`
+	FullView      int `json:"fullView"`
+	Necessary     int `json:"necessary"`
+	Sufficient    int `json:"sufficient"`
+	MinCovering   int `json:"minCovering"`
+	TotalCovering int `json:"totalCovering"`
+}
+
+// MarshalJSON implements json.Marshaler. All serialized fields are
+// integers, so the round-trip is exact — a requirement of the
+// checkpoint/resume guarantee that resumed experiment results are
+// bit-identical to uninterrupted ones.
+func (s RegionStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(regionStatsJSON{
+		Points:        s.Points,
+		FullView:      s.FullView,
+		Necessary:     s.Necessary,
+		Sufficient:    s.Sufficient,
+		MinCovering:   s.MinCovering,
+		TotalCovering: s.totalCovering,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler; see MarshalJSON.
+func (s *RegionStats) UnmarshalJSON(data []byte) error {
+	var v regionStatsJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*s = RegionStats{
+		Points:        v.Points,
+		FullView:      v.FullView,
+		Necessary:     v.Necessary,
+		Sufficient:    v.Sufficient,
+		MinCovering:   v.MinCovering,
+		totalCovering: v.TotalCovering,
+	}
+	if v.Points > 0 {
+		s.MeanCovering = float64(v.TotalCovering) / float64(v.Points)
+	}
+	return nil
 }
 
 // SurveyRegion evaluates every sample point and aggregates the results.

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRegionStatsJSONRoundTrip pins the checkpoint contract: the
+// serialized form carries the exact integer covering sum, so restored
+// stats merge bit-identically with never-serialized ones.
+func TestRegionStatsJSONRoundTrip(t *testing.T) {
+	var a, b RegionStats
+	a.observe(PointReport{NumCovering: 3, FullView: true, Necessary: true, Sufficient: false})
+	a.observe(PointReport{NumCovering: 5, FullView: true, Necessary: true, Sufficient: true})
+	a.observe(PointReport{NumCovering: 2})
+	b.observe(PointReport{NumCovering: 7, FullView: true, Necessary: true, Sufficient: true})
+
+	raw, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored RegionStats
+	if err := json.Unmarshal(raw, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored != a {
+		t.Fatalf("round-trip: got %+v, want %+v", restored, a)
+	}
+	if got, want := restored.Merge(b), a.Merge(b); got != want {
+		t.Fatalf("merge after round-trip: got %+v, want %+v", got, want)
+	}
+}

@@ -93,6 +93,15 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// fingerprint renders the configuration as a stable string for
+// checkpoint-journal headers: resuming a journal written under any
+// other configuration must fail loudly rather than mix results.
+func (c Config) fingerprint() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("n=%d theta=%.17g deploy=%s profile=%s torus=%.17g ktarget=%d",
+		c.N, c.Theta, c.Deployment, sensor.FormatProfile(c.Profile), c.Torus.Side(), c.KTarget)
+}
+
 // deployNetwork builds one network realization for this configuration.
 func (c Config) deployNetwork(r *rng.PCG) (*sensor.Network, error) {
 	c = c.withDefaults()

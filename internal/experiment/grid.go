@@ -1,10 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
+	"fullview/internal/checkpoint"
 	"fullview/internal/core"
 	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/numeric"
 	"fullview/internal/rng"
 	"fullview/internal/stats"
 )
@@ -34,16 +38,11 @@ type GridOutcome struct {
 	MeanCovering stats.Summary
 }
 
-// RunGrid executes trials of the grid-coverage experiment for cfg: each
-// trial deploys a fresh network, sweeps the paper's dense grid
-// (√(n·ln n) per side), and records region statistics.
-//
-// gridSide overrides the dense-grid side when positive — coarser grids
-// make large sweeps affordable; the dense grid is the paper-faithful
-// default (gridSide ≤ 0).
-func RunGrid(cfg Config, gridSide, trials, parallelism int, seed uint64) (GridOutcome, error) {
+// gridPrep validates cfg and materializes the sample grid: the explicit
+// gridSide when positive, the paper's √(n·ln n) dense grid otherwise.
+func gridPrep(cfg Config, gridSide int) (Config, []geom.Vec, int, error) {
 	if err := cfg.Validate(); err != nil {
-		return GridOutcome{}, err
+		return cfg, nil, 0, err
 	}
 	cfg = cfg.withDefaults()
 	side := gridSide
@@ -51,15 +50,20 @@ func RunGrid(cfg Config, gridSide, trials, parallelism int, seed uint64) (GridOu
 		var err error
 		side, err = deploy.DenseGridSide(cfg.N)
 		if err != nil {
-			return GridOutcome{}, err
+			return cfg, nil, 0, err
 		}
 	}
 	points, err := deploy.GridPoints(cfg.Torus, side)
 	if err != nil {
-		return GridOutcome{}, err
+		return cfg, nil, 0, err
 	}
+	return cfg, points, side, nil
+}
 
-	results, err := Run(seed, trials, parallelism, func(_ int, r *rng.PCG) (core.RegionStats, error) {
+// gridTrial returns the per-trial function of the grid experiment:
+// deploy a fresh network on the trial's RNG stream and sweep the grid.
+func gridTrial(cfg Config, points []geom.Vec, trials, parallelism int) TrialFunc[core.RegionStats] {
+	return func(_ int, r *rng.PCG) (core.RegionStats, error) {
 		net, err := cfg.deployNetwork(r)
 		if err != nil {
 			return core.RegionStats{}, err
@@ -71,11 +75,12 @@ func RunGrid(cfg Config, gridSide, trials, parallelism int, seed uint64) (GridOu
 		// Single-trial runs push the parallelism into the grid sweep
 		// itself; multi-trial runs keep cores busy at the trial level.
 		return checker.SurveyRegionParallel(points, sweepWorkers(trials, parallelism)), nil
-	})
-	if err != nil {
-		return GridOutcome{}, fmt.Errorf("grid experiment: %w", err)
 	}
+}
 
+// aggregateGrid folds per-trial region statistics into the outcome and
+// runs the numeric-health check on the derived summaries.
+func aggregateGrid(results []core.RegionStats) (GridOutcome, error) {
 	out := GridOutcome{Trials: len(results)}
 	necFrac := make([]float64, 0, len(results))
 	sufFrac := make([]float64, 0, len(results))
@@ -94,5 +99,78 @@ func RunGrid(cfg Config, gridSide, trials, parallelism int, seed uint64) (GridOu
 	out.SufficientFraction = stats.Summarize(sufFrac)
 	out.FullViewFraction = stats.Summarize(fvFrac)
 	out.MeanCovering = stats.Summarize(cover)
+	if err := out.checkFinite(); err != nil {
+		return GridOutcome{}, err
+	}
 	return out, nil
+}
+
+// checkFinite guards the outcome's floating-point summaries: a NaN here
+// would otherwise propagate silently into every downstream table.
+func (o GridOutcome) checkFinite() error {
+	ctx := fmt.Sprintf("grid experiment, %d trials", o.Trials)
+	return numeric.CheckAll(ctx,
+		"NecessaryFraction.Mean", o.NecessaryFraction.Mean,
+		"SufficientFraction.Mean", o.SufficientFraction.Mean,
+		"FullViewFraction.Mean", o.FullViewFraction.Mean,
+		"MeanCovering.Mean", o.MeanCovering.Mean,
+		"MeanCovering.Variance", o.MeanCovering.Variance,
+	)
+}
+
+// RunGrid executes trials of the grid-coverage experiment for cfg: each
+// trial deploys a fresh network, sweeps the paper's dense grid
+// (√(n·ln n) per side), and records region statistics.
+//
+// gridSide overrides the dense-grid side when positive — coarser grids
+// make large sweeps affordable; the dense grid is the paper-faithful
+// default (gridSide ≤ 0).
+func RunGrid(cfg Config, gridSide, trials, parallelism int, seed uint64) (GridOutcome, error) {
+	cfg, points, _, err := gridPrep(cfg, gridSide)
+	if err != nil {
+		return GridOutcome{}, err
+	}
+	results, err := Run(seed, trials, parallelism, gridTrial(cfg, points, trials, parallelism))
+	if err != nil {
+		return GridOutcome{}, fmt.Errorf("grid experiment: %w", err)
+	}
+	return aggregateGrid(results)
+}
+
+// RunGridCheckpoint is RunGrid with checkpoint/resume: completed trials
+// are journaled at journalPath, a restarted run re-executes only the
+// missing trials, and the outcome is bit-identical to an uninterrupted
+// RunGrid. The journal header fingerprints (cfg, gridSide, seed,
+// trials), so resuming with different parameters fails with
+// checkpoint.ErrMismatch.
+func RunGridCheckpoint(
+	ctx context.Context,
+	journalPath string,
+	cfg Config,
+	gridSide, trials, parallelism int,
+	seed uint64,
+) (GridOutcome, error) {
+	cfg, points, side, err := gridPrep(cfg, gridSide)
+	if err != nil {
+		return GridOutcome{}, err
+	}
+	if trials <= 0 {
+		return GridOutcome{}, fmt.Errorf("%w: got %d", ErrBadTrials, trials)
+	}
+	journal, err := checkpoint.Open(journalPath, checkpoint.Header{
+		Kind:   "experiment/grid",
+		Seed:   seed,
+		Trials: trials,
+		Params: fmt.Sprintf("%s grid=%d", cfg.fingerprint(), side),
+	})
+	if err != nil {
+		return GridOutcome{}, err
+	}
+	defer journal.Close()
+	results, err := RunResumable(ctx, journal, seed, trials, parallelism,
+		gridTrial(cfg, points, trials, parallelism))
+	if err != nil {
+		return GridOutcome{}, fmt.Errorf("grid experiment: %w", err)
+	}
+	return aggregateGrid(results)
 }

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 
+	"fullview/internal/checkpoint"
 	"fullview/internal/core"
 	"fullview/internal/geom"
+	"fullview/internal/numeric"
 	"fullview/internal/rng"
 	"fullview/internal/stats"
 	"fullview/internal/sweep"
@@ -36,32 +38,32 @@ type PointOutcome struct {
 	CoveringCount stats.Summary
 }
 
-// RunPoints executes trials of the point experiment for cfg: each trial
-// deploys a fresh network and diagnoses pointsPerTrial uniformly random
-// sample points.
-func RunPoints(cfg Config, pointsPerTrial, trials, parallelism int, seed uint64) (PointOutcome, error) {
-	if err := cfg.Validate(); err != nil {
-		return PointOutcome{}, err
-	}
-	if pointsPerTrial <= 0 {
-		return PointOutcome{}, fmt.Errorf("%w: got %d", ErrBadPoints, pointsPerTrial)
-	}
-	cfg = cfg.withDefaults()
+// pointTrial is one trial's aggregate of the point experiment. Fields
+// are exported with JSON tags so completed trials can be journaled by
+// the checkpoint layer; every field is an integer or a float64 series,
+// both of which round-trip through encoding/json exactly.
+type pointTrial struct {
+	Necessary            int       `json:"nec"`
+	Sufficient           int       `json:"suf"`
+	FullView             int       `json:"fv"`
+	NecessaryNotFullView int       `json:"necNotFv"`
+	FullViewNotSuf       int       `json:"fvNotSuf"`
+	KCovered             int       `json:"kCov"`
+	Covering             []float64 `json:"covering"`
+}
 
-	type trialResult struct {
-		necessary, sufficient, fullView      int
-		necessaryNotFullView, fullViewNotSuf int
-		kCovered                             int
-		covering                             []float64
-	}
-	results, err := Run(seed, trials, parallelism, func(_ int, r *rng.PCG) (trialResult, error) {
+// pointTrialFunc returns the per-trial function of the point
+// experiment: deploy a fresh network, draw pointsPerTrial uniform
+// sample points, diagnose each through the sweep engine.
+func pointTrialFunc(cfg Config, pointsPerTrial, trials, parallelism int) TrialFunc[pointTrial] {
+	return func(_ int, r *rng.PCG) (pointTrial, error) {
 		net, err := cfg.deployNetwork(r)
 		if err != nil {
-			return trialResult{}, err
+			return pointTrial{}, err
 		}
 		checker, err := core.NewChecker(net, cfg.Theta)
 		if err != nil {
-			return trialResult{}, err
+			return pointTrial{}, err
 		}
 		// Draw all sample points up front (the RNG sequence is exactly
 		// the interleaved one, since diagnosis consumes no randomness),
@@ -74,57 +76,125 @@ func RunPoints(cfg Config, pointsPerTrial, trials, parallelism int, seed uint64)
 		}
 		return sweep.Run(context.Background(), points, sweepWorkers(trials, parallelism),
 			func() (*core.Checker, error) { return checker.Clone(), nil },
-			func(worker *core.Checker, acc trialResult, _ int, p geom.Vec) trialResult {
+			func(worker *core.Checker, acc pointTrial, _ int, p geom.Vec) pointTrial {
 				rep := worker.Report(p)
 				if rep.Necessary {
-					acc.necessary++
+					acc.Necessary++
 					if !rep.FullView {
-						acc.necessaryNotFullView++
+						acc.NecessaryNotFullView++
 					}
 				}
 				if rep.FullView {
-					acc.fullView++
+					acc.FullView++
 					if !rep.Sufficient {
-						acc.fullViewNotSuf++
+						acc.FullViewNotSuf++
 					}
 				}
 				if rep.Sufficient {
-					acc.sufficient++
+					acc.Sufficient++
 				}
 				if cfg.KTarget > 0 && rep.NumCovering >= cfg.KTarget {
-					acc.kCovered++
+					acc.KCovered++
 				}
-				acc.covering = append(acc.covering, float64(rep.NumCovering))
+				acc.Covering = append(acc.Covering, float64(rep.NumCovering))
 				return acc
 			},
-			func(dst, src trialResult) trialResult {
-				dst.necessary += src.necessary
-				dst.sufficient += src.sufficient
-				dst.fullView += src.fullView
-				dst.necessaryNotFullView += src.necessaryNotFullView
-				dst.fullViewNotSuf += src.fullViewNotSuf
-				dst.kCovered += src.kCovered
-				dst.covering = append(dst.covering, src.covering...)
+			func(dst, src pointTrial) pointTrial {
+				dst.Necessary += src.Necessary
+				dst.Sufficient += src.Sufficient
+				dst.FullView += src.FullView
+				dst.NecessaryNotFullView += src.NecessaryNotFullView
+				dst.FullViewNotSuf += src.FullViewNotSuf
+				dst.KCovered += src.KCovered
+				dst.Covering = append(dst.Covering, src.Covering...)
 				return dst
 			})
-	})
-	if err != nil {
-		return PointOutcome{}, fmt.Errorf("point experiment: %w", err)
 	}
+}
 
+// aggregatePoints pools per-trial counts into the outcome and runs the
+// numeric-health check on the covering-count summary.
+func aggregatePoints(cfg Config, results []pointTrial, pointsPerTrial int) (PointOutcome, error) {
 	var out PointOutcome
 	var covering []float64
 	for _, tr := range results {
-		out.Necessary.AddN(tr.necessary, pointsPerTrial)
-		out.Sufficient.AddN(tr.sufficient, pointsPerTrial)
-		out.FullView.AddN(tr.fullView, pointsPerTrial)
-		out.NecessaryNotFullView.AddN(tr.necessaryNotFullView, pointsPerTrial)
-		out.FullViewNotSufficient.AddN(tr.fullViewNotSuf, pointsPerTrial)
+		out.Necessary.AddN(tr.Necessary, pointsPerTrial)
+		out.Sufficient.AddN(tr.Sufficient, pointsPerTrial)
+		out.FullView.AddN(tr.FullView, pointsPerTrial)
+		out.NecessaryNotFullView.AddN(tr.NecessaryNotFullView, pointsPerTrial)
+		out.FullViewNotSufficient.AddN(tr.FullViewNotSuf, pointsPerTrial)
 		if cfg.KTarget > 0 {
-			out.KCovered.AddN(tr.kCovered, pointsPerTrial)
+			out.KCovered.AddN(tr.KCovered, pointsPerTrial)
 		}
-		covering = append(covering, tr.covering...)
+		covering = append(covering, tr.Covering...)
 	}
 	out.CoveringCount = stats.Summarize(covering)
+	ctx := fmt.Sprintf("point experiment, %d trials × %d points", len(results), pointsPerTrial)
+	if err := numeric.CheckAll(ctx,
+		"CoveringCount.Mean", out.CoveringCount.Mean,
+		"CoveringCount.Variance", out.CoveringCount.Variance,
+	); err != nil {
+		return PointOutcome{}, err
+	}
 	return out, nil
+}
+
+// validatePoints is the shared argument validation of the point runners.
+func validatePoints(cfg Config, pointsPerTrial int) (Config, error) {
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	if pointsPerTrial <= 0 {
+		return cfg, fmt.Errorf("%w: got %d", ErrBadPoints, pointsPerTrial)
+	}
+	return cfg.withDefaults(), nil
+}
+
+// RunPoints executes trials of the point experiment for cfg: each trial
+// deploys a fresh network and diagnoses pointsPerTrial uniformly random
+// sample points.
+func RunPoints(cfg Config, pointsPerTrial, trials, parallelism int, seed uint64) (PointOutcome, error) {
+	cfg, err := validatePoints(cfg, pointsPerTrial)
+	if err != nil {
+		return PointOutcome{}, err
+	}
+	results, err := Run(seed, trials, parallelism, pointTrialFunc(cfg, pointsPerTrial, trials, parallelism))
+	if err != nil {
+		return PointOutcome{}, fmt.Errorf("point experiment: %w", err)
+	}
+	return aggregatePoints(cfg, results, pointsPerTrial)
+}
+
+// RunPointsCheckpoint is RunPoints with checkpoint/resume via a journal
+// at journalPath; see RunGridCheckpoint for the resume contract.
+func RunPointsCheckpoint(
+	ctx context.Context,
+	journalPath string,
+	cfg Config,
+	pointsPerTrial, trials, parallelism int,
+	seed uint64,
+) (PointOutcome, error) {
+	cfg, err := validatePoints(cfg, pointsPerTrial)
+	if err != nil {
+		return PointOutcome{}, err
+	}
+	if trials <= 0 {
+		return PointOutcome{}, fmt.Errorf("%w: got %d", ErrBadTrials, trials)
+	}
+	journal, err := checkpoint.Open(journalPath, checkpoint.Header{
+		Kind:   "experiment/point",
+		Seed:   seed,
+		Trials: trials,
+		Params: fmt.Sprintf("%s points=%d", cfg.fingerprint(), pointsPerTrial),
+	})
+	if err != nil {
+		return PointOutcome{}, err
+	}
+	defer journal.Close()
+	results, err := RunResumable(ctx, journal, seed, trials, parallelism,
+		pointTrialFunc(cfg, pointsPerTrial, trials, parallelism))
+	if err != nil {
+		return PointOutcome{}, fmt.Errorf("point experiment: %w", err)
+	}
+	return aggregatePoints(cfg, results, pointsPerTrial)
 }

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"fullview/internal/checkpoint"
+	"fullview/internal/rng"
+	"fullview/internal/sweep"
+)
+
+// RunResumable is RunContext with checkpoint/resume: every completed
+// trial's result is journaled, already-journaled trials are skipped on
+// restart, and the final result slice is bit-identical to an
+// uninterrupted run at any worker count — trial i always consumes the
+// dedicated (seed, i) RNG stream, and encoding/json round-trips every
+// finite float64 exactly.
+//
+// The journal must have been opened with Header.Trials == trials (and a
+// seed/params fingerprint identifying this run; checkpoint.Open refuses
+// mismatches). T must round-trip through encoding/json: exported
+// fields, no NaN/±Inf — run numeric-health checks inside fn before
+// returning.
+//
+// On cancellation or error, trials that completed before the abort stay
+// journaled, so a later RunResumable call re-executes only the rest.
+func RunResumable[T any](
+	ctx context.Context,
+	journal *checkpoint.Journal,
+	seed uint64,
+	trials, parallelism int,
+	fn TrialFunc[T],
+) ([]T, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrBadTrials, trials)
+	}
+	if h := journal.Header(); h.Trials != trials {
+		return nil, fmt.Errorf("%w: journal for %d trials, run wants %d",
+			checkpoint.ErrMismatch, h.Trials, trials)
+	}
+
+	results := make([]T, trials)
+	missing := journal.Missing()
+
+	// Decode the journaled prefix first: a corrupt record should fail
+	// before any new work starts.
+	for i := 0; i < trials; i++ {
+		if journal.Done(i) {
+			if _, err := journal.Get(i, &results[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if len(missing) > 0 {
+		fresh, err := sweep.Map(ctx, len(missing), parallelism, func(k int) (T, error) {
+			i := missing[k]
+			out, err := fn(i, rng.New(seed, uint64(i)))
+			if err != nil {
+				return out, fmt.Errorf("experiment: trial %d: %w", i, err)
+			}
+			if err := journal.Record(i, out); err != nil {
+				return out, fmt.Errorf("experiment: trial %d: %w", i, err)
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range missing {
+			results[i] = fresh[k]
+		}
+	}
+	return results, nil
+}

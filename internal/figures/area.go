@@ -63,7 +63,7 @@ func runArea(w io.Writer, opts Options) error {
 	)
 	for si, shape := range shapes {
 		cfg := experiment.Config{N: n, Theta: theta, Profile: shape.profile}
-		out, err := experiment.RunPoints(cfg, pointsPerTrial, trials, opts.Parallelism,
+		out, err := runPoints(opts, fmt.Sprintf("area-s%d", si), cfg, pointsPerTrial, trials,
 			rng.Mix64(opts.Seed^uint64(si+41)))
 		if err != nil {
 			return err

@@ -26,6 +26,12 @@ type Options struct {
 	// Quick shrinks population sizes and trial counts so a full pass
 	// finishes in seconds; used by CI and the benchmark harness.
 	Quick bool
+	// CheckpointDir, when non-empty, journals every completed
+	// Monte-Carlo trial of the grid/point experiments to
+	// "<CheckpointDir>/<cell>.jsonl" and resumes from those journals on
+	// restart, so a killed `fvcbench` run re-executes only unfinished
+	// trials. Results are bit-identical to an uncheckpointed run.
+	CheckpointDir string
 }
 
 func (o Options) withDefaults() Options {

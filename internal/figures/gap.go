@@ -60,7 +60,7 @@ func runGap(w io.Writer, opts Options) error {
 			return err
 		}
 		cfg := experiment.Config{N: n, Theta: theta, Profile: profile}
-		out, err := experiment.RunPoints(cfg, pointsPerTrial, trials, opts.Parallelism,
+		out, err := runPoints(opts, fmt.Sprintf("gap-a%d", ai), cfg, pointsPerTrial, trials,
 			rng.Mix64(opts.Seed^uint64(ai+53)))
 		if err != nil {
 			return err

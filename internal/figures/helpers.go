@@ -1,7 +1,11 @@
 package figures
 
 import (
+	"context"
+	"path/filepath"
+
 	"fullview/internal/deploy"
+	"fullview/internal/experiment"
 	"fullview/internal/geom"
 	"fullview/internal/rng"
 	"fullview/internal/sensor"
@@ -21,4 +25,25 @@ func vec(x, y float64) geom.Vec { return geom.V(x, y) }
 func wilson(successes, n int) (lo, hi float64) {
 	lo, hi, _ = stats.WilsonInterval(successes, n, stats.Z95)
 	return lo, hi
+}
+
+// runGrid routes a grid experiment through the checkpoint layer when
+// Options.CheckpointDir is set. cell must uniquely name the experiment
+// cell (it becomes the journal file name); results are bit-identical
+// either way.
+func runGrid(opts Options, cell string, cfg experiment.Config, gridSide, trials int, seed uint64) (experiment.GridOutcome, error) {
+	if opts.CheckpointDir == "" {
+		return experiment.RunGrid(cfg, gridSide, trials, opts.Parallelism, seed)
+	}
+	path := filepath.Join(opts.CheckpointDir, cell+".jsonl")
+	return experiment.RunGridCheckpoint(context.Background(), path, cfg, gridSide, trials, opts.Parallelism, seed)
+}
+
+// runPoints is runGrid's counterpart for point experiments.
+func runPoints(opts Options, cell string, cfg experiment.Config, pointsPerTrial, trials int, seed uint64) (experiment.PointOutcome, error) {
+	if opts.CheckpointDir == "" {
+		return experiment.RunPoints(cfg, pointsPerTrial, trials, opts.Parallelism, seed)
+	}
+	path := filepath.Join(opts.CheckpointDir, cell+".jsonl")
+	return experiment.RunPointsCheckpoint(context.Background(), path, cfg, pointsPerTrial, trials, opts.Parallelism, seed)
 }

@@ -82,7 +82,7 @@ func runHetCSA(w io.Writer, opts Options) error {
 				return err
 			}
 			cfg := experiment.Config{N: n, Theta: theta, Profile: scaled}
-			out, err := experiment.RunGrid(cfg, 0, trials, opts.Parallelism,
+			out, err := runGrid(opts, fmt.Sprintf("hetcsa-p%d-q%d", pi, qi), cfg, 0, trials,
 				rng.Mix64(opts.Seed^uint64(pi*10+qi+211)))
 			if err != nil {
 				return err

@@ -85,7 +85,7 @@ func runKCov(w io.Writer, opts Options) error {
 			return err
 		}
 		cfg := experiment.Config{N: n, Theta: theta, Profile: profile, KTarget: k}
-		out, err := experiment.RunPoints(cfg, pointsPerTrial, trials, opts.Parallelism,
+		out, err := runPoints(opts, fmt.Sprintf("kcov-n%d", n), cfg, pointsPerTrial, trials,
 			rng.Mix64(opts.Seed^uint64(ci+31)))
 		if err != nil {
 			return err

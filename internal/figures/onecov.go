@@ -76,7 +76,7 @@ func runOneCov(w io.Writer, opts Options) error {
 				return err
 			}
 			cfg := experiment.Config{N: n, Theta: math.Pi, Profile: profile}
-			out, err := experiment.RunGrid(cfg, 0, trials, opts.Parallelism,
+			out, err := runGrid(opts, fmt.Sprintf("onecov-n%d-q%d", n, qi), cfg, 0, trials,
 				rng.Mix64(opts.Seed^uint64(ci*10+qi+3)))
 			if err != nil {
 				return err

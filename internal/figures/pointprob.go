@@ -55,7 +55,7 @@ func runPointProb(w io.Writer, opts Options) error {
 			return err
 		}
 		cfg := experiment.Config{N: n, Theta: theta, Profile: profile}
-		out, err := experiment.RunPoints(cfg, pointsPerTrial, trials, opts.Parallelism,
+		out, err := runPoints(opts, fmt.Sprintf("pointprob-n%d", n), cfg, pointsPerTrial, trials,
 			rng.Mix64(opts.Seed^uint64(ci+67)))
 		if err != nil {
 			return err

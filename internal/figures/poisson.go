@@ -57,7 +57,7 @@ func runPoisson(w io.Writer, opts Options) error {
 			N: density, Theta: theta, Profile: profile,
 			Deployment: experiment.DeployPoisson,
 		}
-		out, err := experiment.RunPoints(cfg, pointsPerTrial, trials, opts.Parallelism,
+		out, err := runPoints(opts, fmt.Sprintf("poisson-d%d", density), cfg, pointsPerTrial, trials,
 			rng.Mix64(opts.Seed^uint64(di+1)))
 		if err != nil {
 			return err

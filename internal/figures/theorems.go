@@ -1,12 +1,14 @@
 package figures
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
 
 	"fullview/internal/analytic"
 	"fullview/internal/experiment"
+	"fullview/internal/numeric"
 	"fullview/internal/report"
 	"fullview/internal/rng"
 	"fullview/internal/sensor"
@@ -38,39 +40,64 @@ type theoremCell struct {
 // runTheoremSweep deploys uniform networks with weighted sensing area
 // q·csa(n) and measures how often the dense grid fails the target
 // condition.
+//
+// Degraded mode: a cell whose analytic value or Monte-Carlo aggregate
+// is non-finite (numeric.ErrNonFinite) is skipped and reported in the
+// returned skipped list rather than aborting the whole sweep — one
+// pathological cell must not discard hours of healthy ones. Any other
+// error still aborts.
 func runTheoremSweep(
 	opts Options,
+	name string,
 	theta float64,
 	csaFunc func(int, float64) (float64, error),
 	ns []int,
 	qs []float64,
 	trials int,
-) ([]theoremCell, error) {
+) (cells []theoremCell, skipped []string, err error) {
 	base, err := sensor.Homogeneous(0.1, math.Pi/2)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var cells []theoremCell
 	for ci, n := range ns {
 		csa, err := csaFunc(n, theta)
 		if err != nil {
-			return nil, err
+			if errors.Is(err, numeric.ErrNonFinite) {
+				skipped = append(skipped, fmt.Sprintf("n=%d: analytic value non-finite: %v", n, err))
+				continue
+			}
+			return nil, nil, err
 		}
 		for qi, q := range qs {
 			profile, err := base.ScaleToArea(q * csa)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			cfg := experiment.Config{N: n, Theta: theta, Profile: profile}
 			seed := rng.Mix64(opts.Seed ^ uint64(ci*101+qi+1))
-			out, err := experiment.RunGrid(cfg, 0, trials, opts.Parallelism, seed)
+			cell := fmt.Sprintf("%s-n%d-q%02.0f", name, n, q*100)
+			out, err := runGrid(opts, cell, cfg, 0, trials, seed)
 			if err != nil {
-				return nil, err
+				if errors.Is(err, numeric.ErrNonFinite) {
+					skipped = append(skipped, fmt.Sprintf("n=%d q=%g: %v", n, q, err))
+					continue
+				}
+				return nil, nil, err
 			}
 			cells = append(cells, theoremCell{n: n, q: q, csa: csa, out: out})
 		}
 	}
-	return cells, nil
+	return cells, skipped, nil
+}
+
+// reportSkipped appends a note per degraded-mode skipped cell.
+func reportSkipped(w io.Writer, skipped []string) error {
+	for _, s := range skipped {
+		if _, err := fmt.Fprintf(w, "skipped (non-finite): %s\n", s); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runThm1 validates Theorem 1 (E3): with s_c = q·s_Nc(n), the
@@ -84,7 +111,7 @@ func runThm1(w io.Writer, opts Options) error {
 	qs := []float64{0.5, 1.0, 2.0}
 	trials := opts.trials(60, 8)
 
-	cells, err := runTheoremSweep(opts, theta, analytic.CSANecessary, ns, qs, trials)
+	cells, skipped, err := runTheoremSweep(opts, "thm1", theta, analytic.CSANecessary, ns, qs, trials)
 	if err != nil {
 		return err
 	}
@@ -104,8 +131,10 @@ func runThm1(w io.Writer, opts Options) error {
 			return err
 		}
 	}
-	_, err = table.WriteTo(w)
-	return err
+	if _, err := table.WriteTo(w); err != nil {
+		return err
+	}
+	return reportSkipped(w, skipped)
 }
 
 // runThm2 validates Theorem 2 (E4): with s_c = q·s_Sc(n), the grid
@@ -120,7 +149,7 @@ func runThm2(w io.Writer, opts Options) error {
 	qs := []float64{0.5, 1.0, 2.0}
 	trials := opts.trials(60, 8)
 
-	cells, err := runTheoremSweep(opts, theta, analytic.CSASufficient, ns, qs, trials)
+	cells, skipped, err := runTheoremSweep(opts, "thm2", theta, analytic.CSASufficient, ns, qs, trials)
 	if err != nil {
 		return err
 	}
@@ -143,6 +172,8 @@ func runThm2(w io.Writer, opts Options) error {
 			return err
 		}
 	}
-	_, err = table.WriteTo(w)
-	return err
+	if _, err := table.WriteTo(w); err != nil {
+		return err
+	}
+	return reportSkipped(w, skipped)
 }

@@ -1,0 +1,95 @@
+// Package numeric provides the repository's numeric-health guards: the
+// structured NonFiniteError and check helpers that convert NaN/±Inf
+// values — produced by the closed-form theorems at extreme (n, θ) or by
+// degenerate experiment aggregates — into ordinary errors naming the
+// offending quantity and its inputs, instead of silently poisoning
+// downstream tables.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNonFinite is the sentinel every NonFiniteError wraps; test with
+// errors.Is(err, numeric.ErrNonFinite).
+var ErrNonFinite = errors.New("non-finite value")
+
+// NonFiniteError reports a NaN or ±Inf in a named quantity.
+type NonFiniteError struct {
+	// Quantity names what was computed (e.g. "CSANecessary").
+	Quantity string
+	// Value is the offending value (NaN, +Inf, or -Inf).
+	Value float64
+	// Inputs is a human-readable rendering of the inputs that produced
+	// the value (e.g. "n=2 θ=3.14159").
+	Inputs string
+}
+
+// Error implements error.
+func (e *NonFiniteError) Error() string {
+	if e.Inputs == "" {
+		return fmt.Sprintf("%s is non-finite: %v", e.Quantity, e.Value)
+	}
+	return fmt.Sprintf("%s is non-finite: %v (inputs: %s)", e.Quantity, e.Value, e.Inputs)
+}
+
+// Unwrap lets errors.Is match ErrNonFinite.
+func (e *NonFiniteError) Unwrap() error { return ErrNonFinite }
+
+// Check returns a *NonFiniteError when v is NaN or ±Inf, nil otherwise.
+// The inputs are formatted as "k₁=v₁ k₂=v₂ …" from alternating
+// key-value arguments.
+func Check(quantity string, v float64, inputs ...any) error {
+	if !math.IsNaN(v) && !math.IsInf(v, 0) {
+		return nil
+	}
+	return &NonFiniteError{Quantity: quantity, Value: v, Inputs: formatInputs(inputs)}
+}
+
+// Checked passes (v, err) through unchanged when err is non-nil or v is
+// finite, and converts a non-finite v into a *NonFiniteError. It wraps
+// a computation in one line:
+//
+//	return numeric.Checked("CSANecessary", value, nil, "n", n, "θ", theta)
+func Checked(quantity string, v float64, err error, inputs ...any) (float64, error) {
+	if err != nil {
+		return v, err
+	}
+	if cerr := Check(quantity, v, inputs...); cerr != nil {
+		return v, cerr
+	}
+	return v, nil
+}
+
+// CheckAll checks a set of named quantities at once and reports the
+// first non-finite one in argument order: alternating name, value
+// pairs.
+func CheckAll(context string, pairs ...any) error {
+	for i := 0; i+1 < len(pairs); i += 2 {
+		name, _ := pairs[i].(string)
+		v, ok := pairs[i+1].(float64)
+		if !ok {
+			continue
+		}
+		if err := Check(name, v); err != nil {
+			var nf *NonFiniteError
+			errors.As(err, &nf)
+			nf.Inputs = context
+			return nf
+		}
+	}
+	return nil
+}
+
+func formatInputs(inputs []any) string {
+	out := ""
+	for i := 0; i+1 < len(inputs); i += 2 {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%v=%v", inputs[i], inputs[i+1])
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCheckFiniteValues(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		if err := Check("q", v); err != nil {
+			t.Errorf("Check(%v) = %v", v, err)
+		}
+	}
+}
+
+func TestCheckNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := Check("CSANecessary", v, "n", 2, "θ", 3.14)
+		if err == nil {
+			t.Fatalf("Check(%v) = nil", v)
+		}
+		if !errors.Is(err, ErrNonFinite) {
+			t.Errorf("errors.Is(_, ErrNonFinite) = false for %v", err)
+		}
+		var nf *NonFiniteError
+		if !errors.As(err, &nf) {
+			t.Fatalf("not a *NonFiniteError: %v", err)
+		}
+		if nf.Quantity != "CSANecessary" {
+			t.Errorf("Quantity = %q", nf.Quantity)
+		}
+		msg := err.Error()
+		for _, want := range []string{"CSANecessary", "n=2", "θ=3.14"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("message %q missing %q", msg, want)
+			}
+		}
+	}
+}
+
+func TestChecked(t *testing.T) {
+	if v, err := Checked("q", 1.5, nil); err != nil || v != 1.5 {
+		t.Errorf("Checked finite = %v, %v", v, err)
+	}
+	sentinel := errors.New("upstream")
+	if _, err := Checked("q", math.NaN(), sentinel); !errors.Is(err, sentinel) {
+		t.Errorf("Checked must pass upstream error through, got %v", err)
+	}
+	if _, err := Checked("q", math.Inf(1), nil); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("Checked(+Inf) = %v", err)
+	}
+}
+
+func TestCheckAll(t *testing.T) {
+	if err := CheckAll("ctx", "a", 1.0, "b", 2.0); err != nil {
+		t.Errorf("all finite: %v", err)
+	}
+	err := CheckAll("grid experiment", "a", 1.0, "b", math.NaN(), "c", math.Inf(1))
+	var nf *NonFiniteError
+	if !errors.As(err, &nf) {
+		t.Fatalf("CheckAll = %v", err)
+	}
+	if nf.Quantity != "b" {
+		t.Errorf("first offender = %q, want b", nf.Quantity)
+	}
+	if nf.Inputs != "grid experiment" {
+		t.Errorf("Inputs = %q", nf.Inputs)
+	}
+}

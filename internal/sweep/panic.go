@@ -1,0 +1,74 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// panicStackLimit caps the stack capture attached to a PanicError. Full
+// stacks of deep kernels can run to tens of kilobytes; the first few KB
+// always contain the panicking frame.
+const panicStackLimit = 8 << 10
+
+// PanicError is a panic raised by a sweep kernel (or state factory),
+// recovered inside the engine and converted into an ordinary error. The
+// engine guarantees that a panicking kernel never crashes the process:
+// the panic is captured here, peer workers are cancelled, and every
+// entry point (Run, Map, and all experiment runners above them) returns
+// the *PanicError through its normal error path.
+type PanicError struct {
+	// Item is the index of the work item (point or trial) whose kernel
+	// panicked; -1 when the panic happened outside item processing
+	// (e.g. in a worker-state factory).
+	Item int
+	// Worker is the id of the worker goroutine that recovered the panic
+	// (0 for the sequential single-worker path).
+	Worker int
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the goroutine stack captured at recovery, truncated to a
+	// few kilobytes around the panicking frame.
+	Stack []byte
+}
+
+// Error implements error. The captured stack is included so that a
+// panic surfaced through layers of experiment plumbing still points at
+// the offending frame.
+func (e *PanicError) Error() string {
+	where := fmt.Sprintf("item %d", e.Item)
+	if e.Item < 0 {
+		where = "worker state setup"
+	}
+	return fmt.Sprintf("sweep: panic in worker %d (%s): %v\n%s", e.Worker, where, e.Value, e.Stack)
+}
+
+// Unwrap exposes panic(err) values to errors.Is / errors.As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// newPanicError captures the current goroutine's stack for a recovered
+// panic value.
+func newPanicError(worker, item int, value any) *PanicError {
+	stack := debug.Stack()
+	if len(stack) > panicStackLimit {
+		stack = stack[:panicStackLimit]
+	}
+	return &PanicError{Item: item, Worker: worker, Value: value, Stack: stack}
+}
+
+// guard runs f and converts a panic into a *PanicError. The item index
+// is read through a pointer so loop bodies can reuse one guard while
+// the current index advances.
+func guard(worker int, item *int, f func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = newPanicError(worker, *item, v)
+		}
+	}()
+	f()
+	return nil
+}

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"fullview/internal/geom"
+)
+
+// panicWorkerCounts are the worker counts every isolation test runs at.
+func panicWorkerCounts() []int {
+	return []int{1, 2, runtime.GOMAXPROCS(0)}
+}
+
+func TestRunKernelPanicIsolated(t *testing.T) {
+	const bad = 137
+	for _, workers := range panicWorkerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			_, err := Run(context.Background(), testPoints(1000), workers,
+				func() (struct{}, error) { return struct{}{}, nil },
+				func(_ struct{}, acc int, i int, _ geom.Vec) int {
+					if i == bad {
+						panic("kernel exploded")
+					}
+					return acc + 1
+				},
+				func(dst, src int) int { return dst + src },
+			)
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *PanicError, got %v", err)
+			}
+			if pe.Item != bad {
+				t.Errorf("Item = %d, want %d", pe.Item, bad)
+			}
+			if pe.Value != "kernel exploded" {
+				t.Errorf("Value = %v", pe.Value)
+			}
+			if !bytes.Contains(pe.Stack, []byte("panic")) {
+				t.Errorf("stack capture missing panic frame:\n%s", pe.Stack)
+			}
+			if workers > 1 && (pe.Worker < 0 || pe.Worker >= workers) {
+				t.Errorf("Worker = %d out of range [0,%d)", pe.Worker, workers)
+			}
+		})
+	}
+}
+
+func TestRunStateFactoryPanicIsolated(t *testing.T) {
+	for _, workers := range panicWorkerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			_, err := Run(context.Background(), testPoints(64), workers,
+				func() (struct{}, error) { panic("factory exploded") },
+				func(_ struct{}, acc int, _ int, _ geom.Vec) int { return acc },
+				func(dst, src int) int { return dst + src },
+			)
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *PanicError, got %v", err)
+			}
+			if pe.Item != -1 {
+				t.Errorf("Item = %d, want -1 for state setup", pe.Item)
+			}
+		})
+	}
+}
+
+func TestMapPanicIsolated(t *testing.T) {
+	const bad = 41
+	for _, workers := range panicWorkerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			_, err := Map(context.Background(), 100, workers, func(i int) (int, error) {
+				if i == bad {
+					panic(fmt.Errorf("trial %d exploded", i))
+				}
+				return i, nil
+			})
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("want *PanicError, got %v", err)
+			}
+			if pe.Item != bad {
+				t.Errorf("Item = %d, want %d", pe.Item, bad)
+			}
+			if len(pe.Stack) == 0 {
+				t.Error("empty stack capture")
+			}
+		})
+	}
+}
+
+// TestMapPanicUnwrap checks that panic(err) values stay reachable for
+// errors.Is through the PanicError wrapper.
+func TestMapPanicUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel failure")
+	_, err := Map(context.Background(), 10, 2, func(i int) (int, error) {
+		if i == 3 {
+			panic(sentinel)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is(err, sentinel) = false; err = %v", err)
+	}
+}
+
+// TestRunPanicNotMaskedByPeerCancellation pins the error-selection rule:
+// a panic in a high-index worker must win over the context.Canceled its
+// cancellation induces in lower-index peers.
+func TestRunPanicNotMaskedByPeerCancellation(t *testing.T) {
+	workers := 4
+	points := testPoints(workers * cancelCheckInterval * 4)
+	last := len(points) - 1 // owned by the highest worker
+	for trial := 0; trial < 10; trial++ {
+		_, err := Run(context.Background(), points, workers,
+			func() (struct{}, error) { return struct{}{}, nil },
+			func(_ struct{}, acc int, i int, _ geom.Vec) int {
+				if i == last {
+					panic("late worker panic")
+				}
+				return acc + 1
+			},
+			func(dst, src int) int { return dst + src },
+		)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("trial %d: want *PanicError, got %v", trial, err)
+		}
+	}
+}
+
+func TestPanicErrorMessage(t *testing.T) {
+	pe := &PanicError{Item: 7, Worker: 2, Value: "boom", Stack: []byte("goroutine 1 [running]:")}
+	msg := pe.Error()
+	for _, want := range []string{"worker 2", "item 7", "boom", "goroutine"} {
+		if !bytes.Contains([]byte(msg), []byte(want)) {
+			t.Errorf("Error() = %q missing %q", msg, want)
+		}
+	}
+	setup := &PanicError{Item: -1, Worker: 0, Value: "boom"}
+	if !bytes.Contains([]byte(setup.Error()), []byte("state setup")) {
+		t.Errorf("Error() = %q missing state-setup marker", setup.Error())
+	}
+}

@@ -7,7 +7,14 @@
 // Every sweeping layer of the repository (internal/core region surveys,
 // internal/barrier, internal/holes grid labelling, internal/experiment
 // point sweeps) runs through this package, so scheduling, worker-state
-// management, and cancellation exist exactly once.
+// management, cancellation, and panic isolation exist exactly once.
+//
+// # Fault tolerance
+//
+// A panic raised by a kernel, a map function, or a worker-state factory
+// is recovered inside the engine and surfaced as a *PanicError through
+// the normal error return: peers are cancelled, in-flight workers drain
+// cleanly, and the process never crashes. See PanicError.
 //
 // # Determinism
 //
@@ -22,6 +29,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -65,6 +73,12 @@ func normalizeWorkers(workers, items int) int {
 // (workers notice within cancelCheckInterval points), and with the
 // factory's error when newState fails. On error the aggregate is T's
 // zero value.
+//
+// A panic inside kernel or newState never crashes the process: the
+// worker recovers it into a *PanicError carrying the item index, the
+// worker id, and the captured stack, cancels its peers, and Run returns
+// the *PanicError through the ordinary error path after the remaining
+// workers drain.
 func Run[S, T any](
 	ctx context.Context,
 	points []geom.Vec,
@@ -83,25 +97,13 @@ func Run[S, T any](
 	workers = normalizeWorkers(workers, len(points))
 
 	if workers == 1 {
-		state, err := newState()
-		if err != nil {
-			return zero, err
-		}
-		acc := zero
-		for i, p := range points {
-			if i%cancelCheckInterval == 0 {
-				if err := ctx.Err(); err != nil {
-					return zero, err
-				}
-			}
-			acc = kernel(state, acc, i, p)
-		}
-		return acc, nil
+		return runChunk(ctx, 0, 0, len(points), points, newState, kernel)
 	}
 
 	// Contiguous chunks; merged in chunk order below, so the fold order
 	// over points is exactly the sequential order at every boundary.
 	chunk := (len(points) + workers - 1) / workers
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -122,32 +124,19 @@ func Run[S, T any](
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			state, err := newState()
+			acc, err := runChunk(ctx, w, lo, hi, points, newState, kernel)
 			if err != nil {
 				errs[w] = err
 				cancel()
 				return
-			}
-			var acc T
-			for i := lo; i < hi; i++ {
-				if (i-lo)%cancelCheckInterval == 0 {
-					if err := ctx.Err(); err != nil {
-						errs[w] = err
-						return
-					}
-				}
-				acc = kernel(state, acc, i, points[i])
 			}
 			partials[w] = acc
 		}(w, lo, hi)
 	}
 	wg.Wait()
 
-	// Lowest worker index wins so the reported error is deterministic.
-	for _, err := range errs {
-		if err != nil {
-			return zero, err
-		}
+	if err := selectError(parent, errs); err != nil {
+		return zero, err
 	}
 	acc := zero
 	first := true
@@ -165,6 +154,70 @@ func Run[S, T any](
 	return acc, nil
 }
 
+// runChunk executes one worker's contiguous chunk [lo, hi) with panic
+// isolation: the state factory and every kernel call run under a
+// recover guard that converts a panic into a *PanicError naming the
+// item being processed (or the state setup) and this worker.
+func runChunk[S, T any](
+	ctx context.Context,
+	worker, lo, hi int,
+	points []geom.Vec,
+	newState func() (S, error),
+	kernel func(state S, acc T, i int, p geom.Vec) T,
+) (T, error) {
+	var acc, zero T
+	var innerErr error
+	item := -1 // -1 while constructing worker state
+	if perr := guard(worker, &item, func() {
+		state, err := newState()
+		if err != nil {
+			innerErr = err
+			return
+		}
+		for i := lo; i < hi; i++ {
+			if (i-lo)%cancelCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					innerErr = err
+					return
+				}
+			}
+			item = i
+			acc = kernel(state, acc, i, points[i])
+		}
+	}); perr != nil {
+		return zero, perr
+	}
+	if innerErr != nil {
+		return zero, innerErr
+	}
+	return acc, nil
+}
+
+// selectError picks the error to report from per-worker results. The
+// lowest worker index wins among real failures so the report is
+// deterministic; cancellation errors that merely echo a peer's failure
+// (the parent context is still live) never mask the failure that
+// triggered them.
+func selectError(parent context.Context, errs []error) error {
+	var cancellation error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancellation == nil {
+				cancellation = err
+			}
+			continue
+		}
+		return err
+	}
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	return cancellation
+}
+
 // Map runs fn over the indices 0..n-1 with the given number of workers
 // (GOMAXPROCS when workers ≤ 0) and returns the results in index order.
 // Items are handed to workers dynamically (work stealing), which suits
@@ -174,6 +227,10 @@ func Run[S, T any](
 // The first error aborts the run: no further items start, in-flight
 // items finish, and that error is returned with a nil slice. A
 // cancelled context likewise aborts with ctx.Err().
+//
+// A panic inside fn is recovered into a *PanicError (item index, worker
+// id, stack) and aborts the run exactly like an ordinary error; the
+// process never crashes.
 func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -189,7 +246,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) 
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			out, err := fn(i)
+			out, err := mapItem(0, i, fn)
 			if err != nil {
 				return nil, err
 			}
@@ -208,14 +265,14 @@ func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) 
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || runCtx.Err() != nil {
 					return
 				}
-				out, err := fn(i)
+				out, err := mapItem(w, i, fn)
 				if err != nil {
 					errOnce.Do(func() { firstErr = err })
 					cancel()
@@ -223,7 +280,7 @@ func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) 
 				}
 				results[i] = out
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -236,4 +293,15 @@ func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) 
 		return nil, err
 	}
 	return results, nil
+}
+
+// mapItem runs fn(i) under the worker's panic guard.
+func mapItem[T any](worker, i int, fn func(i int) (T, error)) (T, error) {
+	var out T
+	var err error
+	item := i
+	if perr := guard(worker, &item, func() { out, err = fn(i) }); perr != nil {
+		return out, perr
+	}
+	return out, err
 }

@@ -1,0 +1,96 @@
+package fullview_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fullview"
+)
+
+func TestKCheckedFacade(t *testing.T) {
+	k, err := fullview.KNecessaryChecked(math.Pi / 4)
+	if err != nil || k != 4 {
+		t.Errorf("KNecessaryChecked(π/4) = %d, %v; want 4, nil", k, err)
+	}
+	if _, err := fullview.KNecessaryChecked(0); !errors.Is(err, fullview.ErrBadTheta) {
+		t.Errorf("KNecessaryChecked(0) err = %v, want ErrBadTheta", err)
+	}
+	k, err = fullview.KSufficientChecked(math.Pi / 4)
+	if err != nil || k != 8 {
+		t.Errorf("KSufficientChecked(π/4) = %d, %v; want 8, nil", k, err)
+	}
+	if _, err := fullview.KSufficientChecked(math.NaN()); !errors.Is(err, fullview.ErrBadTheta) {
+		t.Errorf("KSufficientChecked(NaN) err = %v, want ErrBadTheta", err)
+	}
+}
+
+func TestCheckFiniteFacade(t *testing.T) {
+	if err := fullview.CheckFinite("q", 1.0); err != nil {
+		t.Errorf("CheckFinite(1.0) = %v", err)
+	}
+	err := fullview.CheckFinite("q", math.NaN(), "n", 3)
+	if !errors.Is(err, fullview.ErrNonFinite) {
+		t.Fatalf("CheckFinite(NaN) = %v, want ErrNonFinite", err)
+	}
+	var nf *fullview.NonFiniteError
+	if !errors.As(err, &nf) || nf.Quantity != "q" {
+		t.Errorf("NonFiniteError not populated: %v", err)
+	}
+}
+
+func TestResumableSurveyFacade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trials.jsonl")
+	header := fullview.SurveyCheckpointHeader("facade-test", 9, 6, "demo")
+	journal, err := fullview.OpenCheckpoint(path, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := func(trial int, r *fullview.RNG) (float64, error) {
+		return float64(trial) + r.Float64(), nil
+	}
+	got, err := fullview.RunResumableSurvey(context.Background(), journal, 9, 6, 2, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and resume: everything is journaled, so fn must not run.
+	journal2, err := fullview.OpenCheckpoint(path, header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !journal2.Complete() {
+		t.Errorf("journal not complete after full run: %d/6", journal2.Len())
+	}
+	resumed, err := fullview.RunResumableSurvey(context.Background(), journal2, 9, 6, 2,
+		func(trial int, r *fullview.RNG) (float64, error) {
+			t.Errorf("trial %d re-executed despite complete journal", trial)
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, got) {
+		t.Errorf("resumed results differ: %v vs %v", resumed, got)
+	}
+
+	// A mismatched header must be refused.
+	bad := header
+	bad.Seed = 10
+	if _, err := fullview.OpenCheckpoint(path, bad); !errors.Is(err, fullview.ErrCheckpointMismatch) {
+		t.Errorf("changed seed: err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestTransientFacade(t *testing.T) {
+	err := fullview.Transient(errors.New("socket reset"))
+	if !errors.Is(err, fullview.ErrTransient) {
+		t.Errorf("Transient wrap lost ErrTransient: %v", err)
+	}
+}
