@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench experiments experiments-quick fuzz clean
+.PHONY: all build vet test test-race bench bench-kernel bench-json profile experiments experiments-quick fuzz clean
 
 all: build vet test
 
@@ -22,6 +22,24 @@ test-race:
 # One benchmark per paper table/figure plus micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Coverage-kernel micro-benchmarks, repeated so the output feeds
+# benchstat directly: `make bench-kernel > new.txt && benchstat old.txt
+# new.txt`. One iteration = one point, so ns/op reads as per-point cost.
+BENCH_COUNT ?= 6
+bench-kernel:
+	$(GO) test -run=NONE -bench='BenchmarkFullView|BenchmarkSectorOccupancy|BenchmarkCountCovering' \
+		-benchmem -count=$(BENCH_COUNT) .
+
+# Machine-readable kernel numbers (the format committed as
+# BENCH_baseline.json / BENCH_kernel.json).
+bench-json:
+	$(GO) run ./cmd/fvcbench -kernelbench -benchout BENCH_kernel.json
+
+# CPU + allocation profiles of the kernel benchmarks; inspect with
+# `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/fvcbench -kernelbench -cpuprofile cpu.pprof -memprofile mem.pprof
 
 # Regenerate every evaluation artefact at full size (minutes).
 experiments:

@@ -53,6 +53,7 @@ func BenchmarkOrientationOptimizer(b *testing.B)  { benchExperiment(b, "orientop
 func BenchmarkDutyCycleLifetime(b *testing.B)     { benchExperiment(b, "dutycycle") }
 func BenchmarkActivationScheduling(b *testing.B)  { benchExperiment(b, "schedule") }
 func BenchmarkHeterogeneousCSA(b *testing.B)      { benchExperiment(b, "hetcsa") }
+func BenchmarkThetaSweep(b *testing.B)            { benchExperiment(b, "thetasweep") }
 
 // Micro-benchmarks of the building blocks.
 

@@ -19,6 +19,22 @@
 //	              re-executes only unfinished trials and the final tables
 //	              are bit-identical to an uninterrupted run
 //	-list         list registered experiments and exit
+//
+// Kernel benchmark harness (the repository's perf trajectory):
+//
+//	-kernelbench  run the per-point coverage-kernel micro-benchmarks
+//	              instead of an experiment and print benchstat-compatible
+//	              lines
+//	-benchout F   also write the kernel benchmark results as JSON to F
+//	              (ns/point, B/point, allocs/point per benchmark), e.g.
+//	              BENCH_kernel.json
+//	-benchtime D  minimum measuring time per kernel benchmark (default
+//	              1s; "1x" runs a single small batch — the CI smoke mode)
+//
+// Profiling (usable with any experiment or -kernelbench):
+//
+//	-cpuprofile F write a CPU profile to F
+//	-memprofile F write an allocation profile to F at exit
 package main
 
 import (
@@ -26,8 +42,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"fullview/internal/figures"
+	"fullview/internal/kernelbench"
 )
 
 func main() {
@@ -46,6 +66,13 @@ func run(args []string, stdout io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker goroutines for trials and sweeps (0 = GOMAXPROCS)")
 		ckptDir  = fs.String("checkpoint", "", "journal trial progress to this directory and resume from it")
 		list     = fs.Bool("list", false, "list experiments and exit")
+
+		kbench    = fs.Bool("kernelbench", false, "run the coverage-kernel micro-benchmarks")
+		benchOut  = fs.String("benchout", "", "write kernel benchmark results as JSON to this file")
+		benchTime = fs.String("benchtime", "1s", "minimum measuring time per kernel benchmark (duration, or \"1x\" for a single batch)")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: fvcbench [flags] <experiment>|all")
@@ -53,6 +80,36 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fvcbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fvcbench: memprofile:", err)
+			}
+		}()
+	}
+
+	if *kbench {
+		return runKernelBench(stdout, *benchTime, *benchOut)
 	}
 
 	if *list {
@@ -87,4 +144,39 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("%w (use -list to see experiments)", err)
 	}
 	return e.Run(stdout, opts)
+}
+
+// runKernelBench executes the kernel micro-benchmark suite, prints
+// benchstat-compatible lines, and optionally writes the JSON report.
+func runKernelBench(stdout io.Writer, benchTime, benchOut string) error {
+	var target time.Duration
+	switch benchTime {
+	case "1x":
+		target = 0 // a single batch per case — the CI smoke mode
+	default:
+		var err error
+		target, err = time.ParseDuration(benchTime)
+		if err != nil {
+			return fmt.Errorf("benchtime: %w", err)
+		}
+	}
+	report, err := kernelbench.Run(target)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteBenchstat(stdout); err != nil {
+		return err
+	}
+	if benchOut == "" {
+		return nil
+	}
+	f, err := os.Create(benchOut)
+	if err != nil {
+		return fmt.Errorf("benchout: %w", err)
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("benchout: %w", err)
+	}
+	return f.Close()
 }

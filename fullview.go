@@ -87,8 +87,16 @@ type (
 	// Checker evaluates full-view coverage and the paper's geometric
 	// conditions for one network and effective angle.
 	Checker = core.Checker
+	// MultiChecker evaluates the per-point diagnosis for a whole list of
+	// effective angles from a single candidate gather per point.
+	MultiChecker = core.MultiChecker
 	// PointReport is the coverage diagnosis of a single point.
 	PointReport = core.PointReport
+	// MultiReport is MultiChecker's per-point diagnosis: θ-independent
+	// quantities once, plus one ThetaReport per effective angle.
+	MultiReport = core.MultiReport
+	// ThetaReport is one effective angle's verdict inside a MultiReport.
+	ThetaReport = core.ThetaReport
 	// RegionStats aggregates coverage over a set of sample points.
 	RegionStats = core.RegionStats
 )
@@ -188,6 +196,17 @@ func DenseGrid(t Torus, n int) ([]Vec, error) { return deploy.DenseGrid(t, n) }
 // internally).
 func NewChecker(net *Network, theta float64) (*Checker, error) {
 	return core.NewChecker(net, theta)
+}
+
+// NewMultiChecker builds a fused multi-θ checker for the network: each
+// Evaluate call gathers the point's covering cameras once and reports
+// full-view coverage plus the necessary and sufficient conditions for
+// every effective angle of the list (each in (0, π]). Use it for
+// θ-sweeps, where a Checker per θ would repeat the spatial query and
+// gather per angle. Like Checker, a MultiChecker is not safe for
+// concurrent use; derive one per goroutine with MultiChecker.Clone.
+func NewMultiChecker(net *Network, thetas []float64) (*MultiChecker, error) {
+	return core.NewMultiChecker(net, thetas)
 }
 
 // CSANecessary returns the critical sensing area for the necessary

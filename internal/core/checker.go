@@ -24,11 +24,11 @@ var ErrBadTheta = errors.New("core: effective angle θ must be in (0, π]")
 // Clone to derive one per worker instead (cloning shares the immutable
 // spatial index and costs one scratch-buffer allocation).
 type Checker struct {
-	index             *spatial.Index
-	theta             float64
-	necessarySectors  []geom.Sector
-	sufficientSectors []geom.Sector
-	dirBuf            []float64
+	index      *spatial.Index
+	theta      float64
+	necessary  occupancy // anchored 2θ partition, O(m) evaluator
+	sufficient occupancy // anchored θ partition
+	dirBuf     []float64
 }
 
 // NewChecker builds a Checker for the network with effective angle
@@ -48,20 +48,20 @@ func newChecker(ix *spatial.Index, theta float64) (*Checker, error) {
 	if !(theta > 0) || theta > math.Pi {
 		return nil, fmt.Errorf("%w: got %v", ErrBadTheta, theta)
 	}
-	necessary, err := geom.AnchoredPartition(2 * theta)
+	necessary, err := newOccupancy(2 * theta)
 	if err != nil {
 		return nil, fmt.Errorf("core: necessary partition: %w", err)
 	}
-	sufficient, err := geom.AnchoredPartition(theta)
+	sufficient, err := newOccupancy(theta)
 	if err != nil {
 		return nil, fmt.Errorf("core: sufficient partition: %w", err)
 	}
 	return &Checker{
-		index:             ix,
-		theta:             theta,
-		necessarySectors:  necessary,
-		sufficientSectors: sufficient,
-		dirBuf:            make([]float64, 0, 64),
+		index:      ix,
+		theta:      theta,
+		necessary:  necessary,
+		sufficient: sufficient,
+		dirBuf:     make([]float64, 0, 64),
 	}, nil
 }
 
@@ -71,6 +71,8 @@ func newChecker(ix *spatial.Index, theta float64) (*Checker, error) {
 // every goroutine of a parallel sweep its own Checker.
 func (c *Checker) Clone() *Checker {
 	clone := *c
+	clone.necessary = c.necessary.clone()
+	clone.sufficient = c.sufficient.clone()
 	clone.dirBuf = make([]float64, 0, cap(c.dirBuf))
 	return &clone
 }
@@ -97,7 +99,7 @@ func (c *Checker) FullViewCovered(p geom.Vec) bool {
 	if len(dirs) == 0 {
 		return false
 	}
-	gap, _ := geom.MaxCircularGap(dirs)
+	gap, _ := geom.MaxCircularGapInPlace(dirs)
 	return gap <= 2*c.theta
 }
 
@@ -106,7 +108,7 @@ func (c *Checker) FullViewCovered(p geom.Vec) bool {
 // or ok == false when p is full-view covered.
 func (c *Checker) UnsafeDirection(p geom.Vec) (dir float64, ok bool) {
 	dirs := c.viewedDirections(p)
-	gap, bisector := geom.MaxCircularGap(dirs)
+	gap, bisector := geom.MaxCircularGapInPlace(dirs)
 	if len(dirs) > 0 && gap <= 2*c.theta {
 		return 0, false
 	}
@@ -118,7 +120,7 @@ func (c *Checker) UnsafeDirection(p geom.Vec) (dir float64, ok bool) {
 // anchored 2θ partition (including the re-centred remainder sector)
 // contains the viewed direction of at least one covering camera.
 func (c *Checker) MeetsNecessary(p geom.Vec) bool {
-	return sectorsAllOccupied(c.necessarySectors, c.viewedDirections(p))
+	return c.necessary.allOccupied(c.viewedDirections(p))
 }
 
 // MeetsSufficient reports whether p satisfies the paper's geometric
@@ -126,7 +128,7 @@ func (c *Checker) MeetsNecessary(p geom.Vec) bool {
 // contains the viewed direction of at least one covering camera. When it
 // holds, p is guaranteed full-view covered.
 func (c *Checker) MeetsSufficient(p geom.Vec) bool {
-	return sectorsAllOccupied(c.sufficientSectors, c.viewedDirections(p))
+	return c.sufficient.allOccupied(c.viewedDirections(p))
 }
 
 // CoverageCount returns the number of cameras covering p (its
@@ -145,7 +147,9 @@ func (c *Checker) KCovered(p geom.Vec, k int) bool {
 }
 
 // sectorsAllOccupied reports whether every sector contains at least one
-// of the directions.
+// of the directions. It is the O(sectors·dirs) reference implementation
+// of occupancy.allOccupied, retained as the oracle for the randomized
+// equivalence tests.
 func sectorsAllOccupied(sectors []geom.Sector, dirs []float64) bool {
 	for _, s := range sectors {
 		occupied := false

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fullview/internal/geom"
+)
+
+// occupancy answers "does every sector of one anchored partition contain
+// at least one of these directions?" — the inner predicate of both the
+// necessary (w = 2θ) and sufficient (w = θ) conditions — in O(m) for m
+// directions instead of the O(sectors·m) scan of checking each sector
+// against every direction.
+//
+// The trick: the partition's full sectors tile the circle in order, the
+// j-th starting at NormalizeAngle(j·w), so a direction d can only lie in
+// full sectors whose index is within 1 of ⌊d/w⌋ (the ±1 slack absorbs
+// every floating-point rounding in play: the normalization of d, the
+// NormalizeAngle'd sector starts, and the 1/w reciprocal — all off by
+// ulps, i.e. orders of magnitude less than one sector index for any
+// partition small enough to materialise). Each direction therefore tests
+// at most three candidate sectors with the exact Sector.Contains
+// predicate, marking hits in a reusable bitmask; membership decisions are
+// bit-identical to the brute-force scan because the predicate is the
+// same, only the enumeration is pruned. The re-centred remainder sector,
+// when present, does not sit on the j·w lattice and is tested by a
+// separate O(m) pass.
+//
+// An occupancy reuses its bitmask across calls and is therefore not safe
+// for concurrent use; clone one per goroutine.
+type occupancy struct {
+	sectors []geom.Sector
+	invW    float64  // 1 / w, precomputed
+	full    int      // sectors[:full] are the lattice sectors
+	mask    []uint64 // reusable occupation bitmask over the full sectors
+}
+
+// newOccupancy builds the evaluator for the anchored partition of width w.
+func newOccupancy(w float64) (occupancy, error) {
+	sectors, err := geom.AnchoredPartition(w)
+	if err != nil {
+		return occupancy{}, err
+	}
+	full, _ := geom.SplitCircle(w)
+	return occupancy{
+		sectors: sectors,
+		invW:    1 / w,
+		full:    full,
+		mask:    make([]uint64, (full+63)/64),
+	}, nil
+}
+
+// clone returns an evaluator sharing the immutable sectors but owning a
+// private bitmask.
+func (o *occupancy) clone() occupancy {
+	c := *o
+	c.mask = make([]uint64, len(o.mask))
+	return c
+}
+
+// allOccupied reports whether every sector contains at least one of the
+// directions. Directions may be raw atan2 outputs ((−π, π]) or already
+// normalized; Sector.Contains accepts either, and the predicate is
+// evaluated on the direction exactly as given so results match the
+// brute-force scan bit for bit.
+func (o *occupancy) allOccupied(dirs []float64) bool {
+	// The remainder sector, if any, is off-lattice: plain scan.
+	if o.full < len(o.sectors) {
+		s := o.sectors[o.full]
+		hit := false
+		for _, d := range dirs {
+			if s.Contains(d) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	for i := range o.mask {
+		o.mask[i] = 0
+	}
+	count := 0
+	for _, d := range dirs {
+		dn := d
+		if dn < 0 {
+			dn += geom.TwoPi
+		}
+		j := int(dn * o.invW)
+		for cand := j - 1; cand <= j+1; cand++ {
+			cs := cand % o.full
+			if cs < 0 {
+				cs += o.full
+			}
+			w, bit := cs>>6, uint64(1)<<(uint(cs)&63)
+			if o.mask[w]&bit != 0 {
+				continue
+			}
+			if o.sectors[cs].Contains(d) {
+				o.mask[w] |= bit
+				count++
+				if count == o.full {
+					return true
+				}
+			}
+		}
+	}
+	return count == o.full
+}

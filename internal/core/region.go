@@ -24,13 +24,17 @@ type PointReport struct {
 // Report diagnoses point p in one pass over its covering cameras.
 func (c *Checker) Report(p geom.Vec) PointReport {
 	dirs := c.viewedDirections(p)
-	gap, _ := geom.MaxCircularGap(dirs)
+	// Occupancy first: it reads the raw directions, while the in-place
+	// gap computation normalizes and sorts the buffer.
+	necessary := c.necessary.allOccupied(dirs)
+	sufficient := c.sufficient.allOccupied(dirs)
+	gap, _ := geom.MaxCircularGapInPlace(dirs)
 	return PointReport{
 		NumCovering: len(dirs),
 		MaxGap:      gap,
 		FullView:    len(dirs) > 0 && gap <= 2*c.theta,
-		Necessary:   sectorsAllOccupied(c.necessarySectors, dirs),
-		Sufficient:  sectorsAllOccupied(c.sufficientSectors, dirs),
+		Necessary:   necessary,
+		Sufficient:  sufficient,
 	}
 }
 

@@ -33,7 +33,8 @@ func TestAllRegistered(t *testing.T) {
 	all := All()
 	want := []string{"fig7", "fig8", "thm1", "thm2", "poisson", "onecov",
 		"kcov", "area", "gap", "pointprob", "barrier", "probsense",
-		"construct", "fault", "orientopt", "dutycycle", "schedule", "hetcsa"}
+		"construct", "fault", "orientopt", "dutycycle", "schedule", "hetcsa",
+		"thetasweep"}
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
 	}

@@ -30,16 +30,21 @@ func init() {
 // sufficient condition is not necessary).
 func runGap(w io.Writer, opts Options) error {
 	opts = opts.withDefaults()
-	theta := math.Pi / 4
+	// The area schedule is anchored at θ = π/4 (the paper's running
+	// choice); the flanking angles show how the condition gap widens as θ
+	// shrinks. All three θ are diagnosed from the same deployments and
+	// candidate gathers (core.MultiChecker via RunPointsThetas).
+	const anchorTheta = math.Pi / 4
+	thetas := []float64{math.Pi / 6, anchorTheta, math.Pi / 3}
 	n := pick(opts, 800, 300)
 	trials := opts.trials(120, 15)
 	pointsPerTrial := pick(opts, 60, 25)
 
-	nec, err := analytic.CSANecessary(n, theta)
+	nec, err := analytic.CSANecessary(n, anchorTheta)
 	if err != nil {
 		return err
 	}
-	suf, err := analytic.CSASufficient(n, theta)
+	suf, err := analytic.CSASufficient(n, anchorTheta)
 	if err != nil {
 		return err
 	}
@@ -49,9 +54,9 @@ func runGap(w io.Writer, opts Options) error {
 	}
 
 	table := report.NewTable(
-		fmt.Sprintf("Section VI-C — condition gap per point (n = %d, θ = π/4; s_Nc = %s, s_Sc = %s)",
+		fmt.Sprintf("Section VI-C — condition gap per point (n = %d, θ ∈ {π/6, π/4, π/3}; at θ = π/4: s_Nc = %s, s_Sc = %s)",
 			n, report.F(nec), report.F(suf)),
-		"s_c", "s_c/s_Nc", "P(nec)", "P(full-view)", "P(suf)", "P(nec & !fv)", "P(fv & !suf)",
+		"s_c", "s_c/s_Nc", "θ", "P(nec)", "P(full-view)", "P(suf)", "P(nec & !fv)", "P(fv & !suf)",
 	)
 	areas := []float64{0.5 * nec, nec, 0.5 * (nec + suf), suf, 1.5 * suf}
 	for ai, sc := range areas {
@@ -59,21 +64,24 @@ func runGap(w io.Writer, opts Options) error {
 		if err != nil {
 			return err
 		}
-		cfg := experiment.Config{N: n, Theta: theta, Profile: profile}
-		out, err := runPoints(opts, fmt.Sprintf("gap-a%d", ai), cfg, pointsPerTrial, trials,
+		cfg := experiment.Config{N: n, Profile: profile}
+		outs, err := runPointsThetas(opts, fmt.Sprintf("gap-a%d", ai), cfg, thetas, pointsPerTrial, trials,
 			rng.Mix64(opts.Seed^uint64(ai+53)))
 		if err != nil {
 			return err
 		}
-		if err := table.AddRow(
-			report.F(sc), report.F4(sc/nec),
-			report.F4(out.Necessary.Fraction()),
-			report.F4(out.FullView.Fraction()),
-			report.F4(out.Sufficient.Fraction()),
-			report.F4(out.NecessaryNotFullView.Fraction()),
-			report.F4(out.FullViewNotSufficient.Fraction()),
-		); err != nil {
-			return err
+		for ti, theta := range thetas {
+			out := outs[ti]
+			if err := table.AddRow(
+				report.F(sc), report.F4(sc/nec), report.F4(theta),
+				report.F4(out.Necessary.Fraction()),
+				report.F4(out.FullView.Fraction()),
+				report.F4(out.Sufficient.Fraction()),
+				report.F4(out.NecessaryNotFullView.Fraction()),
+				report.F4(out.FullViewNotSufficient.Fraction()),
+			); err != nil {
+				return err
+			}
 		}
 	}
 	_, err = table.WriteTo(w)

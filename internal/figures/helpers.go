@@ -47,3 +47,15 @@ func runPoints(opts Options, cell string, cfg experiment.Config, pointsPerTrial,
 	path := filepath.Join(opts.CheckpointDir, cell+".jsonl")
 	return experiment.RunPointsCheckpoint(context.Background(), path, cfg, pointsPerTrial, trials, opts.Parallelism, seed)
 }
+
+// runPointsThetas is runPoints for a whole θ-list at once: one
+// deployment, spatial index, and candidate gather per trial serves every
+// θ (core.MultiChecker), and outcome k is bit-identical to runPoints
+// with cfg.Theta = thetas[k] under the same seed.
+func runPointsThetas(opts Options, cell string, cfg experiment.Config, thetas []float64, pointsPerTrial, trials int, seed uint64) ([]experiment.PointOutcome, error) {
+	if opts.CheckpointDir == "" {
+		return experiment.RunPointsThetas(cfg, thetas, pointsPerTrial, trials, opts.Parallelism, seed)
+	}
+	path := filepath.Join(opts.CheckpointDir, cell+".jsonl")
+	return experiment.RunPointsThetasCheckpoint(context.Background(), path, cfg, thetas, pointsPerTrial, trials, opts.Parallelism, seed)
+}

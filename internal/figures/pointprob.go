@@ -24,10 +24,13 @@ func init() {
 // runPointProb validates Equations 2 and 13 (E10) for a three-group
 // heterogeneous network under uniform deployment: the simulated fraction
 // of points meeting the necessary (resp. sufficient) condition must
-// track 1 − P(F_N,P) (resp. 1 − P(F_S,P)) across n.
+// track 1 − P(F_N,P) (resp. 1 − P(F_S,P)) across n. Both effective
+// angles are evaluated from the same deployments and candidate gathers
+// (core.MultiChecker via RunPointsThetas), so adding a θ costs two
+// sector-occupancy passes per point instead of a whole re-simulation.
 func runPointProb(w io.Writer, opts Options) error {
 	opts = opts.withDefaults()
-	theta := math.Pi / 4
+	thetas := []float64{math.Pi / 4, math.Pi / 3}
 	profile, err := sensor.NewProfile(
 		sensor.GroupSpec{Fraction: 0.5, Radius: 0.1, Aperture: math.Pi / 2},
 		sensor.GroupSpec{Fraction: 0.3, Radius: 0.15, Aperture: math.Pi / 3},
@@ -41,31 +44,34 @@ func runPointProb(w io.Writer, opts Options) error {
 	pointsPerTrial := pick(opts, 60, 25)
 
 	table := report.NewTable(
-		fmt.Sprintf("Equations 2 & 13 — 3-group heterogeneous network, θ = π/4, %d trials × %d points",
+		fmt.Sprintf("Equations 2 & 13 — 3-group heterogeneous network, θ ∈ {π/4, π/3}, %d trials × %d points",
 			trials, pointsPerTrial),
-		"n", "1-P(F_N) analytic", "P(nec) simulated", "1-P(F_S) analytic", "P(suf) simulated",
+		"n", "θ", "1-P(F_N) analytic", "P(nec) simulated", "1-P(F_S) analytic", "P(suf) simulated",
 	)
 	for ci, n := range ns {
-		necFail, err := analytic.UniformNecessaryFailure(profile, n, theta)
-		if err != nil {
-			return err
-		}
-		sufFail, err := analytic.UniformSufficientFailure(profile, n, theta)
-		if err != nil {
-			return err
-		}
-		cfg := experiment.Config{N: n, Theta: theta, Profile: profile}
-		out, err := runPoints(opts, fmt.Sprintf("pointprob-n%d", n), cfg, pointsPerTrial, trials,
+		cfg := experiment.Config{N: n, Profile: profile}
+		outs, err := runPointsThetas(opts, fmt.Sprintf("pointprob-n%d", n), cfg, thetas, pointsPerTrial, trials,
 			rng.Mix64(opts.Seed^uint64(ci+67)))
 		if err != nil {
 			return err
 		}
-		if err := table.AddRow(
-			report.I(n),
-			report.F4(1-necFail), report.F4(out.Necessary.Fraction()),
-			report.F4(1-sufFail), report.F4(out.Sufficient.Fraction()),
-		); err != nil {
-			return err
+		for ti, theta := range thetas {
+			necFail, err := analytic.UniformNecessaryFailure(profile, n, theta)
+			if err != nil {
+				return err
+			}
+			sufFail, err := analytic.UniformSufficientFailure(profile, n, theta)
+			if err != nil {
+				return err
+			}
+			out := outs[ti]
+			if err := table.AddRow(
+				report.I(n), report.F4(theta),
+				report.F4(1-necFail), report.F4(out.Necessary.Fraction()),
+				report.F4(1-sufFail), report.F4(out.Sufficient.Fraction()),
+			); err != nil {
+				return err
+			}
 		}
 	}
 	_, err = table.WriteTo(w)

@@ -41,6 +41,14 @@ type theoremCell struct {
 // q·csa(n) and measures how often the dense grid fails the target
 // condition.
 //
+// Unlike the fused multi-θ figures (pointprob, gap, thetasweep), this
+// sweep cannot share deployments across effective angles: the sensing
+// area q·csa(n, θ) — and therefore the deployed profile itself — is a
+// function of θ, so each θ needs its own networks. Each trial still
+// builds the spatial index exactly once per deployment (the grid sweep's
+// workers share it via Checker.Clone), and all three conditions are
+// evaluated from a single candidate gather per grid point.
+//
 // Degraded mode: a cell whose analytic value or Monte-Carlo aggregate
 // is non-finite (numeric.ErrNonFinite) is skipped and reported in the
 // returned skipped list rather than aborting the whole sweep — one

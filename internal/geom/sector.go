@@ -96,6 +96,16 @@ func SectorCount(w float64) int {
 	return full
 }
 
+// SplitCircle reports the decomposition AnchoredPartition(w) uses: the
+// circle holds `full` whole sectors of width w plus a remainder alpha ∈
+// [0, w) (zero when w divides 2π exactly, up to floating-point noise).
+// When alpha > 0, AnchoredPartition(w) returns full+1 sectors and the
+// last one is the re-centred remainder sector; otherwise it returns
+// exactly the full sectors, whose j-th Start is NormalizeAngle(j·w).
+func SplitCircle(w float64) (full int, alpha float64) {
+	return splitCircle(w)
+}
+
 // splitCircle decomposes the circle into `full` whole sectors of width w
 // plus a remainder alpha ∈ [0, w). A remainder smaller than circleEps is
 // treated as zero so that exact divisors of 2π are not perturbed by

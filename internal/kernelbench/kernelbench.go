@@ -1,0 +1,311 @@
+// Package kernelbench defines the micro-benchmarks of the per-point
+// coverage kernel — the gather → max-gap → sector-occupancy pipeline
+// every experiment executes hundreds of thousands of times — in a form
+// runnable both as ordinary `go test -bench` benchmarks (see the
+// repository-root kernel_bench_test.go) and as a standalone harness
+// (`fvcbench -kernelbench`) that emits machine-readable results, so the
+// repository carries a perf trajectory across PRs (BENCH_baseline.json,
+// BENCH_kernel.json).
+//
+// Every case evaluates exactly one sample point per iteration, so ns/op,
+// B/op, and allocs/op read directly as ns/point, B/point, allocs/point.
+package kernelbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"fullview/internal/core"
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+// pointPool is the number of pre-drawn sample points a case cycles
+// through; a power of two so the per-iteration index is a mask, not a
+// division.
+const pointPool = 4096
+
+// sink defeats dead-code elimination of benchmark kernels.
+var sink int
+
+// Thetas is the effective-angle list of the fused multi-θ case,
+// mirroring a theorem-sweep θ-loop.
+var Thetas = []float64{0.15 * math.Pi, 0.25 * math.Pi, math.Pi / 3, 0.5 * math.Pi}
+
+// Case is one kernel micro-benchmark.
+type Case struct {
+	// Name is the stable benchmark identifier ("FullViewHomog1000", …).
+	// The `go test` benchmark is named Benchmark<Name>.
+	Name string
+	// Setup builds the fixture (network, checker, point pool) and
+	// returns the per-point kernel; fn(i) evaluates point i%pointPool.
+	// Setup cost is excluded from measurement.
+	Setup func() (fn func(i int), err error)
+}
+
+// samplePoints draws the shared pool of uniform sample points.
+func samplePoints(seed uint64) []geom.Vec {
+	r := rng.New(seed, 17)
+	pts := make([]geom.Vec, pointPool)
+	for i := range pts {
+		pts[i] = geom.V(r.Float64(), r.Float64())
+	}
+	return pts
+}
+
+// homogNetwork is the homogeneous fixture: n cameras, r = 0.15, φ = π/2
+// (the bench_test.go micro-benchmark configuration).
+func homogNetwork(n int) (*sensor.Network, error) {
+	profile, err := sensor.Homogeneous(0.15, math.Pi/2)
+	if err != nil {
+		return nil, err
+	}
+	return deploy.Uniform(geom.UnitTorus, profile, n, rng.New(1, 0))
+}
+
+// hetNetwork is the heterogeneous fixture: three groups whose sensing
+// radii span 100× (0.002 … 0.2) — the paper's heterogeneity regime where
+// a single global max-radius query reach over-scans badly.
+func hetNetwork(n int) (*sensor.Network, error) {
+	profile, err := sensor.NewProfile(
+		sensor.GroupSpec{Fraction: 0.4, Radius: 0.002, Aperture: math.Pi / 2},
+		sensor.GroupSpec{Fraction: 0.4, Radius: 0.02, Aperture: math.Pi / 3},
+		sensor.GroupSpec{Fraction: 0.2, Radius: 0.2, Aperture: math.Pi / 4},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return deploy.Uniform(geom.UnitTorus, profile, n, rng.New(2, 0))
+}
+
+// Cases returns the kernel micro-benchmark suite.
+func Cases() []Case {
+	return []Case{
+		{
+			// The exact full-view test (Definition 1) on a homogeneous
+			// 1000-camera network.
+			Name: "FullViewHomog1000",
+			Setup: func() (func(int), error) {
+				net, err := homogNetwork(1000)
+				if err != nil {
+					return nil, err
+				}
+				checker, err := core.NewChecker(net, math.Pi/4)
+				if err != nil {
+					return nil, err
+				}
+				pts := samplePoints(3)
+				return func(i int) {
+					if checker.FullViewCovered(pts[i&(pointPool-1)]) {
+						sink++
+					}
+				}, nil
+			},
+		},
+		{
+			// The same test on the 100×-radius-span heterogeneous
+			// network, where query reach per radius group matters.
+			Name: "FullViewHet1000",
+			Setup: func() (func(int), error) {
+				net, err := hetNetwork(1000)
+				if err != nil {
+					return nil, err
+				}
+				checker, err := core.NewChecker(net, math.Pi/4)
+				if err != nil {
+					return nil, err
+				}
+				pts := samplePoints(5)
+				return func(i int) {
+					if checker.FullViewCovered(pts[i&(pointPool-1)]) {
+						sink++
+					}
+				}, nil
+			},
+		},
+		{
+			// The fused per-point diagnosis: gather once, max gap +
+			// 2θ-sector + θ-sector occupancy + covering count.
+			Name: "FullViewReport1000",
+			Setup: func() (func(int), error) {
+				net, err := homogNetwork(1000)
+				if err != nil {
+					return nil, err
+				}
+				checker, err := core.NewChecker(net, math.Pi/4)
+				if err != nil {
+					return nil, err
+				}
+				pts := samplePoints(7)
+				return func(i int) {
+					rep := checker.Report(pts[i&(pointPool-1)])
+					sink += rep.NumCovering
+				}, nil
+			},
+		},
+		{
+			// A θ-sweep over one deployment: FullView / Necessary /
+			// Sufficient for every θ in Thetas at each point.
+			Name:  "FullViewMultiTheta1000",
+			Setup: multiThetaSetup,
+		},
+		{
+			// The geometric conditions alone (anchored 2θ- and θ-sector
+			// occupancy, paper §III–IV).
+			Name: "SectorOccupancy1000",
+			Setup: func() (func(int), error) {
+				net, err := homogNetwork(1000)
+				if err != nil {
+					return nil, err
+				}
+				checker, err := core.NewChecker(net, math.Pi/4)
+				if err != nil {
+					return nil, err
+				}
+				pts := samplePoints(11)
+				return func(i int) {
+					p := pts[i&(pointPool-1)]
+					if checker.MeetsNecessary(p) {
+						sink++
+					}
+					if checker.MeetsSufficient(p) {
+						sink++
+					}
+				}, nil
+			},
+		},
+		{
+			// k-coverage multiplicity on the heterogeneous network.
+			Name: "CountCoveringHet1000",
+			Setup: func() (func(int), error) {
+				net, err := hetNetwork(1000)
+				if err != nil {
+					return nil, err
+				}
+				checker, err := core.NewChecker(net, math.Pi/4)
+				if err != nil {
+					return nil, err
+				}
+				pts := samplePoints(13)
+				return func(i int) {
+					sink += checker.CoverageCount(pts[i&(pointPool-1)])
+				}, nil
+			},
+		},
+	}
+}
+
+// Result is the measurement of one case. Per-iteration figures are
+// per-point figures by construction.
+type Result struct {
+	Name           string  `json:"name"`
+	Iterations     int     `json:"iterations"`
+	NsPerPoint     float64 `json:"nsPerPoint"`
+	BytesPerPoint  float64 `json:"bytesPerPoint"`
+	AllocsPerPoint float64 `json:"allocsPerPoint"`
+}
+
+// Report is the serialized form of a full harness run.
+type Report struct {
+	GoVersion string   `json:"goVersion"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// Run measures every case. Each case warms up once, then runs batches
+// of doubling size until the measured batch lasts at least benchtime
+// (one single batch when benchtime ≤ 0 — the -benchtime=1x smoke mode).
+func Run(benchtime time.Duration) (Report, error) {
+	report := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, c := range Cases() {
+		res, err := measure(c, benchtime)
+		if err != nil {
+			return Report{}, fmt.Errorf("kernelbench %s: %w", c.Name, err)
+		}
+		report.Results = append(report.Results, res)
+	}
+	return report, nil
+}
+
+// measure times one case with the doubling schedule.
+func measure(c Case, benchtime time.Duration) (Result, error) {
+	fn, err := c.Setup()
+	if err != nil {
+		return Result{}, err
+	}
+	fn(0) // warm-up: fault in scratch buffers, reach steady state
+
+	n := 64
+	for {
+		iters, elapsed, mallocs, bytes := timeBatch(fn, n)
+		if elapsed >= benchtime || n >= 1<<28 {
+			return Result{
+				Name:           c.Name,
+				Iterations:     iters,
+				NsPerPoint:     float64(elapsed.Nanoseconds()) / float64(iters),
+				BytesPerPoint:  float64(bytes) / float64(iters),
+				AllocsPerPoint: float64(mallocs) / float64(iters),
+			}, nil
+		}
+		// Grow toward the target the way testing.B does: aim past
+		// benchtime, at most 100× at a step.
+		next := n * 100
+		if elapsed > 0 {
+			if predicted := int(float64(n) * 1.2 * float64(benchtime) / float64(elapsed)); predicted < next {
+				next = predicted
+			}
+		}
+		if next <= n {
+			next = n * 2
+		}
+		n = next
+	}
+}
+
+// timeBatch runs fn n times, returning wall time and the exact malloc
+// deltas from runtime.MemStats.
+func timeBatch(fn func(int), n int) (iters int, elapsed time.Duration, mallocs, bytes uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+	elapsed = time.Since(start)
+	runtime.ReadMemStats(&after)
+	return n, elapsed, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteBenchstat writes the report in benchstat-compatible text form
+// ("BenchmarkX   N   ns/op   B/op   allocs/op").
+func (r Report) WriteBenchstat(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "goos: %s\ngoarch: %s\n", r.GOOS, r.GOARCH); err != nil {
+		return err
+	}
+	for _, res := range r.Results {
+		if _, err := fmt.Fprintf(w, "Benchmark%s\t%d\t%.1f ns/op\t%.0f B/op\t%.0f allocs/op\n",
+			res.Name, res.Iterations, res.NsPerPoint, res.BytesPerPoint, res.AllocsPerPoint); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package kernelbench
+
+import (
+	"fullview/internal/core"
+)
+
+// multiThetaSetup builds the fused θ-sweep case: evaluate the full
+// per-point diagnosis for every θ in Thetas over one fixed deployment.
+// This is the per-point shape of the θ-sweep experiments in
+// internal/figures (pointprob, gap, thetasweep).
+//
+// Implementation under measurement: core.MultiChecker — one candidate
+// gather, one sort, and one max-gap scan per point serving the whole
+// θ-list, plus two O(m) sector-occupancy passes per θ. The baseline this
+// replaced (BENCH_baseline.json) ran one Checker per θ over a shared
+// spatial index, re-gathering and re-sorting the viewed directions per θ.
+func multiThetaSetup() (func(int), error) {
+	net, err := homogNetwork(1000)
+	if err != nil {
+		return nil, err
+	}
+	checker, err := core.NewMultiChecker(net, Thetas)
+	if err != nil {
+		return nil, err
+	}
+	pts := samplePoints(9)
+	return func(i int) {
+		p := pts[i&(pointPool-1)]
+		rep := checker.Evaluate(p)
+		sink += rep.NumCovering
+	}, nil
+}

@@ -1,0 +1,46 @@
+// Micro-benchmarks of the per-point coverage kernel, shared with the
+// standalone harness (`fvcbench -kernelbench`) through
+// internal/kernelbench so that `go test -bench` numbers and the
+// committed BENCH_*.json trajectory measure the same code. One
+// iteration evaluates one point, so ns/op etc. read as per-point costs.
+//
+// Run with:
+//
+//	go test -run NONE -bench 'BenchmarkFullView|BenchmarkSectorOccupancy|BenchmarkCountCovering' -benchmem
+package fullview_test
+
+import (
+	"testing"
+
+	"fullview/internal/kernelbench"
+)
+
+func benchKernelCase(b *testing.B, name string) {
+	b.Helper()
+	for _, c := range kernelbench.Cases() {
+		if c.Name != name {
+			continue
+		}
+		fn, err := c.Setup()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fn(0) // reach buffer steady state before measuring
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn(i)
+		}
+		return
+	}
+	b.Fatalf("kernelbench: no case named %q", name)
+}
+
+func BenchmarkFullViewHomog1000(b *testing.B)     { benchKernelCase(b, "FullViewHomog1000") }
+func BenchmarkFullViewHet1000(b *testing.B)       { benchKernelCase(b, "FullViewHet1000") }
+func BenchmarkFullViewReport1000(b *testing.B)    { benchKernelCase(b, "FullViewReport1000") }
+func BenchmarkFullViewMultiTheta1000(b *testing.B) {
+	benchKernelCase(b, "FullViewMultiTheta1000")
+}
+func BenchmarkSectorOccupancy1000(b *testing.B)  { benchKernelCase(b, "SectorOccupancy1000") }
+func BenchmarkCountCoveringHet1000(b *testing.B) { benchKernelCase(b, "CountCoveringHet1000") }
