@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-kernel bench-json profile experiments experiments-quick fuzz clean
+.PHONY: all build vet test test-race bench bench-kernel bench-json profile experiments experiments-quick fuzz serve smoke clean
 
 all: build vet test
 
@@ -59,5 +59,20 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzCameraCovers -fuzztime=15s ./internal/sensor/
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=15s ./internal/checkpoint/
 
+# Run the fvcd coverage query daemon (see README "Running the service").
+FVCD_ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/fvcd -addr $(FVCD_ADDR)
+
+# End-to-end service smoke: boots fvcd on a random port, verifies a
+# query against the library, scrapes /metrics, and checks SIGTERM drain.
+smoke:
+	bash scripts/smoke_fvcd.sh
+
+# `go clean` removes build products only; the profiling and benchmark
+# targets above write artefacts into the repo root that it leaves
+# behind. BENCH_kernel.json is regenerable via `make bench-json` (the
+# committed copy is restored by git).
 clean:
 	$(GO) clean ./...
+	rm -f cpu.pprof mem.pprof BENCH_*.json

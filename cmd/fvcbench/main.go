@@ -48,6 +48,7 @@ import (
 
 	"fullview/internal/figures"
 	"fullview/internal/kernelbench"
+	"fullview/internal/version"
 )
 
 func main() {
@@ -73,6 +74,8 @@ func run(args []string, stdout io.Writer) error {
 
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: fvcbench [flags] <experiment>|all")
@@ -80,6 +83,10 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String("fvcbench"))
+		return nil
 	}
 
 	if *cpuProfile != "" {

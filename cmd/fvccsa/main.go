@@ -22,6 +22,7 @@ import (
 
 	"fullview/internal/analytic"
 	"fullview/internal/report"
+	"fullview/internal/version"
 )
 
 func main() {
@@ -34,12 +35,17 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fvccsa", flag.ContinueOnError)
 	var (
-		n        = fs.Int("n", 1000, "number of deployed cameras")
-		thetaPi  = fs.Float64("theta", 0.25, "effective angle θ as a fraction of π, in (0, 1]")
-		aperture = fs.Float64("phi", 0.5, "camera aperture φ as a fraction of π, in (0, 2]")
+		n           = fs.Int("n", 1000, "number of deployed cameras")
+		thetaPi     = fs.Float64("theta", 0.25, "effective angle θ as a fraction of π, in (0, 1]")
+		aperture    = fs.Float64("phi", 0.5, "camera aperture φ as a fraction of π, in (0, 2]")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(w, version.String("fvccsa"))
+		return nil
 	}
 	if *thetaPi <= 0 || *thetaPi > 1 {
 		return errors.New("-theta must be in (0, 1] (fraction of π)")

@@ -1,0 +1,108 @@
+// Command fvcd is the full-view-coverage query daemon: a long-running
+// HTTP/JSON service that keeps registered camera deployments' spatial
+// indexes warm and answers point full-view queries and region surveys
+// against them.
+//
+// Usage:
+//
+//	fvcd -addr :8080
+//	fvcd -addr 127.0.0.1:0 -cache 32 -max-inflight 128
+//
+// API (see README "Running the service" for curl examples):
+//
+//	POST /v1/deployments              register a camera network
+//	GET  /v1/deployments/{id}         describe a registered deployment
+//	POST /v1/deployments/{id}/query   batch point checks across a θ-list
+//	POST /v1/deployments/{id}/survey  region sweep
+//	GET  /healthz, /metrics, /debug/pprof/*
+//
+// The daemon prints "listening on HOST:PORT" once the socket is bound
+// (useful with -addr :0), serves until SIGINT/SIGTERM, then drains:
+// in-flight requests run to completion (bounded by -drain-timeout)
+// before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fullview/internal/server"
+	"fullview/internal/version"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fvcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("fvcd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		cacheSize    = fs.Int("cache", 16, "deployments kept warm in the LRU cache")
+		maxInFlight  = fs.Int("max-inflight", 0, "max concurrently executing requests (0 = 4×GOMAXPROCS)")
+		queueTimeout = fs.Duration("queue-timeout", 100*time.Millisecond, "max admission wait before a 429")
+		parallel     = fs.Int("parallel", 0, "worker goroutines per survey sweep (0 = GOMAXPROCS)")
+		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout (0 = none)")
+		writeTimeout = fs.Duration("write-timeout", 0, "HTTP write timeout (0 = none; long surveys need headroom)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		showVersion  = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(w, version.String("fvcd"))
+		return nil
+	}
+
+	logger := log.New(w, "fvcd: ", log.LstdFlags)
+	srv := server.New(server.Config{
+		CacheSize:     *cacheSize,
+		MaxInFlight:   *maxInFlight,
+		QueueTimeout:  *queueTimeout,
+		SurveyWorkers: *parallel,
+		Logger:        logger,
+	})
+	srv.SetTimeouts(*readTimeout, *writeTimeout)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting for drain
+	logger.Printf("signal received, draining (timeout %s)", *drainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

@@ -37,6 +37,7 @@ import (
 	"fullview/internal/report"
 	"fullview/internal/rng"
 	"fullview/internal/sensor"
+	"fullview/internal/version"
 	"fullview/internal/viz"
 )
 
@@ -62,9 +63,15 @@ func run(args []string, w io.Writer) error {
 		svgPath    = fs.String("svg", "", "write an SVG coverage map to this file")
 		parallel   = fs.Int("parallel", 0, "worker goroutines for the coverage sweeps (0 = GOMAXPROCS)")
 		ckptPath   = fs.String("checkpoint", "", "journal grid-survey progress to this file and resume from it")
+
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(w, version.String("fvcsim"))
+		return nil
 	}
 	if *thetaPi <= 0 || *thetaPi > 1 {
 		return errors.New("-theta must be in (0, 1] (fraction of π)")

@@ -1,0 +1,225 @@
+// Queryservice: drive the fvcd coverage query daemon from a Go client.
+//
+// The example deploys a heterogeneous camera network, registers it with
+// fvcd over HTTP, asks the service for batch point full-view verdicts
+// across a θ-list, and cross-checks every answer bit-for-bit against
+// fullview.MultiChecker run in-process — then registers the same
+// network a second time to show the deployment cache hitting.
+//
+// Run self-contained (starts an in-process service on a random port):
+//
+//	go run ./examples/queryservice
+//
+// Or against a running daemon (this is also the CI smoke test's mode):
+//
+//	go run ./cmd/fvcd -addr :8080 &
+//	go run ./examples/queryservice -addr http://localhost:8080
+//
+// The process exits non-zero if any service answer differs from the
+// in-process library result.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"fullview"
+)
+
+// The JSON wire types a client speaks to fvcd.
+type (
+	cameraJSON struct {
+		X        float64 `json:"x"`
+		Y        float64 `json:"y"`
+		Orient   float64 `json:"orient"`
+		Radius   float64 `json:"radius"`
+		Aperture float64 `json:"aperture"`
+		Group    int     `json:"group,omitempty"`
+	}
+	registerRequest struct {
+		Cameras []cameraJSON `json:"cameras"`
+	}
+	registerResponse struct {
+		ID      string `json:"id"`
+		Cameras int    `json:"cameras"`
+		Cached  bool   `json:"cached"`
+	}
+	pointJSON struct {
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+	}
+	queryRequest struct {
+		ThetasPi []float64   `json:"thetasPi"`
+		Points   []pointJSON `json:"points"`
+	}
+	thetaVerdict struct {
+		ThetaPi    float64 `json:"thetaPi"`
+		FullView   bool    `json:"fullView"`
+		Necessary  bool    `json:"necessary"`
+		Sufficient bool    `json:"sufficient"`
+	}
+	pointResult struct {
+		Point       pointJSON      `json:"point"`
+		NumCovering int            `json:"numCovering"`
+		MaxGap      float64        `json:"maxGap"`
+		PerTheta    []thetaVerdict `json:"perTheta"`
+	}
+	queryResponse struct {
+		ID      string        `json:"id"`
+		Results []pointResult `json:"results"`
+	}
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "queryservice:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "", "base URL of a running fvcd (empty = start one in-process)")
+	n := flag.Int("n", 400, "cameras to deploy")
+	seed := flag.Uint64("seed", 2012, "deployment RNG seed")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		// No daemon given: host the service in-process on a random port,
+		// exactly as cmd/fvcd would.
+		srv := fullview.NewService(fullview.ServiceConfig{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		go srv.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("started in-process fvcd at %s\n", base)
+	}
+	base = strings.TrimRight(base, "/")
+
+	// A heterogeneous fleet: a few long-range narrow cameras plus many
+	// short-range wide ones (the paper's Section VI setting).
+	profile, err := fullview.ParseProfile("0.3:0.22:0.4,0.7:0.12:0.5")
+	if err != nil {
+		return err
+	}
+	network, err := fullview.DeployUniform(fullview.UnitTorus, profile, *n, fullview.NewRNG(*seed, 0))
+	if err != nil {
+		return err
+	}
+
+	// Register the deployment: the id that comes back is the network's
+	// content fingerprint.
+	cams := make([]cameraJSON, network.Len())
+	for i := 0; i < network.Len(); i++ {
+		c := network.Camera(i)
+		cams[i] = cameraJSON{X: c.Pos.X, Y: c.Pos.Y, Orient: c.Orient,
+			Radius: c.Radius, Aperture: c.Aperture, Group: c.Group}
+	}
+	var reg registerResponse
+	if err := postJSON(base+"/v1/deployments", registerRequest{Cameras: cams}, &reg); err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	fmt.Printf("registered deployment %s (%d cameras, cached=%v)\n", reg.ID, reg.Cameras, reg.Cached)
+
+	// Batch query: five probe points across three effective angles.
+	thetasPi := []float64{0.2, 0.25, 0.5}
+	points := []pointJSON{{0.5, 0.5}, {0.1, 0.9}, {0.25, 0.75}, {0.8, 0.3}, {0.42, 0.58}}
+	var q queryResponse
+	if err := postJSON(base+"/v1/deployments/"+reg.ID+"/query",
+		queryRequest{ThetasPi: thetasPi, Points: points}, &q); err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+
+	// Cross-check every verdict bit-for-bit against the library.
+	thetas := make([]float64, len(thetasPi))
+	for i, tp := range thetasPi {
+		thetas[i] = tp * math.Pi
+	}
+	mc, err := fullview.NewMultiChecker(network, thetas)
+	if err != nil {
+		return err
+	}
+	for i, p := range points {
+		want := mc.Evaluate(fullview.V(p.X, p.Y))
+		got := q.Results[i]
+		if got.NumCovering != want.NumCovering || got.MaxGap != want.MaxGap {
+			return fmt.Errorf("point %d: service says covering=%d gap=%v, library says %d / %v",
+				i, got.NumCovering, got.MaxGap, want.NumCovering, want.MaxGap)
+		}
+		for j, v := range want.PerTheta {
+			g := got.PerTheta[j]
+			if g.FullView != v.FullView || g.Necessary != v.Necessary || g.Sufficient != v.Sufficient {
+				return fmt.Errorf("point %d θ=%.2fπ: service %+v disagrees with library %+v",
+					i, thetasPi[j], g, v)
+			}
+		}
+		fmt.Printf("point (%.2f, %.2f): %d cameras, gap %.3f rad, full-view@0.25π=%v — matches library\n",
+			p.X, p.Y, got.NumCovering, got.MaxGap, got.PerTheta[1].FullView)
+	}
+
+	// Register the identical network again: same id, served from cache.
+	var reg2 registerResponse
+	if err := postJSON(base+"/v1/deployments", registerRequest{Cameras: cams}, &reg2); err != nil {
+		return fmt.Errorf("re-register: %w", err)
+	}
+	if reg2.ID != reg.ID || !reg2.Cached {
+		return fmt.Errorf("re-registration got id=%s cached=%v, want the cached %s", reg2.ID, reg2.Cached, reg.ID)
+	}
+	fmt.Println("re-registration was a cache hit: spatial index reused, not rebuilt")
+
+	// Show the cache working in the service's own metrics.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "fvcd_depcache_") && !strings.HasPrefix(line, "#") {
+			fmt.Println("metrics:", line)
+		}
+	}
+	return nil
+}
+
+// postJSON posts v as JSON and decodes the response into out, treating
+// any non-2xx status as an error.
+func postJSON(url string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	return json.Unmarshal(data, out)
+}

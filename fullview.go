@@ -48,6 +48,8 @@ package fullview
 
 import (
 	"context"
+	"net"
+	"time"
 
 	"fullview/internal/analytic"
 	"fullview/internal/barrier"
@@ -57,6 +59,7 @@ import (
 	"fullview/internal/probsense"
 	"fullview/internal/rng"
 	"fullview/internal/sensor"
+	"fullview/internal/server"
 )
 
 // Geometry types.
@@ -293,4 +296,46 @@ func SurveyBarrierContext(ctx context.Context, checker *Checker, b Barrier, spac
 // network with the given sensing model and effective angle.
 func NewProbEvaluator(net *Network, model SensingModel, theta float64) (*ProbEvaluator, error) {
 	return probsense.NewEvaluator(net, model, theta)
+}
+
+// Service types.
+type (
+	// Service is the fvcd coverage query service: an HTTP handler that
+	// registers camera deployments, keeps their spatial indexes warm in
+	// an LRU cache, and answers point queries and region surveys against
+	// them, with admission control, Prometheus-format metrics, and
+	// graceful drain. See cmd/fvcd for the standalone daemon.
+	Service = server.Server
+	// ServiceConfig parameterises a Service; the zero value selects the
+	// documented defaults.
+	ServiceConfig = server.Config
+)
+
+// NewService builds the coverage query service. Drive it with
+// Service.Serve / Service.Shutdown on your own listener, or mount
+// Service.Handler into an existing HTTP server.
+func NewService(cfg ServiceConfig) *Service { return server.New(cfg) }
+
+// Serve runs the coverage query service on addr until ctx is
+// cancelled, then drains gracefully: in-flight requests run to
+// completion (up to 30s) before Serve returns. It is the library form
+// of the fvcd daemon.
+func Serve(ctx context.Context, addr string, cfg ServiceConfig) error {
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		case <-done:
+		}
+	}()
+	return srv.Serve(ln)
 }

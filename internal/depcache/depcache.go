@@ -1,0 +1,216 @@
+// Package depcache keeps built deployments warm for the query service:
+// an LRU cache from a content fingerprint of the camera network to the
+// expensive artefact built from it — the CSR spatial index — so that
+// registering the same network twice reuses the index instead of
+// rebuilding it.
+//
+// Construction is single-flight: when several requests register the
+// same fingerprint concurrently, exactly one builds the index and the
+// rest wait for that build and share its result. Hit, miss, and
+// eviction counts are tracked for the /metrics endpoint.
+package depcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sync"
+
+	"fullview/internal/sensor"
+	"fullview/internal/spatial"
+)
+
+// Entry is one cached deployment: the immutable network, its spatial
+// index, and the fingerprint it is stored under. Entries are shared
+// between requests and must be treated as read-only; per-request
+// checkers are derived from the index (NewCheckerFromIndex /
+// NewMultiCheckerFromIndex), which is safe because the index itself is
+// immutable.
+type Entry struct {
+	// Fingerprint is the content hash the entry is cached under.
+	Fingerprint string
+	// Net is the deployed network.
+	Net *sensor.Network
+	// Index is the CSR spatial index built from Net — the artefact whose
+	// reconstruction the cache amortises.
+	Index *spatial.Index
+}
+
+// Fingerprint returns the content fingerprint of a deployed network:
+// a hash over the torus side and every camera's position, orientation,
+// radius, aperture, and group, all as exact float64 bits. Two networks
+// fingerprint equally iff they would build bit-identical spatial
+// indexes, so a deterministic re-deployment (same profile, count, and
+// seed) or a re-registration of the same explicit camera list lands on
+// the same cache entry.
+func Fingerprint(net *sensor.Network) string {
+	h := sha256.New()
+	var buf [8 * 6]byte
+	binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(net.Torus().Side()))
+	h.Write(buf[:8])
+	for i := 0; i < net.Len(); i++ {
+		c := net.Camera(i)
+		binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(c.Pos.X))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(c.Pos.Y))
+		binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(c.Orient))
+		binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(c.Radius))
+		binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(c.Aperture))
+		binary.LittleEndian.PutUint64(buf[40:], uint64(int64(c.Group)))
+		h.Write(buf[:])
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups answered from the cache, including waiters
+	// that shared a single-flight build.
+	Hits int64
+	// Misses counts lookups that had to build.
+	Misses int64
+	// Evictions counts entries dropped by the LRU size cap.
+	Evictions int64
+	// Len and Cap are the current and maximum entry counts.
+	Len, Cap int
+}
+
+// HitRatio returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// buildCall is one in-flight single-flight construction.
+type buildCall struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// Cache is a fixed-capacity LRU of built deployments with single-flight
+// construction. Safe for concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used; values are *Entry
+	entries   map[string]*list.Element
+	building  map[string]*buildCall
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// New returns a cache holding at most capacity deployments (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:      capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		building: make(map[string]*buildCall),
+	}
+}
+
+// Get returns the cached entry for fp, marking it most recently used.
+// A found entry counts as a hit; a missing one counts nothing — absent
+// deployments are the caller's 404, not a build miss.
+func (c *Cache) Get(fp string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*Entry), true
+}
+
+// GetOrBuild returns the entry for fp, building it with build on a
+// miss. Concurrent calls for one fingerprint build once: the first
+// caller runs build (without holding the cache lock), the rest block
+// until it finishes and share the result. hit reports whether this
+// caller was served without running build. A failed build caches
+// nothing; every waiter receives the build error.
+func (c *Cache) GetOrBuild(fp string, build func() (*Entry, error)) (e *Entry, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[fp]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*Entry), true, nil
+	}
+	if call, ok := c.building[fp]; ok {
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, false, call.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return call.entry, true, nil
+	}
+	call := &buildCall{done: make(chan struct{})}
+	c.building[fp] = call
+	c.misses++
+	c.mu.Unlock()
+
+	call.entry, call.err = build()
+
+	c.mu.Lock()
+	delete(c.building, fp)
+	if call.err == nil {
+		c.insertLocked(fp, call.entry)
+	}
+	c.mu.Unlock()
+	close(call.done)
+	return call.entry, false, call.err
+}
+
+// insertLocked stores an entry and enforces the size cap. The caller
+// holds c.mu.
+func (c *Cache) insertLocked(fp string, e *Entry) {
+	if el, ok := c.entries[fp]; ok {
+		// A racing Get/GetOrBuild cannot have inserted fp (single-flight
+		// holds the building slot), but be idempotent regardless.
+		c.ll.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	c.entries[fp] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*Entry).Fingerprint)
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached deployments.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Len:       c.ll.Len(),
+		Cap:       c.cap,
+	}
+}

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"fullview/internal/core"
+	"fullview/internal/depcache"
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/spatial"
+)
+
+// cancelCheckInterval is how many query points are evaluated between
+// context checks, mirroring the sweep engine's constant: cancellation
+// lands within microseconds of work without touching the per-point hot
+// path.
+const cancelCheckInterval = 256
+
+// handleRegister builds (or revives) a deployment and returns its id.
+// The id is the network's content fingerprint, so the same network —
+// whether sent as the same explicit camera list or re-derived from the
+// same deterministic recipe — maps to the same cache entry; the
+// expensive spatial-index construction runs only on a cache miss, and
+// concurrent registrations of one fingerprint build single-flight.
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed body: "+err.Error())
+		return
+	}
+	net, err := s.buildNetwork(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fp := depcache.Fingerprint(net)
+	entry, hit, err := s.cache.GetOrBuild(fp, func() (*depcache.Entry, error) {
+		return &depcache.Entry{
+			Fingerprint: fp,
+			Net:         net,
+			Index:       spatial.NewIndex(net),
+		}, nil
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.m.registered.Inc()
+	code := http.StatusCreated
+	if hit {
+		code = http.StatusOK
+	}
+	s.logf("register %s: %d cameras, cached=%v", fp, entry.Net.Len(), hit)
+	writeJSON(w, code, registerResponse{
+		ID:        entry.Fingerprint,
+		Cameras:   entry.Net.Len(),
+		Torus:     entry.Net.Torus().Side(),
+		Cached:    hit,
+		MaxRadius: entry.Net.MaxRadius(),
+	})
+}
+
+// deployment resolves the {id} path value against the cache, writing
+// the 404 itself on a miss. An id can miss either because it was never
+// registered or because the LRU evicted it; clients re-register (an
+// idempotent, cheap-on-hit operation) to revive a deployment.
+func (s *Server) deployment(w http.ResponseWriter, r *http.Request) (*depcache.Entry, bool) {
+	id := r.PathValue("id")
+	entry, ok := s.cache.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("deployment %q not registered (or evicted); re-register it", id))
+		return nil, false
+	}
+	return entry, true
+}
+
+// handleInspect describes a registered deployment.
+func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.deployment(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, inspectResponse{
+		ID:               entry.Fingerprint,
+		Cameras:          entry.Net.Len(),
+		Torus:            entry.Net.Torus().Side(),
+		MaxRadius:        entry.Net.MaxRadius(),
+		TotalSensingArea: entry.Net.TotalSensingArea(),
+	})
+}
+
+// handleQuery answers a batch of point full-view checks across a
+// θ-list. One core.MultiChecker is built per request from the cached
+// index — the candidate gather and max-gap scan run once per point no
+// matter how many angles are asked — and its verdicts are returned
+// bit-identical to an in-process MultiChecker.Evaluate.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.deployment(w, r)
+	if !ok {
+		return
+	}
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed body: "+err.Error())
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "points must list at least one sample point")
+		return
+	}
+	if len(req.Points) > s.cfg.MaxBatchPoints {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("%d points exceeds cap %d", len(req.Points), s.cfg.MaxBatchPoints))
+		return
+	}
+	thetas, err := thetasFromPi(req.ThetasPi, s.cfg.MaxThetas)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	mc, err := core.NewMultiCheckerFromIndex(entry.Index, thetas)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx := r.Context()
+	results := make([]pointResultJSON, len(req.Points))
+	for i, p := range req.Points {
+		if i%cancelCheckInterval == 0 && ctx.Err() != nil {
+			writeError(w, StatusClientClosedRequest, "request cancelled")
+			return
+		}
+		rep := mc.Evaluate(geom.V(p.X, p.Y))
+		verdicts := make([]thetaVerdictJSON, len(rep.PerTheta))
+		for j, v := range rep.PerTheta {
+			verdicts[j] = thetaVerdictJSON{
+				ThetaPi:    req.ThetasPi[j],
+				FullView:   v.FullView,
+				Necessary:  v.Necessary,
+				Sufficient: v.Sufficient,
+			}
+		}
+		results[i] = pointResultJSON{
+			Point:       p,
+			NumCovering: rep.NumCovering,
+			MaxGap:      rep.MaxGap,
+			PerTheta:    verdicts,
+		}
+	}
+	s.m.points.Add(int64(len(req.Points)))
+	writeJSON(w, http.StatusOK, queryResponse{ID: entry.Fingerprint, Results: results})
+}
+
+// handleSurvey sweeps a sample grid through the parallel sweep engine
+// with the request's context wired into the engine's cancellation: a
+// disconnecting client aborts its sweep within a few hundred points.
+func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.deployment(w, r)
+	if !ok {
+		return
+	}
+	var req surveyRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed body: "+err.Error())
+		return
+	}
+	checker, err := core.NewCheckerFromIndex(entry.Index, req.ThetaPi*math.Pi)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	var points []geom.Vec
+	if req.Grid > 0 {
+		points, err = deploy.GridPoints(entry.Net.Torus(), req.Grid)
+	} else {
+		points, err = deploy.DenseGrid(entry.Net.Torus(), entry.Net.Len())
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(points) > s.cfg.MaxBatchPoints {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("survey of %d points exceeds cap %d", len(points), s.cfg.MaxBatchPoints))
+		return
+	}
+	workers := s.cfg.SurveyWorkers
+	if req.Workers > 0 && req.Workers < workers {
+		workers = req.Workers
+	}
+
+	t0 := time.Now()
+	stats, err := checker.SurveyRegionContext(r.Context(), points, workers)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, StatusClientClosedRequest, "request cancelled mid-survey")
+		} else {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.m.points.Add(int64(stats.Points))
+	writeJSON(w, http.StatusOK, surveyResponse{
+		ID:                 entry.Fingerprint,
+		ThetaPi:            req.ThetaPi,
+		Points:             stats.Points,
+		FullView:           stats.FullView,
+		Necessary:          stats.Necessary,
+		Sufficient:         stats.Sufficient,
+		MinCovering:        stats.MinCovering,
+		MeanCovering:       stats.MeanCovering,
+		FullViewFraction:   stats.FullViewFraction(),
+		NecessaryFraction:  stats.NecessaryFraction(),
+		SufficientFraction: stats.SufficientFraction(),
+		ElapsedNS:          time.Since(t0).Nanoseconds(),
+	})
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptimeNs": time.Since(s.start).Nanoseconds(),
+	})
+}

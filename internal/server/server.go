@@ -1,0 +1,341 @@
+// Package server implements fvcd's HTTP/JSON API: a long-running
+// full-view-coverage query service over the repository's coverage
+// kernel. A deployment (camera network) is registered once, its CSR
+// spatial index is built and kept warm in an LRU cache
+// (internal/depcache), and point queries and region surveys are then
+// answered against the cached index through core.MultiChecker and the
+// internal/sweep engine.
+//
+// # Routes
+//
+//	POST /v1/deployments              register a camera network
+//	GET  /v1/deployments/{id}         describe a registered deployment
+//	POST /v1/deployments/{id}/query   batch point full-view checks over a θ-list
+//	POST /v1/deployments/{id}/survey  region sweep (dense grid or k×k grid)
+//	GET  /healthz                     liveness probe
+//	GET  /metrics                     Prometheus text metrics
+//	GET  /debug/pprof/*               standard Go profiling endpoints
+//
+// # Admission
+//
+// The /v1 routes pass an admission gate: at most MaxInFlight requests
+// execute concurrently; excess requests queue for at most QueueTimeout
+// and are then rejected with 429 and a Retry-After header. Health,
+// metrics, and pprof bypass the gate so a saturated server can still be
+// probed and profiled. Every admitted request's context is wired into
+// the coverage kernels — a disconnecting client cancels its sweep
+// mid-flight (reported as status 499 in the metrics).
+//
+// # Drain
+//
+// Serve/Shutdown wrap net/http's graceful termination: Shutdown stops
+// accepting connections and waits for in-flight requests to finish, so
+// a SIGTERM never truncates a half-answered query.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+
+	"fullview/internal/depcache"
+	"fullview/internal/telemetry"
+)
+
+// StatusClientClosedRequest is the non-standard status recorded when a
+// request's context is cancelled before the response is written (nginx
+// convention).
+const StatusClientClosedRequest = 499
+
+// Config parameterises the service. The zero value is usable: every
+// field falls back to the default documented on it.
+type Config struct {
+	// CacheSize is the number of deployments kept warm (default 16).
+	CacheSize int
+	// MaxInFlight bounds concurrently executing /v1 requests
+	// (default 4×GOMAXPROCS).
+	MaxInFlight int
+	// QueueTimeout is how long an over-limit request may wait for
+	// admission before being rejected with 429 (default 100ms).
+	QueueTimeout time.Duration
+	// SurveyWorkers is the worker count for region sweeps
+	// (default GOMAXPROCS; requests may lower it per call, never raise).
+	SurveyWorkers int
+	// MaxBodyBytes caps request body size (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatchPoints caps the points of one query request
+	// (default 100000).
+	MaxBatchPoints int
+	// MaxThetas caps the θ-list length of one query request
+	// (default 64).
+	MaxThetas int
+	// MaxCameras caps the size of a registered deployment
+	// (default 500000).
+	MaxCameras int
+	// Logger receives operational log lines; nil discards them.
+	Logger *log.Logger
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 16
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 100 * time.Millisecond
+	}
+	if c.SurveyWorkers <= 0 {
+		c.SurveyWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatchPoints <= 0 {
+		c.MaxBatchPoints = 100_000
+	}
+	if c.MaxThetas <= 0 {
+		c.MaxThetas = 64
+	}
+	if c.MaxCameras <= 0 {
+		c.MaxCameras = 500_000
+	}
+	return c
+}
+
+// metrics bundles the pre-registered series the request path touches.
+type metrics struct {
+	reg         *telemetry.Registry
+	queueDepth  *telemetry.Gauge
+	inFlight    *telemetry.Gauge
+	points      *telemetry.Counter
+	registered  *telemetry.Counter
+	latency     map[string]*telemetry.Histogram // per route
+	requestHelp string
+}
+
+// Server is the fvcd service: an http.Handler plus the graceful
+// serve/drain lifecycle around it. Construct with New; a Server is safe
+// for concurrent use.
+type Server struct {
+	cfg   Config
+	cache *depcache.Cache
+	m     *metrics
+	mux   *http.ServeMux
+	start time.Time
+
+	mu sync.Mutex
+	hs *http.Server
+
+	// testHookAdmitted, when non-nil, runs after a request passes the
+	// admission gate and before its handler starts. Tests use it to hold
+	// requests in flight deterministically.
+	testHookAdmitted func(route string, r *http.Request)
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: depcache.New(cfg.CacheSize),
+		start: time.Now(),
+	}
+	s.m = s.newMetrics()
+	s.mux = s.routes()
+	return s
+}
+
+// newMetrics registers the service's metric families.
+func (s *Server) newMetrics() *metrics {
+	reg := telemetry.New()
+	m := &metrics{
+		reg:        reg,
+		queueDepth: reg.Gauge("fvcd_queue_depth", "Requests waiting for admission."),
+		inFlight:   reg.Gauge("fvcd_inflight", "Requests currently executing."),
+		points: reg.Counter("fvcd_points_evaluated_total",
+			"Sample points pushed through the coverage kernel."),
+		registered: reg.Counter("fvcd_deployments_registered_total",
+			"Deployment registrations accepted (including cache hits)."),
+		latency:     make(map[string]*telemetry.Histogram),
+		requestHelp: "HTTP requests by route and status code.",
+	}
+	for _, route := range []string{"register", "inspect", "query", "survey"} {
+		m.latency[route] = reg.Histogram("fvcd_request_duration_ns",
+			"Request latency in nanoseconds by route.", nil, telemetry.L("route", route))
+	}
+	reg.CounterFunc("fvcd_depcache_hits_total",
+		"Deployment-cache lookups served from cache.",
+		func() int64 { return s.cache.Stats().Hits })
+	reg.CounterFunc("fvcd_depcache_misses_total",
+		"Deployment-cache lookups that built a spatial index.",
+		func() int64 { return s.cache.Stats().Misses })
+	reg.CounterFunc("fvcd_depcache_evictions_total",
+		"Deployments evicted by the LRU size cap.",
+		func() int64 { return s.cache.Stats().Evictions })
+	reg.GaugeFunc("fvcd_depcache_entries", "Deployments currently cached.",
+		func() float64 { return float64(s.cache.Stats().Len) })
+	reg.GaugeFunc("fvcd_depcache_hit_ratio",
+		"Fraction of deployment-cache lookups served from cache.",
+		func() float64 { return s.cache.Stats().HitRatio() })
+	return m
+}
+
+// requests bumps the per-route/per-code request counter.
+func (m *metrics) requests(route string, code int) {
+	m.reg.Counter("fvcd_requests_total", m.requestHelp,
+		telemetry.L("route", route), telemetry.L("code", fmt.Sprintf("%d", code))).Inc()
+}
+
+// routes assembles the service mux. /v1 handlers run behind the
+// admission gate; observability endpoints do not.
+func (s *Server) routes() *http.ServeMux {
+	adm := newAdmission(s.cfg.MaxInFlight, s.cfg.QueueTimeout, s.m.queueDepth)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/deployments", s.admitted(adm, "register", s.handleRegister))
+	mux.HandleFunc("GET /v1/deployments/{id}", s.admitted(adm, "inspect", s.handleInspect))
+	mux.HandleFunc("POST /v1/deployments/{id}/query", s.admitted(adm, "query", s.handleQuery))
+	mux.HandleFunc("POST /v1/deployments/{id}/survey", s.admitted(adm, "survey", s.handleSurvey))
+
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.m.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// admitted wraps a /v1 handler with the admission gate, body cap,
+// request metrics, and latency recording.
+func (s *Server) admitted(adm *admission, route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		if err := adm.acquire(r.Context()); err != nil {
+			code := http.StatusTooManyRequests
+			if !errors.Is(err, errSaturated) {
+				code = StatusClientClosedRequest
+			} else {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, code, "server saturated: admission queue timed out")
+			s.m.requests(route, code)
+			return
+		}
+		defer adm.release()
+		s.m.inFlight.Inc()
+		defer s.m.inFlight.Dec()
+		if s.testHookAdmitted != nil {
+			s.testHookAdmitted(route, r)
+		}
+
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		sr := &statusRecorder{ResponseWriter: w}
+		h(sr, r)
+		code := sr.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.m.requests(route, code)
+		s.m.latency[route].ObserveSince(t0)
+	}
+}
+
+// Handler returns the service's root handler, for embedding in tests or
+// a custom http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the metrics registry, so embedders can add their own
+// series next to the service's.
+func (s *Server) Registry() *telemetry.Registry { return s.m.reg }
+
+// Cache returns the deployment cache (read its Stats for tests and
+// embedders; the server owns mutation).
+func (s *Server) Cache() *depcache.Cache { return s.cache }
+
+// Serve accepts connections on ln until Shutdown is called or the
+// listener fails. A graceful shutdown returns nil, mirroring the
+// convention that drain is a success, not an error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.hs == nil {
+		s.hs = &http.Server{Handler: s.mux}
+	}
+	hs := s.hs
+	s.mu.Unlock()
+	err := hs.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// SetTimeouts configures the read/write timeouts of the underlying
+// http.Server. Must be called before Serve. A zero value disables the
+// respective timeout (surveys of large grids can legitimately take
+// longer than any fixed write timeout, so none is imposed by default).
+func (s *Server) SetTimeouts(read, write time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hs == nil {
+		s.hs = &http.Server{Handler: s.mux}
+	}
+	s.hs.ReadTimeout = read
+	s.hs.WriteTimeout = write
+}
+
+// Shutdown gracefully drains the server: no new connections are
+// accepted, in-flight requests run to completion (bounded by ctx), and
+// the corresponding Serve call returns nil. Calling Shutdown before
+// Serve is safe and makes a later Serve return immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.hs == nil {
+		s.hs = &http.Server{Handler: s.mux}
+	}
+	hs := s.hs
+	s.mu.Unlock()
+	return hs.Shutdown(ctx)
+}
+
+// logf writes one operational log line when a logger is configured.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// statusRecorder captures the status code written by a handler so the
+// middleware can label its metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}

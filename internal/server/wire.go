@@ -1,0 +1,259 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"fullview/internal/deploy"
+	"fullview/internal/geom"
+	"fullview/internal/rng"
+	"fullview/internal/sensor"
+)
+
+// cameraJSON is one explicitly-placed camera. Angles are radians here —
+// unlike the profile string, whose third field is a fraction of π by
+// the ParseProfile format's definition.
+type cameraJSON struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Orient   float64 `json:"orient"`
+	Radius   float64 `json:"radius"`
+	Aperture float64 `json:"aperture"`
+	Group    int     `json:"group,omitempty"`
+}
+
+// registerRequest registers a deployment either from an explicit camera
+// list or from a sensor profile plus a deterministic deployment recipe
+// (scheme, count/density, seed). Exactly one of the two forms must be
+// used.
+type registerRequest struct {
+	// Torus is the operational region's side length (default 1, the
+	// paper's unit torus).
+	Torus float64 `json:"torus,omitempty"`
+
+	// Cameras places each camera explicitly.
+	Cameras []cameraJSON `json:"cameras,omitempty"`
+
+	// Profile is the heterogeneity profile in ParseProfile form
+	// ("fraction:radius:aperturePi,…"), used with N or Density.
+	Profile string `json:"profile,omitempty"`
+	// N deploys exactly N cameras uniformly (scheme "uniform").
+	N int `json:"n,omitempty"`
+	// Density is the Poisson intensity (scheme "poisson").
+	Density float64 `json:"density,omitempty"`
+	// Deploy selects the scheme: "uniform" (default) or "poisson".
+	Deploy string `json:"deploy,omitempty"`
+	// Seed is the deterministic RNG seed (default 1). Equal recipes give
+	// equal networks — and therefore equal deployment ids.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// registerResponse names the registered deployment. ID is the content
+// fingerprint of the network: re-registering the same network returns
+// the same id with cached=true.
+type registerResponse struct {
+	ID        string  `json:"id"`
+	Cameras   int     `json:"cameras"`
+	Torus     float64 `json:"torus"`
+	Cached    bool    `json:"cached"`
+	MaxRadius float64 `json:"maxRadius"`
+}
+
+// inspectResponse describes a registered deployment.
+type inspectResponse struct {
+	ID               string  `json:"id"`
+	Cameras          int     `json:"cameras"`
+	Torus            float64 `json:"torus"`
+	MaxRadius        float64 `json:"maxRadius"`
+	TotalSensingArea float64 `json:"totalSensingArea"`
+}
+
+// pointJSON is one sample point.
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// queryRequest asks for the full per-point diagnosis of a point batch
+// across a θ-list. Effective angles are given as fractions of π,
+// matching the CLI convention (thetasPi 0.25 ⇒ θ = π/4).
+type queryRequest struct {
+	ThetasPi []float64   `json:"thetasPi"`
+	Points   []pointJSON `json:"points"`
+}
+
+// thetaVerdictJSON is one effective angle's verdict for one point.
+type thetaVerdictJSON struct {
+	ThetaPi    float64 `json:"thetaPi"`
+	FullView   bool    `json:"fullView"`
+	Necessary  bool    `json:"necessary"`
+	Sufficient bool    `json:"sufficient"`
+}
+
+// pointResultJSON is the diagnosis of one point: the θ-independent
+// quantities once, plus one verdict per requested angle.
+type pointResultJSON struct {
+	Point       pointJSON          `json:"point"`
+	NumCovering int                `json:"numCovering"`
+	MaxGap      float64            `json:"maxGap"`
+	PerTheta    []thetaVerdictJSON `json:"perTheta"`
+}
+
+// queryResponse is the batch answer, in request point order.
+type queryResponse struct {
+	ID      string            `json:"id"`
+	Results []pointResultJSON `json:"results"`
+}
+
+// surveyRequest asks for a region sweep. Grid > 0 surveys the k×k grid
+// of cell centres; Grid == 0 surveys the paper's dense grid sized for
+// the deployment's camera count. Workers caps the sweep's parallelism
+// below the server default (0 keeps the default).
+type surveyRequest struct {
+	ThetaPi float64 `json:"thetaPi"`
+	Grid    int     `json:"grid,omitempty"`
+	Workers int     `json:"workers,omitempty"`
+}
+
+// surveyResponse reports the region statistics of a sweep.
+type surveyResponse struct {
+	ID                 string  `json:"id"`
+	ThetaPi            float64 `json:"thetaPi"`
+	Points             int     `json:"points"`
+	FullView           int     `json:"fullView"`
+	Necessary          int     `json:"necessary"`
+	Sufficient         int     `json:"sufficient"`
+	MinCovering        int     `json:"minCovering"`
+	MeanCovering       float64 `json:"meanCovering"`
+	FullViewFraction   float64 `json:"fullViewFraction"`
+	NecessaryFraction  float64 `json:"necessaryFraction"`
+	SufficientFraction float64 `json:"sufficientFraction"`
+	ElapsedNS          int64   `json:"elapsedNs"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the uniform JSON error body.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// decodeBody strictly decodes a JSON request body into dst: unknown
+// fields (almost always a misspelt parameter) and trailing garbage are
+// rejected so a malformed request fails loudly instead of running with
+// defaults.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// buildNetwork materialises the network a registration describes.
+func (s *Server) buildNetwork(req *registerRequest) (*sensor.Network, error) {
+	side := req.Torus
+	if side == 0 {
+		side = 1
+	}
+	t, err := geom.NewTorus(side)
+	if err != nil {
+		return nil, err
+	}
+
+	explicit := len(req.Cameras) > 0
+	recipe := req.Profile != "" || req.N != 0 || req.Density != 0
+	if explicit && recipe {
+		return nil, errors.New("give either cameras or a profile deployment recipe, not both")
+	}
+
+	if explicit {
+		if len(req.Cameras) > s.cfg.MaxCameras {
+			return nil, fmt.Errorf("deployment has %d cameras, cap is %d", len(req.Cameras), s.cfg.MaxCameras)
+		}
+		cams := make([]sensor.Camera, len(req.Cameras))
+		for i, c := range req.Cameras {
+			cams[i] = sensor.Camera{
+				Pos:      geom.V(c.X, c.Y),
+				Orient:   c.Orient,
+				Radius:   c.Radius,
+				Aperture: c.Aperture,
+				Group:    c.Group,
+			}
+		}
+		return sensor.NewNetwork(t, cams)
+	}
+
+	if req.Profile == "" {
+		return nil, errors.New("registration needs cameras or a profile")
+	}
+	profile, err := sensor.ParseProfile(req.Profile)
+	if err != nil {
+		return nil, err
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	gen := rng.New(seed, 0)
+	switch req.Deploy {
+	case "", "uniform":
+		if req.Density != 0 {
+			return nil, errors.New("density is a poisson parameter; uniform deployments take n")
+		}
+		if req.N <= 0 {
+			return nil, errors.New("uniform deployment needs n > 0")
+		}
+		if req.N > s.cfg.MaxCameras {
+			return nil, fmt.Errorf("deployment has %d cameras, cap is %d", req.N, s.cfg.MaxCameras)
+		}
+		return deploy.Uniform(t, profile, req.N, gen)
+	case "poisson":
+		if req.N != 0 {
+			return nil, errors.New("n is a uniform parameter; poisson deployments take density")
+		}
+		if !(req.Density > 0) || math.IsInf(req.Density, 0) {
+			return nil, errors.New("poisson deployment needs a positive finite density")
+		}
+		if expected := req.Density * t.Area(); expected > float64(s.cfg.MaxCameras) {
+			return nil, fmt.Errorf("expected %g cameras exceeds cap %d", expected, s.cfg.MaxCameras)
+		}
+		return deploy.Poisson(t, profile, req.Density, gen)
+	default:
+		return nil, fmt.Errorf("unknown deployment scheme %q (uniform or poisson)", req.Deploy)
+	}
+}
+
+// thetasFromPi validates a θ-list given as fractions of π and converts
+// it to radians; the (0, π] range check itself is left to the core
+// constructors so the service accepts exactly what the library accepts.
+func thetasFromPi(thetasPi []float64, maxLen int) ([]float64, error) {
+	if len(thetasPi) == 0 {
+		return nil, errors.New("thetasPi must list at least one effective angle")
+	}
+	if len(thetasPi) > maxLen {
+		return nil, fmt.Errorf("%d effective angles exceeds cap %d", len(thetasPi), maxLen)
+	}
+	thetas := make([]float64, len(thetasPi))
+	for i, t := range thetasPi {
+		thetas[i] = t * math.Pi
+	}
+	return thetas, nil
+}

@@ -1,0 +1,57 @@
+// Package version identifies deployed binaries: every CLI and the fvcd
+// daemon expose a -version flag reporting the module version and VCS
+// revision baked into the build by the Go toolchain, so bug reports and
+// production deployments can name the exact code they run.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns the one-line version report for the named binary, e.g.
+//
+//	fvcd fullview (devel) rev 1a2b3c4d5e6f dirty go1.22.0 linux/amd64
+//
+// Fields degrade gracefully: binaries built outside a module or without
+// VCS metadata (go build of a file, some CI tarballs) omit the missing
+// parts rather than failing.
+func String(binary string) string {
+	var b strings.Builder
+	b.WriteString(binary)
+	info, ok := debug.ReadBuildInfo()
+	if ok {
+		if info.Main.Path != "" {
+			fmt.Fprintf(&b, " %s", info.Main.Path)
+		}
+		if v := info.Main.Version; v != "" {
+			fmt.Fprintf(&b, " %s", v)
+		}
+		if rev, dirty := vcs(info); rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			fmt.Fprintf(&b, " rev %s", rev)
+			if dirty {
+				b.WriteString(" dirty")
+			}
+		}
+	}
+	fmt.Fprintf(&b, " %s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	return b.String()
+}
+
+// vcs extracts the VCS revision and dirty flag from build settings.
+func vcs(info *debug.BuildInfo) (rev string, dirty bool) {
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty
+}
