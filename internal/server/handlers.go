@@ -30,7 +30,7 @@ const cancelCheckInterval = 256
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed body: "+err.Error())
+		writeDecodeError(w, err)
 		return
 	}
 	net, err := s.buildNetwork(&req)
@@ -107,7 +107,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var req queryRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed body: "+err.Error())
+		writeDecodeError(w, err)
 		return
 	}
 	if len(req.Points) == 0 {
@@ -168,7 +168,7 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 	}
 	var req surveyRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed body: "+err.Error())
+		writeDecodeError(w, err)
 		return
 	}
 	checker, err := core.NewCheckerFromIndex(entry.Index, req.ThetaPi*math.Pi)
@@ -177,19 +177,27 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var points []geom.Vec
-	if req.Grid > 0 {
-		points, err = deploy.GridPoints(entry.Net.Torus(), req.Grid)
-	} else {
-		points, err = deploy.DenseGrid(entry.Net.Torus(), entry.Net.Len())
+	// Resolve the grid side first and vet k×k against the point cap
+	// BEFORE materialising the grid: a hostile {"grid": 100000} must be
+	// rejected by arithmetic, not by attempting the allocation.
+	k := req.Grid
+	if k <= 0 {
+		k, err = deploy.DenseGridSide(entry.Net.Len())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 	}
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	// The k ≤ cap check also makes the k² product safe from overflow:
+	// past it, k² ≤ cap², which fits int64 for any plausible cap.
+	if int64(k) > int64(s.cfg.MaxBatchPoints) || int64(k)*int64(k) > int64(s.cfg.MaxBatchPoints) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("survey of %d×%d points exceeds cap %d", k, k, s.cfg.MaxBatchPoints))
 		return
 	}
-	if len(points) > s.cfg.MaxBatchPoints {
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("survey of %d points exceeds cap %d", len(points), s.cfg.MaxBatchPoints))
+	points, err := deploy.GridPoints(entry.Net.Torus(), k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	workers := s.cfg.SurveyWorkers

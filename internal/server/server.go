@@ -227,12 +227,14 @@ func (s *Server) admitted(adm *admission, route string, h http.HandlerFunc) http
 		t0 := time.Now()
 		if err := adm.acquire(r.Context()); err != nil {
 			code := http.StatusTooManyRequests
+			msg := "server saturated: admission queue timed out"
 			if !errors.Is(err, errSaturated) {
 				code = StatusClientClosedRequest
+				msg = "request cancelled while queued"
 			} else {
 				w.Header().Set("Retry-After", "1")
 			}
-			writeError(w, code, "server saturated: admission queue timed out")
+			writeError(w, code, msg)
 			s.m.requests(route, code)
 			return
 		}

@@ -316,6 +316,12 @@ func TestBatchCaps(t *testing.T) {
 	if code := post(t, ts.Client(), ts.URL+"/v1/deployments/"+reg.ID+"/query", tooManyThetas, nil); code != http.StatusBadRequest {
 		t.Errorf("over-cap thetas: status %d, want 400", code)
 	}
+	// A hostile grid side must be rejected by arithmetic before the k×k
+	// point slice is allocated — {"grid":100000} is ~160 GB of points.
+	hugeGrid, _ := json.Marshal(surveyRequest{ThetaPi: 0.25, Grid: 100_000})
+	if code := post(t, ts.Client(), ts.URL+"/v1/deployments/"+reg.ID+"/survey", hugeGrid, nil); code != http.StatusBadRequest {
+		t.Errorf("over-cap survey grid: status %d, want 400", code)
+	}
 }
 
 // TestAdmissionSaturation fills the single admission slot with a
@@ -522,7 +528,7 @@ func TestMaxBodyBytes(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	big := fmt.Sprintf(`{"profile":%q,"n":10,"seed":1,"deploy":"uniform","torus":1}`, testProfile)
-	if code := post(t, ts.Client(), ts.URL+"/v1/deployments", []byte(big), nil); code != http.StatusBadRequest {
-		t.Fatalf("oversized body: status = %d, want 400", code)
+	if code := post(t, ts.Client(), ts.URL+"/v1/deployments", []byte(big), nil); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status = %d, want 413", code)
 	}
 }

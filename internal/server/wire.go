@@ -151,6 +151,20 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorResponse{Error: msg})
 }
 
+// writeDecodeError maps a decodeBody failure to its status: a body
+// tripping the MaxBytesReader cap is 413 Request Entity Too Large (the
+// client must shrink the payload, not fix its JSON); everything else is
+// a plain 400.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds the %d-byte cap", tooLarge.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, "malformed body: "+err.Error())
+}
+
 // decodeBody strictly decodes a JSON request body into dst: unknown
 // fields (almost always a misspelt parameter) and trailing garbage are
 // rejected so a malformed request fails loudly instead of running with

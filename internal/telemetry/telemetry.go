@@ -200,9 +200,19 @@ func (r *Registry) register(name, help, kind string, labels []Label, mk func() a
 	return s
 }
 
+// familySnapshot is a point-in-time copy of one family's series list,
+// taken under the registry lock so export can render without it.
+type familySnapshot struct {
+	name, help, kind string
+	series           []*series // in sorted label-key order
+}
+
 // WritePrometheus renders every registered family in the Prometheus
 // text exposition format, families and series in sorted order so the
-// output is deterministic.
+// output is deterministic. The family and series maps are snapshotted
+// under the registry lock — lazy registration on a concurrent request
+// may mutate them mid-scrape — and only the lock-free atomic values are
+// read afterwards.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
@@ -210,22 +220,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fams := make([]*family, len(names))
+	snaps := make([]familySnapshot, len(names))
 	for i, name := range names {
-		fams[i] = r.families[name]
-	}
-	r.mu.Unlock()
-
-	var b strings.Builder
-	for _, f := range fams {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		f := r.families[name]
 		keys := make([]string, 0, len(f.series))
 		for k := range f.series {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		for _, k := range keys {
-			writeSeries(&b, f, f.series[k])
+		ss := make([]*series, len(keys))
+		for j, k := range keys {
+			ss[j] = f.series[k]
+		}
+		snaps[i] = familySnapshot{name: f.name, help: f.help, kind: f.kind, series: ss}
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range snaps {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		for _, s := range f.series {
+			writeSeries(&b, f, s)
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -233,7 +248,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writeSeries renders one series (several lines for a histogram).
-func writeSeries(b *strings.Builder, f *family, s *series) {
+func writeSeries(b *strings.Builder, f familySnapshot, s *series) {
 	switch v := s.value.(type) {
 	case *Counter:
 		fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(s.labels, ""), v.Value())
