@@ -6,7 +6,15 @@
 // Usage:
 //
 //	fvcd -addr :8080
+//	fvcd -addr :8080 -state /var/lib/fvcd
 //	fvcd -addr 127.0.0.1:0 -cache 32 -max-inflight 128
+//
+// With -state, registrations are journaled durably: a daemon killed at
+// any instant (including kill -9) and restarted on the same state dir
+// answers queries for every previously registered deployment id
+// bit-identically. GET /readyz reports "starting" during the startup
+// replay, "ok" in normal operation, and "degraded" when journal writes
+// fail (queries keep working from memory; registrations answer 503).
 //
 // API (see README "Running the service" for curl examples):
 //
@@ -14,7 +22,7 @@
 //	GET  /v1/deployments/{id}         describe a registered deployment
 //	POST /v1/deployments/{id}/query   batch point checks across a θ-list
 //	POST /v1/deployments/{id}/survey  region sweep
-//	GET  /healthz, /metrics, /debug/pprof/*
+//	GET  /healthz, /readyz, /metrics, /debug/pprof/*
 //
 // The daemon prints "listening on HOST:PORT" once the socket is bound
 // (useful with -addr :0), serves until SIGINT/SIGTERM, then drains:
@@ -48,15 +56,18 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("fvcd", flag.ContinueOnError)
 	var (
-		addr         = fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
-		cacheSize    = fs.Int("cache", 16, "deployments kept warm in the LRU cache")
-		maxInFlight  = fs.Int("max-inflight", 0, "max concurrently executing requests (0 = 4×GOMAXPROCS)")
-		queueTimeout = fs.Duration("queue-timeout", 100*time.Millisecond, "max admission wait before a 429")
-		parallel     = fs.Int("parallel", 0, "worker goroutines per survey sweep (0 = GOMAXPROCS)")
-		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout (0 = none)")
-		writeTimeout = fs.Duration("write-timeout", 0, "HTTP write timeout (0 = none; long surveys need headroom)")
-		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
-		showVersion  = fs.Bool("version", false, "print version and exit")
+		addr          = fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		stateDir      = fs.String("state", "", "state directory for the durable deployment journal (empty = in-memory only)")
+		cacheSize     = fs.Int("cache", 16, "deployments kept warm in the LRU cache")
+		maxInFlight   = fs.Int("max-inflight", 0, "max concurrently executing requests (0 = 4×GOMAXPROCS)")
+		queueTimeout  = fs.Duration("queue-timeout", 100*time.Millisecond, "max admission wait before a 429")
+		queryTimeout  = fs.Duration("query-timeout", 0, "deadline for register/inspect/query handlers, 504 on expiry (0 = 30s default, negative = none)")
+		surveyTimeout = fs.Duration("survey-timeout", 0, "deadline for survey handlers, 504 on expiry (0 = 5m default, negative = none)")
+		parallel      = fs.Int("parallel", 0, "worker goroutines per survey sweep (0 = GOMAXPROCS)")
+		readTimeout   = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout (0 = none)")
+		writeTimeout  = fs.Duration("write-timeout", 0, "HTTP write timeout (0 = none; long surveys need headroom)")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		showVersion   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,13 +78,19 @@ func run(args []string, w io.Writer) error {
 	}
 
 	logger := log.New(w, "fvcd: ", log.LstdFlags)
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		CacheSize:     *cacheSize,
 		MaxInFlight:   *maxInFlight,
 		QueueTimeout:  *queueTimeout,
+		QueryTimeout:  *queryTimeout,
+		SurveyTimeout: *surveyTimeout,
 		SurveyWorkers: *parallel,
+		StateDir:      *stateDir,
 		Logger:        logger,
 	})
+	if err != nil {
+		return err
+	}
 	srv.SetTimeouts(*readTimeout, *writeTimeout)
 
 	ln, err := net.Listen("tcp", *addr)

@@ -27,9 +27,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -97,7 +99,10 @@ func run() error {
 	if base == "" {
 		// No daemon given: host the service in-process on a random port,
 		// exactly as cmd/fvcd would.
-		srv := fullview.NewService(fullview.ServiceConfig{})
+		srv, err := fullview.NewService(fullview.ServiceConfig{})
+		if err != nil {
+			return err
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -202,24 +207,85 @@ func run() error {
 	return nil
 }
 
-// postJSON posts v as JSON and decodes the response into out, treating
-// any non-2xx status as an error.
+// retryPolicy is the client-side resilience discipline for talking to
+// fvcd: capped exponential backoff with jitter, honoring the server's
+// Retry-After header (fvcd sends a jittered fractional-seconds value on
+// 429), retrying only failures that are safe to retry. Every fvcd POST
+// is idempotent by construction — registration is content-addressed and
+// query/survey are reads — so requests here are marked idempotent; a
+// non-idempotent request would only retry failures that provably
+// happened before any response byte arrived (connection refused),
+// never a failure mid-body, where the server may already have acted.
+type retryPolicy struct {
+	maxAttempts int           // total tries, including the first
+	base        time.Duration // first backoff
+	cap         time.Duration // backoff ceiling
+}
+
+var defaultRetry = retryPolicy{maxAttempts: 5, base: 100 * time.Millisecond, cap: 2 * time.Second}
+
+// retryableStatus reports whether a response status is worth retrying:
+// overload shedding and transient gateway states, never client errors.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff returns the wait before try attempt (0-based), preferring the
+// server's Retry-After when one was given: capped exponential growth
+// with ±50% jitter, so a fleet of clients that failed together does not
+// retry together.
+func (p retryPolicy) backoff(attempt int, retryAfter string) time.Duration {
+	if s, err := strconv.ParseFloat(strings.TrimSpace(retryAfter), 64); err == nil && s >= 0 {
+		return time.Duration(s * float64(time.Second))
+	}
+	d := p.base << attempt
+	if d > p.cap {
+		d = p.cap
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
+// postJSON posts v as JSON under the retry policy and decodes the
+// response into out, treating any non-2xx status as an error.
 func postJSON(url string, v, out any) error {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt < defaultRetry.maxAttempts; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			// Transport failure before any response: always safe to retry
+			// (the idempotency caveat in the policy doc concerns failures
+			// after bytes arrived, which appear below as read errors).
+			lastErr = err
+			time.Sleep(defaultRetry.backoff(attempt, ""))
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			// Failure mid-body. fvcd requests are idempotent, so retrying
+			// is safe; for a non-idempotent API this branch must return.
+			lastErr = fmt.Errorf("reading response: %w", err)
+			time.Sleep(defaultRetry.backoff(attempt, ""))
+			continue
+		}
+		if retryableStatus(resp.StatusCode) {
+			lastErr = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+			time.Sleep(defaultRetry.backoff(attempt, resp.Header.Get("Retry-After")))
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+		}
+		return json.Unmarshal(data, out)
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
-	}
-	return json.Unmarshal(data, out)
+	return fmt.Errorf("giving up after %d attempts: %w", defaultRetry.maxAttempts, lastErr)
 }

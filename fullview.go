@@ -313,15 +313,20 @@ type (
 
 // NewService builds the coverage query service. Drive it with
 // Service.Serve / Service.Shutdown on your own listener, or mount
-// Service.Handler into an existing HTTP server.
-func NewService(cfg ServiceConfig) *Service { return server.New(cfg) }
+// Service.Handler into an existing HTTP server. The only error path is
+// an unusable ServiceConfig.StateDir (the durable deployment journal
+// could not be opened or replayed).
+func NewService(cfg ServiceConfig) (*Service, error) { return server.New(cfg) }
 
 // Serve runs the coverage query service on addr until ctx is
 // cancelled, then drains gracefully: in-flight requests run to
 // completion (up to 30s) before Serve returns. It is the library form
 // of the fvcd daemon.
 func Serve(ctx context.Context, addr string, cfg ServiceConfig) error {
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

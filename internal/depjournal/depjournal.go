@@ -1,0 +1,475 @@
+// Package depjournal durably records fvcd deployment registrations so
+// a restarted daemon still answers queries for ids registered before a
+// crash. It is the serving-layer sibling of internal/checkpoint: where
+// checkpoint journals Monte-Carlo trial results, depjournal journals
+// the *descriptions* of registered camera networks — an explicit camera
+// list, or a deterministic recipe (profile, count/density, seed) —
+// keyed by the deployment's content-fingerprint id.
+//
+// # Format
+//
+// The journal is JSONL: line 1 is a header {"version":1,"kind":
+// "fvcd/deployments"}; every further line is one Record. Records are
+// appended (O_APPEND write + fsync per registration, so a kill -9
+// loses at most the registration whose 201 was never sent), and the
+// whole file is rewritten with the atomic temp+fsync+rename discipline
+// of internal/checkpoint when compaction runs.
+//
+// # Replay
+//
+// Open replays the journal into memory. A torn final line — the
+// signature of a crash mid-append — is dropped; malformed interior
+// lines are refused with ErrCorrupt (they indicate real damage, and
+// silently skipping registrations would turn restart into data loss).
+// Duplicate ids are tolerated: the id is a content hash, so duplicates
+// describe the same network and the last record wins in place.
+//
+// # Compaction
+//
+// When the file grows past CompactBytes and holds duplicate lines, the
+// journal is rewritten as a deduplicated snapshot (atomic rename), and
+// appending resumes on the fresh file.
+package depjournal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fullview/internal/faultinject"
+)
+
+// Version is the journal format version written to new headers.
+const Version = 1
+
+// Kind is the header kind identifying a deployment journal.
+const Kind = "fvcd/deployments"
+
+// DefaultCompactBytes is the compaction threshold used when Options
+// leaves CompactBytes zero.
+const DefaultCompactBytes = 4 << 20
+
+// Journal errors.
+var (
+	// ErrCorrupt reports a journal whose interior cannot be parsed.
+	ErrCorrupt = errors.New("depjournal: journal is corrupt")
+	// ErrClosed reports use of a closed journal.
+	ErrClosed = errors.New("depjournal: journal is closed")
+	// ErrNoID reports an attempt to append a record without an id.
+	ErrNoID = errors.New("depjournal: record has no id")
+)
+
+// header is the first journal line.
+type header struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"`
+}
+
+// Camera is one explicitly-placed camera, mirroring the service's wire
+// form (angles in radians).
+type Camera struct {
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Orient   float64 `json:"orient"`
+	Radius   float64 `json:"radius"`
+	Aperture float64 `json:"aperture"`
+	Group    int     `json:"group,omitempty"`
+}
+
+// Record is one journaled registration: the deployment id (content
+// fingerprint) plus exactly the description the client sent — explicit
+// cameras, or a deterministic recipe. Replaying the description through
+// the same build path reproduces the same network bit-for-bit, which is
+// what makes post-restart answers identical to pre-crash ones.
+type Record struct {
+	// ID is the deployment's content fingerprint.
+	ID string `json:"id"`
+	// Torus is the region side (0 means the default unit torus).
+	Torus float64 `json:"torus,omitempty"`
+
+	// Cameras is the explicit camera list (explicit form).
+	Cameras []Camera `json:"cameras,omitempty"`
+
+	// Profile, N, Density, Deploy, and Seed are the deterministic
+	// deployment recipe (recipe form).
+	Profile string  `json:"profile,omitempty"`
+	N       int     `json:"n,omitempty"`
+	Density float64 `json:"density,omitempty"`
+	Deploy  string  `json:"deploy,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+}
+
+// Options parameterises Open.
+type Options struct {
+	// CompactBytes is the file size past which a journal holding
+	// duplicate records is rewritten as a snapshot (0 selects
+	// DefaultCompactBytes; negative disables compaction).
+	CompactBytes int64
+}
+
+// Journal is the durable deployment registry. Safe for concurrent use.
+type Journal struct {
+	mu           sync.Mutex
+	path         string
+	compactBytes int64
+	f            *os.File       // O_APPEND handle for live appends
+	ids          map[string]int // id → index into recs
+	recs         []Record       // registration order, deduped by id
+	lines        int64          // record lines currently in the file
+	size         int64          // file size in bytes
+	closed       bool
+}
+
+// Open creates the journal at path or replays an existing one. The
+// parent directory must exist. A missing or empty file becomes a fresh
+// journal (header written immediately so even a never-appended journal
+// is recognizable); a populated one is replayed with torn-final-line
+// tolerance.
+func Open(path string, opts Options) (*Journal, error) {
+	compact := opts.CompactBytes
+	if compact == 0 {
+		compact = DefaultCompactBytes
+	}
+	j := &Journal{path: path, compactBytes: compact, ids: make(map[string]int)}
+
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("depjournal: read journal: %w", err)
+	}
+	if len(data) > 0 {
+		recs, lines, good, perr := parse(data)
+		if perr != nil {
+			return nil, perr
+		}
+		for _, r := range recs {
+			j.insert(r)
+		}
+		j.lines = lines
+		j.size = good
+		if good < int64(len(data)) {
+			// A torn final line was dropped from the replay; cut it from the
+			// file too, so the next append cannot land after torn bytes and
+			// turn them into interior corruption.
+			if err := os.Truncate(path, good); err != nil {
+				return nil, fmt.Errorf("depjournal: truncate torn line: %w", err)
+			}
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("depjournal: open journal: %w", err)
+	}
+	j.f = f
+	if len(data) == 0 {
+		if err := j.writeHeaderLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if j.size == int64(len(data)) && data[len(data)-1] != '\n' {
+		// The final line parsed fine but lacks its newline (foreign or
+		// interrupted writer): terminate it so the next append starts a
+		// fresh line instead of concatenating onto this one.
+		if _, err := f.Write([]byte{'\n'}); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("depjournal: terminate final line: %w", err)
+		}
+		j.size++
+	}
+	if j.compactNeededLocked() {
+		if err := j.compactLocked(); err != nil {
+			j.f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// insert stores rec, replacing an earlier record with the same id in
+// place (ids are content hashes, so both describe the same network).
+func (j *Journal) insert(rec Record) {
+	if i, ok := j.ids[rec.ID]; ok {
+		j.recs[i] = rec
+		return
+	}
+	j.ids[rec.ID] = len(j.recs)
+	j.recs = append(j.recs, rec)
+}
+
+// writeHeaderLocked writes the header line to a fresh journal.
+func (j *Journal) writeHeaderLocked() error {
+	line, err := json.Marshal(header{Version: Version, Kind: Kind})
+	if err != nil {
+		return fmt.Errorf("depjournal: encode header: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("depjournal: write header: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("depjournal: fsync header: %w", err)
+	}
+	j.size = int64(len(line))
+	return nil
+}
+
+// parse decodes a journal image into its records, the number of record
+// lines it holds (duplicates included), and the byte length of the
+// intact prefix. The final line may be torn and is then dropped (good
+// reports where the intact prefix ends so the caller can truncate);
+// earlier malformed lines are ErrCorrupt.
+func parse(data []byte) (recs []Record, lines, good int64, err error) {
+	if len(data) == 0 {
+		return nil, 0, 0, fmt.Errorf("%w: empty journal", ErrCorrupt)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(nil, 64<<20)
+	lineEnd := 0 // byte offset just past the last line consumed
+	if !sc.Scan() {
+		return nil, 0, 0, fmt.Errorf("%w: missing header", ErrCorrupt)
+	}
+	headerLine := sc.Bytes()
+	lineEnd += len(headerLine) + 1
+	var h header
+	if uerr := strictUnmarshal(headerLine, &h); uerr != nil {
+		return nil, 0, 0, fmt.Errorf("%w: bad header: %v", ErrCorrupt, uerr)
+	}
+	if h.Version != Version || h.Kind != Kind {
+		return nil, 0, 0, fmt.Errorf("%w: unsupported header %+v", ErrCorrupt, h)
+	}
+	good = min(int64(lineEnd), int64(len(data)))
+	lineNo := 1
+	for sc.Scan() {
+		raw := sc.Bytes()
+		lineEnd += len(raw) + 1
+		lineNo++
+		if len(bytes.TrimSpace(raw)) == 0 {
+			good = min(int64(lineEnd), int64(len(data)))
+			continue
+		}
+		var rec Record
+		uerr := strictUnmarshal(raw, &rec)
+		if uerr == nil && rec.ID == "" {
+			uerr = ErrNoID
+		}
+		if uerr != nil {
+			// A defective *final* line is a torn append (crash mid-write):
+			// drop it and keep the intact prefix. Interior damage is real
+			// corruption and refused.
+			if lineEnd >= len(data) {
+				break
+			}
+			return nil, 0, 0, fmt.Errorf("%w: line %d: %v", ErrCorrupt, lineNo, uerr)
+		}
+		recs = append(recs, rec)
+		lines++
+		good = min(int64(lineEnd), int64(len(data)))
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, 0, 0, fmt.Errorf("%w: %v", ErrCorrupt, serr)
+	}
+	return recs, lines, good, nil
+}
+
+// strictUnmarshal decodes one JSON document and rejects trailing data.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON document")
+	}
+	return nil
+}
+
+// Append durably records one registration: the record line is written
+// through the O_APPEND handle and fsynced before Append returns, so a
+// crash immediately after cannot lose it. Appending an id the journal
+// already holds is a cheap no-op. The faultinject.JournalWrite point
+// fires before the write.
+func (j *Journal) Append(rec Record) error {
+	if rec.ID == "" {
+		return ErrNoID
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if _, ok := j.ids[rec.ID]; ok {
+		return nil
+	}
+	if err := faultinject.Fire(faultinject.JournalWrite); err != nil {
+		return fmt.Errorf("depjournal: write record: %w", err)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("depjournal: encode record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		// The file may now hold a partial line; truncate back so a later
+		// successful append cannot create interior corruption.
+		_ = j.f.Truncate(j.size)
+		return fmt.Errorf("depjournal: write record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		_ = j.f.Truncate(j.size)
+		return fmt.Errorf("depjournal: fsync record: %w", err)
+	}
+	j.size += int64(len(line))
+	j.lines++
+	j.insert(rec)
+	if j.compactNeededLocked() {
+		// Compaction failing must not fail the append — the record is
+		// durable either way; the oversized file is only a cost.
+		_ = j.compactLocked()
+	}
+	return nil
+}
+
+// compactNeededLocked reports whether the file is past the threshold
+// and actually holds reclaimable duplicate lines.
+func (j *Journal) compactNeededLocked() bool {
+	return j.compactBytes > 0 && j.size > j.compactBytes && j.lines > int64(len(j.recs))
+}
+
+// Compact rewrites the journal as a deduplicated snapshot regardless of
+// size, using the atomic temp+fsync+rename discipline.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.compactLocked()
+}
+
+// compactLocked writes the snapshot and swaps the append handle onto
+// the fresh file. Callers hold j.mu.
+func (j *Journal) compactLocked() error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(header{Version: Version, Kind: Kind}); err != nil {
+		return fmt.Errorf("depjournal: encode header: %w", err)
+	}
+	for _, rec := range j.recs {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("depjournal: encode record %s: %w", rec.ID, err)
+		}
+	}
+	if err := writeAtomic(j.path, buf.Bytes()); err != nil {
+		return err
+	}
+	// The rename replaced the inode our O_APPEND handle points at;
+	// reopen so future appends land in the new file.
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("depjournal: reopen after compaction: %w", err)
+	}
+	j.f.Close()
+	j.f = f
+	j.size = int64(buf.Len())
+	j.lines = int64(len(j.recs))
+	return nil
+}
+
+// writeAtomic replaces path with data via temp-file + fsync + rename in
+// the destination directory, then syncs the directory entry.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("depjournal: create temp: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("depjournal: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("depjournal: fsync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("depjournal: close temp: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("depjournal: rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Has reports whether id is journaled.
+func (j *Journal) Has(id string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.ids[id]
+	return ok
+}
+
+// Lookup returns the journaled record for id.
+func (j *Journal) Lookup(id string) (Record, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i, ok := j.ids[id]
+	if !ok {
+		return Record{}, false
+	}
+	return j.recs[i], true
+}
+
+// Records returns the journaled registrations in registration order,
+// deduplicated by id.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, len(j.recs))
+	copy(out, j.recs)
+	return out
+}
+
+// Len returns the number of distinct journaled deployments.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
+
+// Size returns the journal file's current byte size.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the append handle; later Appends fail with ErrClosed.
+// The file stays on disk for the next daemon start.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}

@@ -1,0 +1,323 @@
+package depjournal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fullview/internal/faultinject"
+)
+
+func testPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "deployments.jsonl")
+}
+
+func rec(id string, n int) Record {
+	return Record{ID: id, Profile: "0.3:0.2:0.4,0.7:0.1:0.5", N: n, Seed: 7}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := testPath(t)
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		rec("aaaa", 10),
+		{ID: "bbbb", Torus: 2, Cameras: []Camera{{X: 0.5, Y: 0.25, Orient: 1, Radius: 0.1, Aperture: 0.7, Group: 1}}},
+		{ID: "cccc", Density: 120.5, Deploy: "poisson", Seed: 3},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh Open (the restarted daemon) must replay exactly.
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Records(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed %+v, want %+v", got, want)
+	}
+	if !j2.Has("bbbb") || j2.Has("zzzz") {
+		t.Fatal("Has is wrong")
+	}
+	got, ok := j2.Lookup("cccc")
+	if !ok || got.Density != 120.5 {
+		t.Fatalf("Lookup(cccc) = %+v, %v", got, ok)
+	}
+}
+
+func TestAppendDuplicateIsNoOp(t *testing.T) {
+	j, err := Open(testPath(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(rec("aaaa", 10)); err != nil {
+		t.Fatal(err)
+	}
+	size := j.Size()
+	if err := j.Append(rec("aaaa", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if j.Size() != size {
+		t.Fatalf("duplicate append grew the file: %d → %d", size, j.Size())
+	}
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", j.Len())
+	}
+}
+
+func TestAppendWithoutID(t *testing.T) {
+	j, err := Open(testPath(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append(Record{N: 5}); !errors.Is(err, ErrNoID) {
+		t.Fatalf("Append without id = %v, want ErrNoID", err)
+	}
+}
+
+// TestTornFinalLine simulates a crash mid-append: the torn tail is
+// dropped on replay, truncated from the file, and a new append lands
+// cleanly after the intact prefix.
+func TestTornFinalLine(t *testing.T) {
+	path := testPath(t)
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec("aaaa", 10)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"bbbb","n":2`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("torn final line must be tolerated, got %v", err)
+	}
+	if j2.Len() != 1 || j2.Has("bbbb") {
+		t.Fatalf("torn record leaked into the replay: %+v", j2.Records())
+	}
+	if err := j2.Append(rec("cccc", 3)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Len() != 2 || !j3.Has("aaaa") || !j3.Has("cccc") {
+		t.Fatalf("post-torn append corrupted the journal: %+v", j3.Records())
+	}
+}
+
+// TestMissingFinalNewline covers a valid last line without its newline:
+// the record is kept and the next append must not concatenate onto it.
+func TestMissingFinalNewline(t *testing.T) {
+	path := testPath(t)
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(rec("aaaa", 10))
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.Has("aaaa") {
+		t.Fatal("record with missing newline dropped")
+	}
+	if err := j2.Append(rec("bbbb", 2)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("append after missing-newline repair corrupted the file: %v", err)
+	}
+	defer j3.Close()
+	if j3.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", j3.Len())
+	}
+}
+
+func TestInteriorCorruptionRefused(t *testing.T) {
+	path := testPath(t)
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(rec("aaaa", 10))
+	j.Close()
+	data, _ := os.ReadFile(path)
+	damaged := append([]byte(nil), data...)
+	damaged = append(damaged, []byte("NOT JSON\n")...)
+	damaged = append(damaged, []byte(`{"id":"bbbb","n":2}`+"\n")...)
+	if err := os.WriteFile(path, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("interior corruption gave %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadHeaderRefused(t *testing.T) {
+	path := testPath(t)
+	if err := os.WriteFile(path, []byte(`{"version":99,"kind":"other"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad header gave %v, want ErrCorrupt", err)
+	}
+}
+
+// TestDuplicateIDsOnDisk checks replay of a file holding duplicate ids
+// (possible when a crash raced the in-memory dedup): last record wins,
+// Len counts distinct ids.
+func TestDuplicateIDsOnDisk(t *testing.T) {
+	path := testPath(t)
+	body := `{"version":1,"kind":"fvcd/deployments"}` + "\n" +
+		`{"id":"aaaa","n":1}` + "\n" +
+		`{"id":"bbbb","n":2}` + "\n" +
+		`{"id":"aaaa","n":3}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 distinct ids", j.Len())
+	}
+	got, _ := j.Lookup("aaaa")
+	if got.N != 3 {
+		t.Fatalf("duplicate id: last record must win, got n=%d", got.N)
+	}
+	// Registration order is preserved for the first occurrence.
+	recs := j.Records()
+	if recs[0].ID != "aaaa" || recs[1].ID != "bbbb" {
+		t.Fatalf("order = %v", []string{recs[0].ID, recs[1].ID})
+	}
+}
+
+// TestCompaction fills a tiny-threshold journal with duplicates and
+// checks the snapshot rewrite shrinks the file while keeping appends
+// working.
+func TestCompaction(t *testing.T) {
+	path := testPath(t)
+	body := strings.Builder{}
+	body.WriteString(`{"version":1,"kind":"fvcd/deployments"}` + "\n")
+	for i := 0; i < 200; i++ {
+		body.WriteString(`{"id":"aaaa","n":` + string(rune('1'+i%9)) + `}` + "\n")
+	}
+	if err := os.WriteFile(path, []byte(body.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, Options{CompactBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", j.Len())
+	}
+	// Open compacted the duplicate-heavy file on the spot.
+	if j.Size() >= int64(body.Len()) {
+		t.Fatalf("compaction did not shrink: %d ≥ %d", j.Size(), body.Len())
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != j.Size() {
+		t.Fatalf("Size()=%d disagrees with file %d", j.Size(), fi.Size())
+	}
+	if err := j.Append(rec("bbbb", 2)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 || !j2.Has("aaaa") || !j2.Has("bbbb") {
+		t.Fatalf("post-compaction journal wrong: %+v", j2.Records())
+	}
+}
+
+func TestClosedJournal(t *testing.T) {
+	j, err := Open(testPath(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Append(rec("aaaa", 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double Close = %v", err)
+	}
+}
+
+// TestInjectedWriteFailure checks the faultinject.JournalWrite point:
+// the append fails, nothing is recorded, and the journal recovers as
+// soon as the fault clears.
+func TestInjectedWriteFailure(t *testing.T) {
+	defer faultinject.Reset()
+	j, err := Open(testPath(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	diskGone := errors.New("injected: disk gone")
+	remove := faultinject.Set(faultinject.JournalWrite, faultinject.Error(diskGone))
+	if err := j.Append(rec("aaaa", 1)); !errors.Is(err, diskGone) {
+		t.Fatalf("Append under injection = %v, want %v", err, diskGone)
+	}
+	if j.Has("aaaa") || j.Len() != 0 {
+		t.Fatal("failed append leaked into memory")
+	}
+	remove()
+	if err := j.Append(rec("aaaa", 1)); err != nil {
+		t.Fatalf("Append after fault cleared = %v", err)
+	}
+	if !j.Has("aaaa") {
+		t.Fatal("recovered append not recorded")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fullview/internal/core"
 	"fullview/internal/depcache"
 	"fullview/internal/deploy"
+	"fullview/internal/faultinject"
 	"fullview/internal/geom"
 	"fullview/internal/spatial"
 )
@@ -40,14 +41,29 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	fp := depcache.Fingerprint(net)
 	entry, hit, err := s.cache.GetOrBuild(fp, func() (*depcache.Entry, error) {
-		return &depcache.Entry{
+		if err := faultinject.Fire(faultinject.DepcacheBuild); err != nil {
+			return nil, err
+		}
+		e := &depcache.Entry{
 			Fingerprint: fp,
 			Net:         net,
 			Index:       spatial.NewIndex(net),
-		}, nil
+		}
+		// Persist before caching: a deployment the journal could not
+		// record is refused outright (503, retry later) rather than
+		// served now and forgotten on restart. Cache hits skip this —
+		// cached implies journaled.
+		if err := s.persist(fp, &req); err != nil {
+			return nil, err
+		}
+		return e, nil
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		if errors.Is(err, errNotDurable) {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		} else {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
 		return
 	}
 	s.m.registered.Inc()
@@ -65,13 +81,18 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// deployment resolves the {id} path value against the cache, writing
-// the 404 itself on a miss. An id can miss either because it was never
-// registered or because the LRU evicted it; clients re-register (an
-// idempotent, cheap-on-hit operation) to revive a deployment.
+// deployment resolves the {id} path value against the cache, falling
+// back to the durable journal on a miss — a journaled deployment
+// survives both LRU eviction and a process restart, rebuilt on first
+// use. Only an id that neither the cache nor the journal knows is a
+// 404; clients then re-register (an idempotent, cheap-on-hit
+// operation).
 func (s *Server) deployment(w http.ResponseWriter, r *http.Request) (*depcache.Entry, bool) {
 	id := r.PathValue("id")
 	entry, ok := s.cache.Get(id)
+	if !ok {
+		entry, ok = s.revive(id)
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound,
 			fmt.Sprintf("deployment %q not registered (or evicted); re-register it", id))
@@ -130,11 +151,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Latency injection point for the deadline chaos tests: a sleeping
+	// hook here simulates a pathologically slow query.
+	if err := faultinject.Fire(faultinject.QueryLatency); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
 	ctx := r.Context()
 	results := make([]pointResultJSON, len(req.Points))
 	for i, p := range req.Points {
 		if i%cancelCheckInterval == 0 && ctx.Err() != nil {
-			writeError(w, StatusClientClosedRequest, "request cancelled")
+			writeCtxError(w, ctx.Err())
 			return
 		}
 		rep := mc.Evaluate(geom.V(p.X, p.Y))
@@ -209,7 +237,7 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 	stats, err := checker.SurveyRegionContext(r.Context(), points, workers)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			writeError(w, StatusClientClosedRequest, "request cancelled mid-survey")
+			writeCtxError(w, err)
 		} else {
 			writeError(w, http.StatusInternalServerError, err.Error())
 		}
@@ -232,10 +260,39 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// writeCtxError maps a context failure to its status: an expired
+// deadline (the server's per-route timeout) is 504; a cancellation
+// (the client walked away) is 499.
+func writeCtxError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+		return
+	}
+	writeError(w, StatusClientClosedRequest, "request cancelled")
+}
+
 // handleHealthz is the liveness probe.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"uptimeNs": time.Since(s.start).Nanoseconds(),
 	})
+}
+
+// handleReadyz is the readiness probe, distinct from liveness: a
+// starting server (journal replay warming the cache) answers 503 so
+// orchestrators hold traffic; a degraded one (journal writes failing)
+// answers 200 — it is still serving queries from memory — with the
+// state and reason in the body so operators see the problem.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	state, reason := s.readiness()
+	code := http.StatusOK
+	if state == ReadyStarting {
+		code = http.StatusServiceUnavailable
+	}
+	body := map[string]any{"status": state}
+	if reason != "" {
+		body["reason"] = reason
+	}
+	writeJSON(w, code, body)
 }

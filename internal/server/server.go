@@ -13,8 +13,26 @@
 //	POST /v1/deployments/{id}/query   batch point full-view checks over a θ-list
 //	POST /v1/deployments/{id}/survey  region sweep (dense grid or k×k grid)
 //	GET  /healthz                     liveness probe
+//	GET  /readyz                      readiness: starting | ok | degraded
 //	GET  /metrics                     Prometheus text metrics
 //	GET  /debug/pprof/*               standard Go profiling endpoints
+//
+// # Resilience
+//
+// With Config.StateDir set, registrations are journaled durably
+// (internal/depjournal): a crashed or killed daemon restarted on the
+// same state dir answers queries for every previously registered id
+// bit-identically, and journaled ids also survive LRU eviction (they
+// are rebuilt lazily on next use). Handler panics are contained by
+// middleware into structured 500s — the admission slot is released, a
+// stack goes to the logger, fvcd_panics_total counts the event, and
+// the daemon keeps serving. Per-route deadlines (Config.QueryTimeout,
+// Config.SurveyTimeout) bound how long one request may hold a slot;
+// expiry answers 504. GET /readyz distinguishes startup replay
+// ("starting"), normal operation ("ok"), and a failing journal
+// ("degraded": queries keep answering from memory, registrations 503).
+// The failure paths are exercised deterministically through
+// internal/faultinject by the chaos test suite.
 //
 // # Admission
 //
@@ -46,6 +64,8 @@ import (
 	"time"
 
 	"fullview/internal/depcache"
+	"fullview/internal/depjournal"
+	"fullview/internal/faultinject"
 	"fullview/internal/telemetry"
 )
 
@@ -79,6 +99,23 @@ type Config struct {
 	// MaxCameras caps the size of a registered deployment
 	// (default 500000).
 	MaxCameras int
+	// QueryTimeout bounds the handler execution of register, inspect,
+	// and query requests; an expired deadline answers 504 so a wedged
+	// request cannot hold its admission slot forever (default 30s;
+	// negative disables the deadline).
+	QueryTimeout time.Duration
+	// SurveyTimeout is the same bound for survey requests, which
+	// legitimately run much longer (default 5m; negative disables).
+	SurveyTimeout time.Duration
+	// StateDir, when non-empty, makes registrations durable: every
+	// accepted registration is journaled (append+fsync) under this
+	// directory, and a restarted server replays the journal so
+	// previously registered deployment ids keep answering.
+	StateDir string
+	// JournalCompactBytes is the deployment journal's compaction
+	// threshold (default 4 MiB; negative disables compaction). Only
+	// meaningful with StateDir.
+	JournalCompactBytes int64
 	// Logger receives operational log lines; nil discards them.
 	Logger *log.Logger
 }
@@ -109,18 +146,26 @@ func (c Config) withDefaults() Config {
 	if c.MaxCameras <= 0 {
 		c.MaxCameras = 500_000
 	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.SurveyTimeout == 0 {
+		c.SurveyTimeout = 5 * time.Minute
+	}
 	return c
 }
 
 // metrics bundles the pre-registered series the request path touches.
 type metrics struct {
-	reg         *telemetry.Registry
-	queueDepth  *telemetry.Gauge
-	inFlight    *telemetry.Gauge
-	points      *telemetry.Counter
-	registered  *telemetry.Counter
-	latency     map[string]*telemetry.Histogram // per route
-	requestHelp string
+	reg             *telemetry.Registry
+	queueDepth      *telemetry.Gauge
+	inFlight        *telemetry.Gauge
+	points          *telemetry.Counter
+	registered      *telemetry.Counter
+	panics          *telemetry.Counter
+	journalFailures *telemetry.Counter
+	latency         map[string]*telemetry.Histogram // per route
+	requestHelp     string
 }
 
 // Server is the fvcd service: an http.Handler plus the graceful
@@ -133,6 +178,14 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	// journal is the durable deployment registry (nil without StateDir);
+	// ready is closed when the startup journal replay finishes.
+	journal *depjournal.Journal
+	ready   chan struct{}
+
+	stateMu    sync.Mutex
+	journalErr error // last journal-write failure; nil when healthy
+
 	mu sync.Mutex
 	hs *http.Server
 
@@ -142,17 +195,29 @@ type Server struct {
 	testHookAdmitted func(route string, r *http.Request)
 }
 
-// New builds a Server from the configuration.
-func New(cfg Config) *Server {
+// New builds a Server from the configuration. With cfg.StateDir set it
+// opens (or replays) the durable deployment journal; an unusable state
+// dir is the only error path.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
 		cache: depcache.New(cfg.CacheSize),
 		start: time.Now(),
+		ready: make(chan struct{}),
 	}
 	s.m = s.newMetrics()
+	if cfg.StateDir != "" {
+		if err := s.openState(); err != nil {
+			return nil, err
+		}
+	}
 	s.mux = s.routes()
-	return s
+	// Cache warm-up from the journal runs in the background; /readyz
+	// reports "starting" until it finishes. Queries for journaled ids
+	// are correct throughout (lazy revive), just colder.
+	go s.warmup()
+	return s, nil
 }
 
 // newMetrics registers the service's metric families.
@@ -166,6 +231,10 @@ func (s *Server) newMetrics() *metrics {
 			"Sample points pushed through the coverage kernel."),
 		registered: reg.Counter("fvcd_deployments_registered_total",
 			"Deployment registrations accepted (including cache hits)."),
+		panics: reg.Counter("fvcd_panics_total",
+			"Handler panics recovered into 500 responses."),
+		journalFailures: reg.Counter("fvcd_journal_write_failures_total",
+			"Deployment-journal writes that failed (registration answered 503)."),
 		latency:     make(map[string]*telemetry.Histogram),
 		requestHelp: "HTTP requests by route and status code.",
 	}
@@ -208,6 +277,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/deployments/{id}/survey", s.admitted(adm, "survey", s.handleSurvey))
 
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = s.m.reg.WritePrometheus(w)
@@ -221,8 +291,13 @@ func (s *Server) routes() *http.ServeMux {
 }
 
 // admitted wraps a /v1 handler with the admission gate, body cap,
-// request metrics, and latency recording.
+// per-route deadline, panic containment, request metrics, and latency
+// recording.
 func (s *Server) admitted(adm *admission, route string, h http.HandlerFunc) http.HandlerFunc {
+	timeout := s.cfg.QueryTimeout
+	if route == "survey" {
+		timeout = s.cfg.SurveyTimeout
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		if err := adm.acquire(r.Context()); err != nil {
@@ -232,7 +307,7 @@ func (s *Server) admitted(adm *admission, route string, h http.HandlerFunc) http
 				code = StatusClientClosedRequest
 				msg = "request cancelled while queued"
 			} else {
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", adm.retryAfter())
 			}
 			writeError(w, code, msg)
 			s.m.requests(route, code)
@@ -245,15 +320,59 @@ func (s *Server) admitted(adm *admission, route string, h http.HandlerFunc) http
 			s.testHookAdmitted(route, r)
 		}
 
+		// The per-route deadline bounds how long a request may hold its
+		// admission slot: the derived context is wired into the coverage
+		// kernels, which abort within a few hundred points of expiry and
+		// answer 504.
+		if timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		sr := &statusRecorder{ResponseWriter: w}
-		h(sr, r)
+		s.serveRecovering(route, sr, r, h)
 		code := sr.code
 		if code == 0 {
 			code = http.StatusOK
 		}
 		s.m.requests(route, code)
 		s.m.latency[route].ObserveSince(t0)
+	}
+}
+
+// serveRecovering invokes h with panic containment: a panicking handler
+// becomes a structured 500 (stack to the logger, fvcd_panics_total
+// bumped) instead of a killed connection, and — because the admission
+// defers in admitted unwind normally — the request slot is always
+// released. The non-panicking path adds zero allocations (pinned by
+// TestPanicRecoveryZeroAlloc). http.ErrAbortHandler is re-panicked,
+// preserving net/http's deliberate-abort convention.
+func (s *Server) serveRecovering(route string, w *statusRecorder, r *http.Request, h http.HandlerFunc) {
+	defer s.recoverToError(route, w)
+	if err := faultinject.Fire(faultinject.Handler); err != nil {
+		writeError(w, http.StatusInternalServerError, "injected handler fault: "+err.Error())
+		return
+	}
+	h(w, r)
+}
+
+// recoverToError is the deferred half of serveRecovering.
+func (s *Server) recoverToError(route string, w *statusRecorder) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	if p == http.ErrAbortHandler {
+		panic(p)
+	}
+	buf := make([]byte, 8<<10)
+	buf = buf[:runtime.Stack(buf, false)]
+	s.logf("panic in %s handler (recovered): %v\n%s", route, p, buf)
+	s.m.panics.Inc()
+	if w.code == 0 {
+		writeError(w, http.StatusInternalServerError,
+			fmt.Sprintf("internal error: handler panicked: %v", p))
 	}
 }
 
@@ -311,7 +430,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	hs := s.hs
 	s.mu.Unlock()
-	return hs.Shutdown(ctx)
+	err := hs.Shutdown(ctx)
+	// Close the journal only after the drain: in-flight registrations
+	// may still append. Close is idempotent, and a crash that skips it
+	// loses nothing — every append was already fsynced.
+	if s.journal != nil {
+		if cerr := s.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // logf writes one operational log line when a logger is configured.

@@ -25,6 +25,16 @@ import (
 // testProfile is the heterogeneous profile every test deployment uses.
 const testProfile = "0.3:0.2:0.4,0.7:0.1:0.5"
 
+// mustNew builds a Server, failing the test on a config error.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 // testNetwork deploys the reference heterogeneous network.
 func testNetwork(t *testing.T, n int, seed uint64) *sensor.Network {
 	t.Helper()
@@ -82,7 +92,7 @@ func post(t *testing.T, client *http.Client, url string, body []byte, out any) i
 // over real HTTP and checks the query verdicts bit-identical against
 // core.MultiChecker run in-process on the same network.
 func TestRegisterQuerySurveyRoundTrip(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	net := testNetwork(t, 200, 7)
@@ -211,7 +221,7 @@ func getBody(t *testing.T, client *http.Client, url string) string {
 // TestRegisterRecipe checks the profile+seed registration form: the
 // deterministic recipe lands on the same fingerprint both times.
 func TestRegisterRecipe(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -248,7 +258,7 @@ func TestRegisterRecipe(t *testing.T) {
 // TestErrorResponses covers the 4xx surface: malformed JSON, unknown
 // fields, invalid parameters, and unknown deployment ids.
 func TestErrorResponses(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	client := ts.Client()
@@ -296,7 +306,7 @@ func TestErrorResponses(t *testing.T) {
 
 // TestBatchCaps checks the request-size guards.
 func TestBatchCaps(t *testing.T) {
-	srv := New(Config{MaxBatchPoints: 3, MaxThetas: 2})
+	srv := mustNew(t, Config{MaxBatchPoints: 3, MaxThetas: 2})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	var reg registerResponse
@@ -328,7 +338,7 @@ func TestBatchCaps(t *testing.T) {
 // blocked request and asserts the next one is rejected with 429 after
 // the queue timeout.
 func TestAdmissionSaturation(t *testing.T) {
-	srv := New(Config{MaxInFlight: 1, QueueTimeout: 5 * time.Millisecond})
+	srv := mustNew(t, Config{MaxInFlight: 1, QueueTimeout: 5 * time.Millisecond})
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	srv.testHookAdmitted = func(route string, _ *http.Request) {
@@ -374,7 +384,7 @@ func TestAdmissionSaturation(t *testing.T) {
 // admission and asserts the sweep aborts with status 499 instead of
 // completing.
 func TestSurveyCancellation(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	ctx, cancel := context.WithCancel(context.Background())
 	srv.testHookAdmitted = func(route string, _ *http.Request) {
 		if route == "survey" {
@@ -409,7 +419,7 @@ func TestSurveyCancellation(t *testing.T) {
 // calls Shutdown, and asserts the in-flight request completes with 200
 // while Serve and Shutdown both return cleanly.
 func TestGracefulDrain(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	srv.testHookAdmitted = func(route string, _ *http.Request) {
@@ -477,7 +487,7 @@ func TestGracefulDrain(t *testing.T) {
 // mixed registrations and queries — mainly as race-detector fodder for
 // the cache, metrics, and admission paths.
 func TestConcurrentQueries(t *testing.T) {
-	srv := New(Config{CacheSize: 2})
+	srv := mustNew(t, Config{CacheSize: 2})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -524,7 +534,7 @@ func TestConcurrentQueries(t *testing.T) {
 
 // TestMaxBodyBytes checks the request-body cap.
 func TestMaxBodyBytes(t *testing.T) {
-	srv := New(Config{MaxBodyBytes: 64})
+	srv := mustNew(t, Config{MaxBodyBytes: 64})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	big := fmt.Sprintf(`{"profile":%q,"n":10,"seed":1,"deploy":"uniform","torus":1}`, testProfile)

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fullview/internal/depcache"
+	"fullview/internal/depjournal"
+	"fullview/internal/faultinject"
+	"fullview/internal/spatial"
+)
+
+// errNotDurable classifies a registration rejected because the durable
+// journal could not record it; handleRegister maps it to 503.
+var errNotDurable = errors.New("registration not durable: journal write failed")
+
+// journalFile is the deployment journal's name inside the state dir.
+const journalFile = "deployments.jsonl"
+
+// Readiness states reported by GET /readyz.
+const (
+	// ReadyStarting: the startup journal replay is still warming the
+	// cache. Journaled ids already answer (rebuilt lazily on first use);
+	// the state exists so orchestrators can hold traffic until the cache
+	// is warm.
+	ReadyStarting = "starting"
+	// ReadyOK: fully operational.
+	ReadyOK = "ok"
+	// ReadyDegraded: the deployment journal is failing to persist new
+	// registrations. Queries and surveys keep answering from memory;
+	// registrations are refused with 503 until a journal write succeeds
+	// again.
+	ReadyDegraded = "degraded"
+)
+
+// openState opens the durable deployment journal under cfg.StateDir and
+// registers its metrics. Called from New before the server starts
+// serving.
+func (s *Server) openState() error {
+	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+		return fmt.Errorf("server: create state dir: %w", err)
+	}
+	j, err := depjournal.Open(filepath.Join(s.cfg.StateDir, journalFile),
+		depjournal.Options{CompactBytes: s.cfg.JournalCompactBytes})
+	if err != nil {
+		return fmt.Errorf("server: open deployment journal: %w", err)
+	}
+	s.journal = j
+	s.m.reg.GaugeFunc("fvcd_journal_deployments",
+		"Deployments recorded in the durable journal.",
+		func() float64 { return float64(j.Len()) })
+	s.m.reg.GaugeFunc("fvcd_journal_bytes",
+		"Deployment journal file size in bytes.",
+		func() float64 { return float64(j.Size()) })
+	return nil
+}
+
+// warmup replays the journal into the deployment cache in the
+// background and then marks the server ready. Only the most recent
+// CacheSize registrations are rebuilt eagerly (older ones would be
+// evicted immediately); anything journaled but not warmed is rebuilt
+// lazily by deployment() on first use, so correctness never waits on
+// the warm-up — only cache temperature does.
+func (s *Server) warmup() {
+	defer close(s.ready)
+	if s.journal == nil {
+		return
+	}
+	if err := faultinject.Fire(faultinject.JournalReplay); err != nil {
+		s.logf("journal replay: injected fault: %v", err)
+	}
+	recs := s.journal.Records()
+	warm := recs
+	if len(warm) > s.cfg.CacheSize {
+		warm = warm[len(warm)-s.cfg.CacheSize:]
+	}
+	warmed := 0
+	for _, rec := range warm {
+		if _, ok := s.reviveRecord(rec); ok {
+			warmed++
+		}
+	}
+	if len(recs) > 0 {
+		s.logf("journal: replayed %d deployments (%d warmed into cache)", len(recs), warmed)
+	}
+}
+
+// revive rebuilds a journaled deployment that is not (or no longer) in
+// the cache, so journal-backed ids survive both restarts and LRU
+// eviction.
+func (s *Server) revive(id string) (*depcache.Entry, bool) {
+	if s.journal == nil {
+		return nil, false
+	}
+	rec, ok := s.journal.Lookup(id)
+	if !ok {
+		return nil, false
+	}
+	return s.reviveRecord(rec)
+}
+
+// reviveRecord rebuilds one journal record into the cache, verifying
+// that the rebuilt network still fingerprints to the journaled id — a
+// mismatch (corrupt record, or a record from an incompatible build)
+// is skipped with a log line rather than served under a wrong id.
+func (s *Server) reviveRecord(rec depjournal.Record) (*depcache.Entry, bool) {
+	req := requestFromRecord(rec)
+	net, err := s.buildNetwork(&req)
+	if err != nil {
+		s.logf("journal: cannot rebuild deployment %s: %v", rec.ID, err)
+		return nil, false
+	}
+	fp := depcache.Fingerprint(net)
+	if fp != rec.ID {
+		s.logf("journal: record %s rebuilds to fingerprint %s; skipping", rec.ID, fp)
+		return nil, false
+	}
+	entry, _, err := s.cache.GetOrBuild(fp, func() (*depcache.Entry, error) {
+		if err := faultinject.Fire(faultinject.DepcacheBuild); err != nil {
+			return nil, err
+		}
+		return &depcache.Entry{Fingerprint: fp, Net: net, Index: spatial.NewIndex(net)}, nil
+	})
+	if err != nil {
+		s.logf("journal: cannot rebuild index for %s: %v", rec.ID, err)
+		return nil, false
+	}
+	return entry, true
+}
+
+// persist journals a new registration. Failure marks the service
+// degraded and surfaces as errNotDurable (the caller's 503); the next
+// successful journal write clears the degraded state.
+func (s *Server) persist(id string, req *registerRequest) error {
+	if s.journal == nil {
+		return nil
+	}
+	if s.journal.Has(id) {
+		return nil
+	}
+	if err := s.journal.Append(recordFromRequest(id, req)); err != nil {
+		s.m.journalFailures.Inc()
+		s.setJournalErr(err)
+		s.logf("journal: append %s failed: %v", id, err)
+		return fmt.Errorf("%w: %v", errNotDurable, err)
+	}
+	s.setJournalErr(nil)
+	return nil
+}
+
+// setJournalErr records the journal's health for /readyz.
+func (s *Server) setJournalErr(err error) {
+	s.stateMu.Lock()
+	s.journalErr = err
+	s.stateMu.Unlock()
+}
+
+// readiness derives the /readyz state.
+func (s *Server) readiness() (state, reason string) {
+	select {
+	case <-s.ready:
+	default:
+		return ReadyStarting, "journal replay in progress"
+	}
+	if s.journal == nil {
+		return ReadyOK, ""
+	}
+	s.stateMu.Lock()
+	err := s.journalErr
+	s.stateMu.Unlock()
+	if err != nil {
+		return ReadyDegraded, "journal writes failing (registrations 503, queries unaffected): " + err.Error()
+	}
+	return ReadyOK, ""
+}
+
+// recordFromRequest converts a registration request (plus its computed
+// fingerprint id) to its journal record.
+func recordFromRequest(id string, req *registerRequest) depjournal.Record {
+	rec := depjournal.Record{
+		ID:      id,
+		Torus:   req.Torus,
+		Profile: req.Profile,
+		N:       req.N,
+		Density: req.Density,
+		Deploy:  req.Deploy,
+		Seed:    req.Seed,
+	}
+	if len(req.Cameras) > 0 {
+		rec.Cameras = make([]depjournal.Camera, len(req.Cameras))
+		for i, c := range req.Cameras {
+			rec.Cameras[i] = depjournal.Camera{
+				X: c.X, Y: c.Y, Orient: c.Orient,
+				Radius: c.Radius, Aperture: c.Aperture, Group: c.Group,
+			}
+		}
+	}
+	return rec
+}
+
+// requestFromRecord is the inverse conversion, feeding the journal
+// record back through the exact registration build path so replayed
+// deployments are bit-identical to their originals.
+func requestFromRecord(rec depjournal.Record) registerRequest {
+	req := registerRequest{
+		Torus:   rec.Torus,
+		Profile: rec.Profile,
+		N:       rec.N,
+		Density: rec.Density,
+		Deploy:  rec.Deploy,
+		Seed:    rec.Seed,
+	}
+	if len(rec.Cameras) > 0 {
+		req.Cameras = make([]cameraJSON, len(rec.Cameras))
+		for i, c := range rec.Cameras {
+			req.Cameras[i] = cameraJSON{
+				X: c.X, Y: c.Y, Orient: c.Orient,
+				Radius: c.Radius, Aperture: c.Aperture, Group: c.Group,
+			}
+		}
+	}
+	return req
+}

@@ -48,4 +48,63 @@ if ! wait "$pid"; then
 fi
 grep -q "drained cleanly" "$logfile" || { echo "no clean-drain log line:"; cat "$logfile"; exit 1; }
 pid=""
+
+# --- Crash recovery ---------------------------------------------------
+# Start with a durable state dir, register a deployment, query it, then
+# kill -9 the daemon (no drain, no journal close). A fresh daemon on the
+# same state dir must answer the same query for the same id
+# byte-for-byte, from the journal alone.
+statedir="$workdir/state"
+crashlog="$workdir/fvcd-crash.log"
+"$workdir/fvcd" -addr 127.0.0.1:0 -state "$statedir" >"$crashlog" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on \(.*\)/\1/p' "$crashlog" | head -n 1)
+    [[ -n "$addr" ]] && break
+    kill -0 "$pid" 2>/dev/null || { echo "fvcd died on startup:"; cat "$crashlog"; exit 1; }
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "fvcd never reported its address:"; cat "$crashlog"; exit 1; }
+
+depid=$(curl -sf -X POST "http://$addr/v1/deployments" \
+    -d '{"profile":"0.3:0.2:0.4,0.7:0.1:0.5","n":200,"seed":42}' \
+    | sed 's/.*"id":"\([^"]*\)".*/\1/')
+[[ -n "$depid" ]] || { echo "registration returned no id"; exit 1; }
+query='{"thetasPi":[0.2,0.25,0.5],"points":[{"x":0.5,"y":0.5},{"x":0.1,"y":0.9}]}'
+curl -sf -X POST "http://$addr/v1/deployments/$depid/query" -d "$query" >"$workdir/q1.json"
+
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "fvcd killed (-9) after registering $depid"
+
+restartlog="$workdir/fvcd-restart.log"
+"$workdir/fvcd" -addr 127.0.0.1:0 -state "$statedir" >"$restartlog" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on \(.*\)/\1/p' "$restartlog" | head -n 1)
+    [[ -n "$addr" ]] && break
+    kill -0 "$pid" 2>/dev/null || { echo "fvcd died on restart:"; cat "$restartlog"; exit 1; }
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "restarted fvcd never reported its address:"; cat "$restartlog"; exit 1; }
+
+# Wait for the startup replay to finish.
+for _ in $(seq 1 100); do
+    curl -sf "http://$addr/readyz" | grep -q '"status":"ok"' && break
+    sleep 0.1
+done
+curl -sf "http://$addr/readyz" | grep -q '"status":"ok"' \
+    || { echo "restarted fvcd never became ready:"; cat "$restartlog"; exit 1; }
+
+curl -sf -X POST "http://$addr/v1/deployments/$depid/query" -d "$query" >"$workdir/q2.json"
+diff "$workdir/q1.json" "$workdir/q2.json" \
+    || { echo "query answers diverged across kill -9 restart"; exit 1; }
+echo "crash recovery: deployment $depid answered bit-identically after restart"
+
+kill -TERM "$pid"
+wait "$pid" || { echo "restarted fvcd exited non-zero:"; cat "$restartlog"; exit 1; }
+pid=""
 echo "fvcd smoke: OK"
