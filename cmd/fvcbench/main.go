@@ -30,6 +30,14 @@
 //	              BENCH_kernel.json
 //	-benchtime D  minimum measuring time per kernel benchmark (default
 //	              1s; "1x" runs a single small batch — the CI smoke mode)
+//	-benchbaseline F
+//	              compare against a committed baseline JSON (e.g.
+//	              BENCH_kernel.json) and exit non-zero if any case's
+//	              ns/point regresses by more than -benchmaxregress —
+//	              the CI perf gate
+//	-benchmaxregress R
+//	              regression tolerance as a fraction (default 0.10,
+//	              i.e. fail beyond +10% ns/point)
 //
 // Profiling (usable with any experiment or -kernelbench):
 //
@@ -68,9 +76,11 @@ func run(args []string, stdout io.Writer) error {
 		ckptDir  = fs.String("checkpoint", "", "journal trial progress to this directory and resume from it")
 		list     = fs.Bool("list", false, "list experiments and exit")
 
-		kbench    = fs.Bool("kernelbench", false, "run the coverage-kernel micro-benchmarks")
-		benchOut  = fs.String("benchout", "", "write kernel benchmark results as JSON to this file")
-		benchTime = fs.String("benchtime", "1s", "minimum measuring time per kernel benchmark (duration, or \"1x\" for a single batch)")
+		kbench       = fs.Bool("kernelbench", false, "run the coverage-kernel micro-benchmarks")
+		benchOut     = fs.String("benchout", "", "write kernel benchmark results as JSON to this file")
+		benchTime    = fs.String("benchtime", "1s", "minimum measuring time per kernel benchmark (duration, or \"1x\" for a single batch)")
+		benchBase    = fs.String("benchbaseline", "", "baseline JSON to compare against; regressions past -benchmaxregress fail the run")
+		benchRegress = fs.Float64("benchmaxregress", 0.10, "ns/point regression tolerance vs -benchbaseline, as a fraction")
 
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -116,7 +126,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *kbench {
-		return runKernelBench(stdout, *benchTime, *benchOut)
+		return runKernelBench(stdout, *benchTime, *benchOut, *benchBase, *benchRegress)
 	}
 
 	if *list {
@@ -154,8 +164,9 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // runKernelBench executes the kernel micro-benchmark suite, prints
-// benchstat-compatible lines, and optionally writes the JSON report.
-func runKernelBench(stdout io.Writer, benchTime, benchOut string) error {
+// benchstat-compatible lines, optionally writes the JSON report, and —
+// with a baseline — enforces the regression gate.
+func runKernelBench(stdout io.Writer, benchTime, benchOut, benchBase string, maxRegress float64) error {
 	var target time.Duration
 	switch benchTime {
 	case "1x":
@@ -174,16 +185,48 @@ func runKernelBench(stdout io.Writer, benchTime, benchOut string) error {
 	if err := report.WriteBenchstat(stdout); err != nil {
 		return err
 	}
-	if benchOut == "" {
+	if benchOut != "" {
+		f, err := os.Create(benchOut)
+		if err != nil {
+			return fmt.Errorf("benchout: %w", err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("benchout: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("benchout: %w", err)
+		}
+	}
+	if benchBase == "" {
 		return nil
 	}
-	f, err := os.Create(benchOut)
+	bf, err := os.Open(benchBase)
 	if err != nil {
-		return fmt.Errorf("benchout: %w", err)
+		return fmt.Errorf("benchbaseline: %w", err)
 	}
-	if err := report.WriteJSON(f); err != nil {
-		f.Close()
-		return fmt.Errorf("benchout: %w", err)
+	baseline, err := kernelbench.ReadReport(bf)
+	bf.Close()
+	if err != nil {
+		return fmt.Errorf("benchbaseline: %w", err)
 	}
-	return f.Close()
+	deltas, err := kernelbench.Compare(baseline, report)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nvs %s (gate: +%.0f%% ns/point):\n", benchBase, 100*maxRegress)
+	if err := kernelbench.WriteDeltas(stdout, deltas, maxRegress); err != nil {
+		return err
+	}
+	regressed := 0
+	for _, d := range deltas {
+		if d.Regressed(maxRegress) {
+			regressed++
+		}
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d of %d kernel cases regressed more than %.0f%% vs %s",
+			regressed, len(deltas), 100*maxRegress, benchBase)
+	}
+	return nil
 }

@@ -9,20 +9,26 @@
 //	fvcd -addr :8080 -state /var/lib/fvcd
 //	fvcd -addr 127.0.0.1:0 -cache 32 -max-inflight 128
 //
-// With -state, registrations are journaled durably: a daemon killed at
-// any instant (including kill -9) and restarted on the same state dir
-// answers queries for every previously registered deployment id
-// bit-identically. GET /readyz reports "starting" during the startup
-// replay, "ok" in normal operation, and "degraded" when journal writes
-// fail (queries keep working from memory; registrations answer 503).
+// With -state, registrations and mutations are journaled durably: a
+// daemon killed at any instant (including kill -9) and restarted on the
+// same state dir answers queries for every previously registered
+// deployment id bit-identically, with every applied PATCH replayed in
+// order. GET /readyz reports "starting" during the startup replay, "ok"
+// in normal operation, and "degraded" when journal writes fail (queries
+// keep working from memory; registrations and patches answer 503).
 //
 // API (see README "Running the service" for curl examples):
 //
-//	POST /v1/deployments              register a camera network
-//	GET  /v1/deployments/{id}         describe a registered deployment
-//	POST /v1/deployments/{id}/query   batch point checks across a θ-list
-//	POST /v1/deployments/{id}/survey  region sweep
-//	GET  /healthz, /readyz, /metrics, /debug/pprof/*
+//	POST  /v1/deployments              register a camera network
+//	GET   /v1/deployments/{id}         describe a registered deployment
+//	PATCH /v1/deployments/{id}         mutate it in place (reaim/remove/add)
+//	POST  /v1/deployments/{id}/query   batch point checks across a θ-list
+//	POST  /v1/deployments/{id}/survey  region sweep
+//	GET   /healthz, /readyz, /metrics, /debug/pprof/*
+//
+// Patches are applied through a delta overlay on the deployment's CSR
+// index; once the overlay exceeds -rebuild-fraction of the base, the
+// index is rebuilt in the background and swapped in atomically.
 //
 // The daemon prints "listening on HOST:PORT" once the socket is bound
 // (useful with -addr :0), serves until SIGINT/SIGTERM, then drains:
@@ -64,6 +70,7 @@ func run(args []string, w io.Writer) error {
 		queryTimeout  = fs.Duration("query-timeout", 0, "deadline for register/inspect/query handlers, 504 on expiry (0 = 30s default, negative = none)")
 		surveyTimeout = fs.Duration("survey-timeout", 0, "deadline for survey handlers, 504 on expiry (0 = 5m default, negative = none)")
 		parallel      = fs.Int("parallel", 0, "worker goroutines per survey sweep (0 = GOMAXPROCS)")
+		rebuildFrac   = fs.Float64("rebuild-fraction", 0, "overlay size as a fraction of the base index that triggers a background rebuild (0 = default, negative = never rebuild)")
 		readTimeout   = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout (0 = none)")
 		writeTimeout  = fs.Duration("write-timeout", 0, "HTTP write timeout (0 = none; long surveys need headroom)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
@@ -79,14 +86,15 @@ func run(args []string, w io.Writer) error {
 
 	logger := log.New(w, "fvcd: ", log.LstdFlags)
 	srv, err := server.New(server.Config{
-		CacheSize:     *cacheSize,
-		MaxInFlight:   *maxInFlight,
-		QueueTimeout:  *queueTimeout,
-		QueryTimeout:  *queryTimeout,
-		SurveyTimeout: *surveyTimeout,
-		SurveyWorkers: *parallel,
-		StateDir:      *stateDir,
-		Logger:        logger,
+		CacheSize:       *cacheSize,
+		MaxInFlight:     *maxInFlight,
+		QueueTimeout:    *queueTimeout,
+		QueryTimeout:    *queryTimeout,
+		SurveyTimeout:   *surveyTimeout,
+		SurveyWorkers:   *parallel,
+		RebuildFraction: *rebuildFrac,
+		StateDir:        *stateDir,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err

@@ -4,7 +4,10 @@
 // fvcd over HTTP, asks the service for batch point full-view verdicts
 // across a θ-list, and cross-checks every answer bit-for-bit against
 // fullview.MultiChecker run in-process — then registers the same
-// network a second time to show the deployment cache hitting.
+// network a second time to show the deployment cache hitting, PATCHes
+// the live deployment (reaim/remove/add) to show the mutation overlay,
+// and cross-checks the post-patch verdicts against a fresh library
+// checker built from the mutated camera list.
 //
 // Run self-contained (starts an in-process service on a random port):
 //
@@ -55,6 +58,22 @@ type (
 		ID      string `json:"id"`
 		Cameras int    `json:"cameras"`
 		Cached  bool   `json:"cached"`
+		Version uint64 `json:"version"`
+	}
+	reaimJSON struct {
+		Index  int     `json:"index"`
+		Orient float64 `json:"orient"`
+	}
+	patchRequest struct {
+		Reaim  []reaimJSON  `json:"reaim,omitempty"`
+		Remove []int        `json:"remove,omitempty"`
+		Add    []cameraJSON `json:"add,omitempty"`
+	}
+	patchResponse struct {
+		ID      string `json:"id"`
+		Version uint64 `json:"version"`
+		Cameras int    `json:"cameras"`
+		Overlay int    `json:"overlay"`
 	}
 	pointJSON struct {
 		X float64 `json:"x"`
@@ -78,6 +97,7 @@ type (
 	}
 	queryResponse struct {
 		ID      string        `json:"id"`
+		Version uint64        `json:"version"`
 		Results []pointResult `json:"results"`
 	}
 )
@@ -189,7 +209,70 @@ func run() error {
 	}
 	fmt.Println("re-registration was a cache hit: spatial index reused, not rebuilt")
 
-	// Show the cache working in the service's own metrics.
+	// Churn: mutate the live deployment in place — re-point one camera,
+	// retire two, add one — and check the version bump. The patch is
+	// absorbed by a delta overlay on the cached spatial index; the CSR
+	// base is not rebuilt on the request path.
+	extra := cameraJSON{X: 0.37, Y: 0.73, Orient: -0.9, Radius: 0.2, Aperture: 1.4}
+	var patch patchResponse
+	if err := doJSON(http.MethodPatch, base+"/v1/deployments/"+reg.ID,
+		patchRequest{
+			Reaim:  []reaimJSON{{Index: 0, Orient: 1.5}},
+			Remove: []int{7, 3},
+			Add:    []cameraJSON{extra},
+		}, &patch); err != nil {
+		return fmt.Errorf("patch: %w", err)
+	}
+	if patch.Version != reg.Version+3 || patch.Cameras != network.Len()-1 {
+		return fmt.Errorf("patch answered version=%d cameras=%d, want version %d and %d cameras",
+			patch.Version, patch.Cameras, reg.Version+3, network.Len()-1)
+	}
+	fmt.Printf("patched deployment: version %d→%d, %d cameras, overlay %d\n",
+		reg.Version, patch.Version, patch.Cameras, patch.Overlay)
+
+	// Overlay-vs-fresh agreement: apply the same mutation to a plain
+	// camera slice, build a fresh library checker over it, and demand
+	// the service's post-patch verdicts match it bit-for-bit.
+	mutated := append([]fullview.Camera(nil), network.Cameras()...)
+	mutated[0].Orient = 1.5
+	mutated = append(mutated[:7], mutated[8:]...) // remove 7 then 3, descending
+	mutated = append(mutated[:3], mutated[4:]...)
+	mutated = append(mutated, fullview.Camera{Pos: fullview.V(extra.X, extra.Y),
+		Orient: extra.Orient, Radius: extra.Radius, Aperture: extra.Aperture})
+	mutNet, err := fullview.NewNetwork(fullview.UnitTorus, mutated)
+	if err != nil {
+		return err
+	}
+	mutMC, err := fullview.NewMultiChecker(mutNet, thetas)
+	if err != nil {
+		return err
+	}
+	var q2 queryResponse
+	if err := postJSON(base+"/v1/deployments/"+reg.ID+"/query",
+		queryRequest{ThetasPi: thetasPi, Points: points}, &q2); err != nil {
+		return fmt.Errorf("post-patch query: %w", err)
+	}
+	if q2.Version != patch.Version {
+		return fmt.Errorf("post-patch query ran against version %d, want %d", q2.Version, patch.Version)
+	}
+	for i, p := range points {
+		want := mutMC.Evaluate(fullview.V(p.X, p.Y))
+		got := q2.Results[i]
+		if got.NumCovering != want.NumCovering || got.MaxGap != want.MaxGap {
+			return fmt.Errorf("post-patch point %d: service says covering=%d gap=%v, fresh library says %d / %v",
+				i, got.NumCovering, got.MaxGap, want.NumCovering, want.MaxGap)
+		}
+		for j, v := range want.PerTheta {
+			g := got.PerTheta[j]
+			if g.FullView != v.FullView || g.Necessary != v.Necessary || g.Sufficient != v.Sufficient {
+				return fmt.Errorf("post-patch point %d θ=%.2fπ: service %+v disagrees with fresh library %+v",
+					i, thetasPi[j], g, v)
+			}
+		}
+	}
+	fmt.Println("post-patch verdicts match a fresh checker over the mutated camera list")
+
+	// Show the cache and churn working in the service's own metrics.
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		return err
@@ -200,7 +283,11 @@ func run() error {
 		return err
 	}
 	for _, line := range strings.Split(string(body), "\n") {
-		if strings.HasPrefix(line, "fvcd_depcache_") && !strings.HasPrefix(line, "#") {
+		interesting := strings.HasPrefix(line, "fvcd_depcache_") ||
+			strings.HasPrefix(line, "fvcd_mutations_total") ||
+			strings.HasPrefix(line, "fvcd_overlay_cameras") ||
+			strings.HasPrefix(line, "fvcd_rebuilds_total")
+		if interesting && !strings.HasPrefix(line, "#") {
 			fmt.Println("metrics:", line)
 		}
 	}
@@ -253,13 +340,29 @@ func (p retryPolicy) backoff(attempt int, retryAfter string) time.Duration {
 // postJSON posts v as JSON under the retry policy and decodes the
 // response into out, treating any non-2xx status as an error.
 func postJSON(url string, v, out any) error {
+	return doJSON(http.MethodPost, url, v, out)
+}
+
+// doJSON sends v as a JSON request body with the given method under the
+// retry policy. PATCH shares POST's retry safety here: fvcd persists a
+// patch to the journal before applying it and a retried 5xx either
+// finds the patch never happened or is rejected by validation against
+// the already-mutated live list — but a retried 429/503 never applies
+// the same patch twice blindly, because those statuses are sent before
+// any journal write.
+func doJSON(method, url string, v, out any) error {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
 	var lastErr error
 	for attempt := 0; attempt < defaultRetry.maxAttempts; attempt++ {
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest(method, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			// Transport failure before any response: always safe to retry
 			// (the idempotency caveat in the policy doc concerns failures

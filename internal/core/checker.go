@@ -24,7 +24,7 @@ var ErrBadTheta = errors.New("core: effective angle θ must be in (0, π]")
 // Clone to derive one per worker instead (cloning shares the immutable
 // spatial index and costs one scratch-buffer allocation).
 type Checker struct {
-	index      *spatial.Index
+	index      spatial.Source
 	theta      float64
 	necessary  occupancy // anchored 2θ partition, O(m) evaluator
 	sufficient occupancy // anchored θ partition
@@ -44,7 +44,16 @@ func NewCheckerFromIndex(ix *spatial.Index, theta float64) (*Checker, error) {
 	return newChecker(ix, theta)
 }
 
-func newChecker(ix *spatial.Index, theta float64) (*Checker, error) {
+// NewCheckerFromSource builds a Checker over any spatial.Source — an
+// immutable Index, a MutableIndex absorbing churn, or a pinned View.
+// Verdicts against a MutableIndex reflect whatever version each point
+// evaluation observes; pin a Snapshot first when a whole batch must see
+// one consistent version.
+func NewCheckerFromSource(src spatial.Source, theta float64) (*Checker, error) {
+	return newChecker(src, theta)
+}
+
+func newChecker(ix spatial.Source, theta float64) (*Checker, error) {
 	if !(theta > 0) || theta > math.Pi {
 		return nil, fmt.Errorf("%w: got %v", ErrBadTheta, theta)
 	}
@@ -80,8 +89,8 @@ func (c *Checker) Clone() *Checker {
 // Theta returns the effective angle θ.
 func (c *Checker) Theta() float64 { return c.theta }
 
-// Index returns the underlying spatial index.
-func (c *Checker) Index() *spatial.Index { return c.index }
+// Index returns the underlying spatial source.
+func (c *Checker) Index() spatial.Source { return c.index }
 
 // viewedDirections fills the scratch buffer with the viewed directions of
 // all cameras covering p.

@@ -339,7 +339,7 @@ func TestNewCheckerFromIndexSharesIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	other, err := NewCheckerFromIndex(base.Index(), math.Pi/2)
+	other, err := NewCheckerFromSource(base.Index(), math.Pi/2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,7 +48,7 @@ type MultiReport struct {
 // shared between goroutines; Clone derives an independent evaluator
 // sharing the immutable spatial index.
 type MultiChecker struct {
-	index       *spatial.Index
+	index       spatial.Source
 	thetas      []float64
 	occs        []thetaOccupancy
 	dirBuf      []float64
@@ -72,6 +72,13 @@ func NewMultiChecker(net *sensor.Network, thetas []float64) (*MultiChecker, erro
 // immutable spatial index, amortising index construction the same way
 // NewCheckerFromIndex does.
 func NewMultiCheckerFromIndex(ix *spatial.Index, thetas []float64) (*MultiChecker, error) {
+	return NewMultiCheckerFromSource(ix, thetas)
+}
+
+// NewMultiCheckerFromSource builds a MultiChecker over any
+// spatial.Source — an immutable Index, a MutableIndex absorbing churn,
+// or a pinned View (see NewCheckerFromSource for version semantics).
+func NewMultiCheckerFromSource(ix spatial.Source, thetas []float64) (*MultiChecker, error) {
 	if len(thetas) == 0 {
 		return nil, fmt.Errorf("core: MultiChecker needs at least one effective angle")
 	}
@@ -121,8 +128,8 @@ func (m *MultiChecker) Clone() *MultiChecker {
 // The caller must not modify the returned slice.
 func (m *MultiChecker) Thetas() []float64 { return m.thetas }
 
-// Index returns the underlying spatial index.
-func (m *MultiChecker) Index() *spatial.Index { return m.index }
+// Index returns the underlying spatial source.
+func (m *MultiChecker) Index() spatial.Source { return m.index }
 
 // Evaluate diagnoses point p for every configured θ. Each verdict is
 // bit-identical to what a Checker with that θ would report for p; the

@@ -8,6 +8,12 @@
 // same fingerprint concurrently, exactly one builds the index and the
 // rest wait for that build and share its result. Hit, miss, and
 // eviction counts are tracked for the /metrics endpoint.
+//
+// Deployments are mutable: the cached index is a spatial.MutableIndex
+// and the Mutate path refreshes an entry in place under a per-entry
+// mutation lock. The cache key stays the registration fingerprint (the
+// stable lineage id); the pair (fingerprint, Index.Version()) is what
+// identifies the served state, and every mutation bumps the version.
 package depcache
 
 import (
@@ -15,6 +21,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"hash/maphash"
 	"math"
 	"sync"
 
@@ -22,20 +29,23 @@ import (
 	"fullview/internal/spatial"
 )
 
-// Entry is one cached deployment: the immutable network, its spatial
-// index, and the fingerprint it is stored under. Entries are shared
-// between requests and must be treated as read-only; per-request
-// checkers are derived from the index (NewCheckerFromIndex /
-// NewMultiCheckerFromIndex), which is safe because the index itself is
-// immutable.
+// Entry is one cached deployment: the registered base network, the
+// mutable spatial index serving it, and the fingerprint it is stored
+// under. Entries are shared between requests; reads go through the
+// lock-free Index and per-request checkers are derived from it
+// (core.NewCheckerFromSource / NewMultiCheckerFromSource). Mutations
+// must go through Cache.Mutate so they serialize per deployment.
 type Entry struct {
-	// Fingerprint is the content hash the entry is cached under.
+	// Fingerprint is the content hash the entry is cached under — the
+	// fingerprint of the *base* registration; mutations advance
+	// Index.Version() without changing the id.
 	Fingerprint string
-	// Net is the deployed network.
+	// Net is the network as registered (the base of the mutation
+	// lineage; Index.Cameras() is the live list).
 	Net *sensor.Network
-	// Index is the CSR spatial index built from Net — the artefact whose
-	// reconstruction the cache amortises.
-	Index *spatial.Index
+	// Index is the mutable CSR spatial index — the artefact whose
+	// reconstruction the cache amortises, and the target of Mutate.
+	Index *spatial.MutableIndex
 }
 
 // Fingerprint returns the content fingerprint of a deployed network:
@@ -73,6 +83,8 @@ type Stats struct {
 	Misses int64
 	// Evictions counts entries dropped by the LRU size cap.
 	Evictions int64
+	// Mutations counts deployment mutations applied through Mutate.
+	Mutations int64
 	// Len and Cap are the current and maximum entry counts.
 	Len, Cap int
 }
@@ -104,6 +116,13 @@ type Cache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	mutations int64
+
+	// mutLocks serializes Mutate calls per deployment (striped by
+	// fingerprint hash, so the lock survives eviction and revival of
+	// the entry it guards). mutSeed keys the stripe hash.
+	mutLocks [64]sync.Mutex
+	mutSeed  maphash.Seed
 }
 
 // New returns a cache holding at most capacity deployments (minimum 1).
@@ -116,7 +135,55 @@ func New(capacity int) *Cache {
 		ll:       list.New(),
 		entries:  make(map[string]*list.Element),
 		building: make(map[string]*buildCall),
+		mutSeed:  maphash.MakeSeed(),
 	}
+}
+
+// Mutate runs apply on the entry for fp under the deployment's mutation
+// lock, so concurrent mutations of one deployment serialize (and their
+// journal order matches their apply order). When fp is not cached,
+// resolve is called — still under the lock — to revive it (typically
+// from the durable journal); resolve returning false means the
+// deployment does not exist and Mutate reports found == false without
+// running apply. A nil resolve skips revival. apply's error is returned
+// verbatim; only a nil error counts as an applied mutation in Stats.
+func (c *Cache) Mutate(fp string, resolve func() (*Entry, bool), apply func(*Entry) error) (found bool, err error) {
+	l := c.mutLock(fp)
+	l.Lock()
+	defer l.Unlock()
+	e, ok := c.Get(fp)
+	if !ok && resolve != nil {
+		e, ok = resolve()
+	}
+	if !ok {
+		return false, nil
+	}
+	if err := apply(e); err != nil {
+		return true, err
+	}
+	c.mu.Lock()
+	c.mutations++
+	c.mu.Unlock()
+	return true, nil
+}
+
+// mutLock maps a fingerprint to its mutation-lock stripe.
+func (c *Cache) mutLock(fp string) *sync.Mutex {
+	h := maphash.String(c.mutSeed, fp)
+	return &c.mutLocks[h%uint64(len(c.mutLocks))]
+}
+
+// OverlayCameras sums the overlay sizes (removed + added cameras not
+// yet folded into a CSR base) across all cached deployments — the
+// overlay-size gauge for /metrics.
+func (c *Cache) OverlayCameras() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		total += el.Value.(*Entry).Index.OverlaySize()
+	}
+	return total
 }
 
 // Get returns the cached entry for fp, marking it most recently used.
@@ -210,6 +277,7 @@ func (c *Cache) Stats() Stats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Mutations: c.mutations,
 		Len:       c.ll.Len(),
 		Cap:       c.cap,
 	}

@@ -1,0 +1,103 @@
+package depcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fullview/internal/spatial"
+)
+
+// TestMutateResolveAndCount pins Mutate's contract: a cached entry is
+// mutated in place, a missing one is revived through resolve, a
+// genuinely unknown one reports found=false without running apply, and
+// only nil-error applies count in Stats.
+func TestMutateResolveAndCount(t *testing.T) {
+	c := New(4)
+	net := testNetwork(t, 1)
+	fp := Fingerprint(net)
+
+	applied := 0
+	found, err := c.Mutate("missing", nil, func(*Entry) error { applied++; return nil })
+	if found || err != nil || applied != 0 {
+		t.Fatalf("unknown fp: found=%v err=%v applied=%d", found, err, applied)
+	}
+
+	// Revive through resolve.
+	revived := 0
+	resolve := func() (*Entry, bool) {
+		revived++
+		e, err := buildEntry(net)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mirror the server: resolve inserts into the cache.
+		got, _, _ := c.GetOrBuild(fp, func() (*Entry, error) { return e, nil })
+		return got, true
+	}
+	found, err = c.Mutate(fp, resolve, func(e *Entry) error {
+		_, err := e.Index.Remove([]int{0})
+		return err
+	})
+	if !found || err != nil || revived != 1 {
+		t.Fatalf("revived mutate: found=%v err=%v revived=%d", found, err, revived)
+	}
+	e, ok := c.Get(fp)
+	if !ok || e.Index.Version() != 1 || e.Index.Len() != net.Len()-1 {
+		t.Fatalf("mutation did not stick: ok=%v entry=%+v", ok, e)
+	}
+
+	// A failing apply reports found=true, returns the error, and does
+	// not count as a mutation.
+	boom := errors.New("boom")
+	found, err = c.Mutate(fp, nil, func(*Entry) error { return boom })
+	if !found || !errors.Is(err, boom) {
+		t.Fatalf("failing apply: found=%v err=%v", found, err)
+	}
+	if s := c.Stats(); s.Mutations != 1 {
+		t.Fatalf("Stats.Mutations = %d, want 1 (failed applies must not count)", s.Mutations)
+	}
+	if c.OverlayCameras() == 0 {
+		t.Fatal("OverlayCameras sees no overlay after a remove")
+	}
+}
+
+// TestMutateSerializesPerDeployment checks that concurrent Mutate calls
+// on one fingerprint never overlap (journal order == apply order relies
+// on this).
+func TestMutateSerializesPerDeployment(t *testing.T) {
+	c := New(4)
+	net := testNetwork(t, 1)
+	fp := Fingerprint(net)
+	if _, _, err := c.GetOrBuild(fp, buildEntry(net)); err != nil {
+		t.Fatal(err)
+	}
+
+	var inside atomic.Int32
+	var overlap atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, _ = c.Mutate(fp, nil, func(e *Entry) error {
+					if inside.Add(1) != 1 {
+						overlap.Store(true)
+					}
+					defer inside.Add(-1)
+					_, err := e.Index.Reaim([]spatial.ReaimOp{{Index: 0, Orient: float64(i)}})
+					return err
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if overlap.Load() {
+		t.Fatal("two apply closures ran concurrently for one deployment")
+	}
+	if got := c.Stats().Mutations; got != 160 {
+		t.Fatalf("Stats.Mutations = %d, want 160", got)
+	}
+}

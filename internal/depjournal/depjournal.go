@@ -4,16 +4,29 @@
 // checkpoint journals Monte-Carlo trial results, depjournal journals
 // the *descriptions* of registered camera networks — an explicit camera
 // list, or a deterministic recipe (profile, count/density, seed) —
-// keyed by the deployment's content-fingerprint id.
+// keyed by the deployment's content-fingerprint id, plus the mutation
+// history (add / remove / reaim records) applied to each deployment
+// after registration.
 //
 // # Format
 //
 // The journal is JSONL: line 1 is a header {"version":1,"kind":
-// "fvcd/deployments"}; every further line is one Record. Records are
-// appended (O_APPEND write + fsync per registration, so a kill -9
-// loses at most the registration whose 201 was never sent), and the
-// whole file is rewritten with the atomic temp+fsync+rename discipline
-// of internal/checkpoint when compaction runs.
+// "fvcd/deployments"}; every further line is one Record. A Record with
+// an empty Op is a registration; Op "reaim", "remove", or "add" is a
+// mutation of the most recent registration with the same id, applied in
+// file order. Records are appended (O_APPEND write + fsync per call, so
+// a kill -9 loses at most the operation whose success was never
+// acknowledged), and the whole file is rewritten with the atomic
+// temp+fsync+rename discipline of internal/checkpoint when compaction
+// runs.
+//
+// Mutation indices address the *live* camera list at the time the
+// record was written: position i in registration order, as already
+// modified by earlier mutations (reaim keeps a camera's position,
+// remove deletes it, add appends). That convention is what makes
+// compaction folding sound — folding mutations into a flat camera list
+// yields exactly the live list, so later mutations keep addressing the
+// same cameras whether or not a fold happened in between.
 //
 // # Replay
 //
@@ -21,14 +34,26 @@
 // signature of a crash mid-append — is dropped; malformed interior
 // lines are refused with ErrCorrupt (they indicate real damage, and
 // silently skipping registrations would turn restart into data loss).
-// Duplicate ids are tolerated: the id is a content hash, so duplicates
-// describe the same network and the last record wins in place.
+// A mutation for an id with no prior registration is likewise
+// ErrCorrupt: the writer always journals the registration first.
+// Duplicate registration ids are tolerated: the id is a content hash,
+// so duplicates describe the same base network; the last registration
+// wins in place and resets the mutation history that followed the
+// earlier one.
 //
 // # Compaction
 //
-// When the file grows past CompactBytes and holds duplicate lines, the
-// journal is rewritten as a deduplicated snapshot (atomic rename), and
-// appending resumes on the fresh file.
+// When the file grows past CompactBytes and holds reclaimable lines
+// (duplicate registrations, or mutation records that can be folded),
+// the journal is rewritten as a snapshot (atomic rename) and appending
+// resumes on the fresh file. Folding replaces a registration and its
+// mutations with a single flat-camera-list registration marked Folded
+// (its id intentionally no longer fingerprints the camera list — it
+// names the lineage) carrying BaseVersion, the number of mutations
+// folded in, so deployment versions stay monotonic across restarts.
+// Recipe-form registrations can only fold when the journal was opened
+// with a Materialize hook; a deployment whose fold fails is kept
+// verbatim (registration + mutations) — replay handles both shapes.
 package depjournal
 
 import (
@@ -54,6 +79,18 @@ const Kind = "fvcd/deployments"
 // leaves CompactBytes zero.
 const DefaultCompactBytes = 4 << 20
 
+// Mutation record kinds (Record.Op). A registration has an empty Op.
+const (
+	// OpReaim re-points live cameras: Record.Reaim lists (index, new
+	// orientation) pairs.
+	OpReaim = "reaim"
+	// OpRemove deletes live cameras: Record.Remove lists unique live
+	// indices.
+	OpRemove = "remove"
+	// OpAdd appends cameras: Record.Cameras holds the new cameras.
+	OpAdd = "add"
+)
+
 // Journal errors.
 var (
 	// ErrCorrupt reports a journal whose interior cannot be parsed.
@@ -62,6 +99,8 @@ var (
 	ErrClosed = errors.New("depjournal: journal is closed")
 	// ErrNoID reports an attempt to append a record without an id.
 	ErrNoID = errors.New("depjournal: record has no id")
+	// ErrUnknownID reports a mutation append for an unregistered id.
+	ErrUnknownID = errors.New("depjournal: mutation for unregistered id")
 )
 
 // header is the first journal line.
@@ -81,18 +120,32 @@ type Camera struct {
 	Group    int     `json:"group,omitempty"`
 }
 
-// Record is one journaled registration: the deployment id (content
-// fingerprint) plus exactly the description the client sent — explicit
-// cameras, or a deterministic recipe. Replaying the description through
-// the same build path reproduces the same network bit-for-bit, which is
-// what makes post-restart answers identical to pre-crash ones.
+// ReaimOp re-points the camera at live index I to orientation Orient
+// (radians).
+type ReaimOp struct {
+	I      int     `json:"i"`
+	Orient float64 `json:"orient"`
+}
+
+// Record is one journaled line: a registration (empty Op) holding
+// exactly the description the client sent — explicit cameras, or a
+// deterministic recipe — or a mutation (Op reaim/remove/add) of the
+// registration with the same id. Replaying the registration through the
+// same build path and the mutations in order reproduces the live
+// network bit-for-bit, which is what makes post-restart answers
+// identical to pre-crash ones.
 type Record struct {
-	// ID is the deployment's content fingerprint.
+	// ID is the deployment's content fingerprint (the lineage id; a
+	// mutated deployment keeps the id of its base registration).
 	ID string `json:"id"`
+	// Op is empty for a registration, or one of OpReaim, OpRemove,
+	// OpAdd for a mutation.
+	Op string `json:"op,omitempty"`
 	// Torus is the region side (0 means the default unit torus).
 	Torus float64 `json:"torus,omitempty"`
 
-	// Cameras is the explicit camera list (explicit form).
+	// Cameras is the explicit camera list (registration explicit form,
+	// or the added cameras of an OpAdd mutation).
 	Cameras []Camera `json:"cameras,omitempty"`
 
 	// Profile, N, Density, Deploy, and Seed are the deterministic
@@ -102,14 +155,62 @@ type Record struct {
 	Density float64 `json:"density,omitempty"`
 	Deploy  string  `json:"deploy,omitempty"`
 	Seed    uint64  `json:"seed,omitempty"`
+
+	// Remove lists the live indices an OpRemove mutation deletes.
+	Remove []int `json:"remove,omitempty"`
+	// Reaim lists the re-aims of an OpReaim mutation.
+	Reaim []ReaimOp `json:"reaim,omitempty"`
+
+	// Folded marks a registration written by compaction with mutations
+	// folded into its camera list; its id names the lineage and is not
+	// re-checked against the list's fingerprint.
+	Folded bool `json:"folded,omitempty"`
+	// BaseVersion is the deployment version already folded into a
+	// Folded registration; replayed mutations continue counting from
+	// it.
+	BaseVersion uint64 `json:"baseVersion,omitempty"`
 }
+
+// validate rejects records no writer of this package produces.
+func (r *Record) validate() error {
+	if r.ID == "" {
+		return ErrNoID
+	}
+	switch r.Op {
+	case "", OpReaim, OpRemove, OpAdd:
+		return nil
+	default:
+		return fmt.Errorf("unknown op %q", r.Op)
+	}
+}
+
+// MaterializeFunc resolves a recipe-form registration to its flat
+// camera list so compaction can fold mutations into it. It must be
+// deterministic and mirror the service's build path exactly (the folded
+// list replaces the recipe in the journal).
+type MaterializeFunc func(Record) ([]Camera, error)
 
 // Options parameterises Open.
 type Options struct {
 	// CompactBytes is the file size past which a journal holding
-	// duplicate records is rewritten as a snapshot (0 selects
+	// reclaimable lines is rewritten as a snapshot (0 selects
 	// DefaultCompactBytes; negative disables compaction).
 	CompactBytes int64
+	// Materialize, when non-nil, lets compaction fold mutations into
+	// recipe-form registrations. Without it only explicit-camera
+	// registrations fold.
+	Materialize MaterializeFunc
+}
+
+// depState is one deployment's journaled history: its (last-wins)
+// registration and the mutations recorded after it.
+type depState struct {
+	reg  Record
+	muts []Record
+	// unfoldable is set when a compaction fold attempt failed, so the
+	// deployment stops counting as reclaimable (otherwise every append
+	// past the threshold would retry the same failing fold).
+	unfoldable bool
 }
 
 // Journal is the durable deployment registry. Safe for concurrent use.
@@ -117,9 +218,11 @@ type Journal struct {
 	mu           sync.Mutex
 	path         string
 	compactBytes int64
+	materialize  MaterializeFunc
 	f            *os.File       // O_APPEND handle for live appends
-	ids          map[string]int // id → index into recs
-	recs         []Record       // registration order, deduped by id
+	ids          map[string]int // id → index into deps
+	deps         []*depState    // registration order
+	dupLines     int64          // duplicate registration lines in the file
 	lines        int64          // record lines currently in the file
 	size         int64          // file size in bytes
 	closed       bool
@@ -135,7 +238,12 @@ func Open(path string, opts Options) (*Journal, error) {
 	if compact == 0 {
 		compact = DefaultCompactBytes
 	}
-	j := &Journal{path: path, compactBytes: compact, ids: make(map[string]int)}
+	j := &Journal{
+		path:         path,
+		compactBytes: compact,
+		materialize:  opts.Materialize,
+		ids:          make(map[string]int),
+	}
 
 	data, err := os.ReadFile(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
@@ -147,7 +255,9 @@ func Open(path string, opts Options) (*Journal, error) {
 			return nil, perr
 		}
 		for _, r := range recs {
-			j.insert(r)
+			if err := j.link(r); err != nil {
+				return nil, err
+			}
 		}
 		j.lines = lines
 		j.size = good
@@ -190,15 +300,30 @@ func Open(path string, opts Options) (*Journal, error) {
 	return j, nil
 }
 
-// insert stores rec, replacing an earlier record with the same id in
-// place (ids are content hashes, so both describe the same network).
-func (j *Journal) insert(rec Record) {
-	if i, ok := j.ids[rec.ID]; ok {
-		j.recs[i] = rec
-		return
+// link replays one parsed record into the per-deployment state: a
+// registration starts (or, duplicate id, resets) its deployment; a
+// mutation appends to the most recent registration with its id. A
+// mutation without one is corruption — the writer journals the
+// registration strictly before any mutation.
+func (j *Journal) link(rec Record) error {
+	if rec.Op == "" {
+		if i, ok := j.ids[rec.ID]; ok {
+			// Last-wins reset: the re-registration supersedes the earlier
+			// record and everything applied on top of it.
+			j.dupLines += 1 + int64(len(j.deps[i].muts))
+			j.deps[i] = &depState{reg: rec}
+			return nil
+		}
+		j.ids[rec.ID] = len(j.deps)
+		j.deps = append(j.deps, &depState{reg: rec})
+		return nil
 	}
-	j.ids[rec.ID] = len(j.recs)
-	j.recs = append(j.recs, rec)
+	i, ok := j.ids[rec.ID]
+	if !ok {
+		return fmt.Errorf("%w: mutation %q for unregistered id %s", ErrCorrupt, rec.Op, rec.ID)
+	}
+	j.deps[i].muts = append(j.deps[i].muts, rec)
+	return nil
 }
 
 // writeHeaderLocked writes the header line to a fresh journal.
@@ -254,8 +379,8 @@ func parse(data []byte) (recs []Record, lines, good int64, err error) {
 		}
 		var rec Record
 		uerr := strictUnmarshal(raw, &rec)
-		if uerr == nil && rec.ID == "" {
-			uerr = ErrNoID
+		if uerr == nil {
+			uerr = rec.validate()
 		}
 		if uerr != nil {
 			// A defective *final* line is a torn append (crash mid-write):
@@ -291,11 +416,15 @@ func strictUnmarshal(data []byte, v any) error {
 // Append durably records one registration: the record line is written
 // through the O_APPEND handle and fsynced before Append returns, so a
 // crash immediately after cannot lose it. Appending an id the journal
-// already holds is a cheap no-op. The faultinject.JournalWrite point
-// fires before the write.
+// already holds is a cheap no-op — in particular it does NOT reset the
+// id's mutation history; a re-registration names the same lineage. The
+// faultinject.JournalWrite point fires before the write.
 func (j *Journal) Append(rec Record) error {
 	if rec.ID == "" {
 		return ErrNoID
+	}
+	if rec.Op != "" {
+		return fmt.Errorf("depjournal: Append takes registrations; use AppendMutations for op %q", rec.Op)
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -305,15 +434,78 @@ func (j *Journal) Append(rec Record) error {
 	if _, ok := j.ids[rec.ID]; ok {
 		return nil
 	}
+	if err := j.writeLocked([]Record{rec}); err != nil {
+		return err
+	}
+	j.ids[rec.ID] = len(j.deps)
+	j.deps = append(j.deps, &depState{reg: rec})
+	if j.compactNeededLocked() {
+		// Compaction failing must not fail the append — the record is
+		// durable either way; the oversized file is only a cost.
+		_ = j.compactLocked()
+	}
+	return nil
+}
+
+// AppendMutations durably records a batch of mutations of one
+// registered deployment — all lines are written in one syscall and
+// fsynced once, so a crash either keeps the whole batch or none of it
+// past the torn-line cutoff. Records must carry the deployment's id and
+// a mutation Op; the id must already be registered (ErrUnknownID
+// otherwise, so the journal can never hold a dangling mutation).
+func (j *Journal) AppendMutations(id string, muts []Record) error {
+	if id == "" {
+		return ErrNoID
+	}
+	if len(muts) == 0 {
+		return nil
+	}
+	for i := range muts {
+		if muts[i].ID != id {
+			return fmt.Errorf("depjournal: mutation %d has id %q, want %q", i, muts[i].ID, id)
+		}
+		if muts[i].Op == "" {
+			return fmt.Errorf("depjournal: mutation %d has no op", i)
+		}
+		if err := muts[i].validate(); err != nil {
+			return fmt.Errorf("depjournal: mutation %d: %w", i, err)
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	di, ok := j.ids[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownID, id)
+	}
+	if err := j.writeLocked(muts); err != nil {
+		return err
+	}
+	j.deps[di].muts = append(j.deps[di].muts, muts...)
+	if j.compactNeededLocked() {
+		_ = j.compactLocked()
+	}
+	return nil
+}
+
+// writeLocked encodes the records as JSONL, writes them through the
+// O_APPEND handle in one call, and fsyncs. On failure the file is
+// truncated back so a partial batch cannot become interior corruption.
+// Caller holds j.mu; in-memory state is NOT updated here.
+func (j *Journal) writeLocked(recs []Record) error {
 	if err := faultinject.Fire(faultinject.JournalWrite); err != nil {
 		return fmt.Errorf("depjournal: write record: %w", err)
 	}
-	line, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("depjournal: encode record: %w", err)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range recs {
+		if err := enc.Encode(recs[i]); err != nil {
+			return fmt.Errorf("depjournal: encode record: %w", err)
+		}
 	}
-	line = append(line, '\n')
-	if _, err := j.f.Write(line); err != nil {
+	if _, err := j.f.Write(buf.Bytes()); err != nil {
 		// The file may now hold a partial line; truncate back so a later
 		// successful append cannot create interior corruption.
 		_ = j.f.Truncate(j.size)
@@ -323,25 +515,97 @@ func (j *Journal) Append(rec Record) error {
 		_ = j.f.Truncate(j.size)
 		return fmt.Errorf("depjournal: fsync record: %w", err)
 	}
-	j.size += int64(len(line))
-	j.lines++
-	j.insert(rec)
-	if j.compactNeededLocked() {
-		// Compaction failing must not fail the append — the record is
-		// durable either way; the oversized file is only a cost.
-		_ = j.compactLocked()
-	}
+	j.size += int64(buf.Len())
+	j.lines += int64(len(recs))
 	return nil
 }
 
-// compactNeededLocked reports whether the file is past the threshold
-// and actually holds reclaimable duplicate lines.
-func (j *Journal) compactNeededLocked() bool {
-	return j.compactBytes > 0 && j.size > j.compactBytes && j.lines > int64(len(j.recs))
+// foldableLocked reports whether a deployment's mutations could fold at
+// the next compaction.
+func (j *Journal) foldableLocked(d *depState) bool {
+	return len(d.muts) > 0 && !d.unfoldable &&
+		(len(d.reg.Cameras) > 0 || j.materialize != nil)
 }
 
-// Compact rewrites the journal as a deduplicated snapshot regardless of
-// size, using the atomic temp+fsync+rename discipline.
+// compactNeededLocked reports whether the file is past the threshold
+// and actually holds reclaimable lines: duplicate registrations, or
+// mutations a fold would absorb.
+func (j *Journal) compactNeededLocked() bool {
+	if j.compactBytes <= 0 || j.size <= j.compactBytes {
+		return false
+	}
+	if j.dupLines > 0 {
+		return true
+	}
+	for _, d := range j.deps {
+		if j.foldableLocked(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// foldDeployment folds a registration's mutations into a flat camera
+// list, mirroring the live-index semantics exactly: reaim re-points in
+// place, remove deletes (validated unique and in range), add appends.
+// It reports ok == false — fold nothing, keep the records verbatim —
+// when the base list cannot be materialised, a mutation is out of
+// range, or the folded list is empty (an empty explicit registration
+// cannot round-trip through the build path).
+func foldDeployment(reg Record, muts []Record, materialize MaterializeFunc) (Record, bool) {
+	cams := append([]Camera(nil), reg.Cameras...)
+	if len(cams) == 0 {
+		if materialize == nil {
+			return Record{}, false
+		}
+		m, err := materialize(reg)
+		if err != nil || len(m) == 0 {
+			return Record{}, false
+		}
+		cams = m
+	}
+	for _, mut := range muts {
+		switch mut.Op {
+		case OpReaim:
+			for _, op := range mut.Reaim {
+				if op.I < 0 || op.I >= len(cams) {
+					return Record{}, false
+				}
+				cams[op.I].Orient = op.Orient
+			}
+		case OpRemove:
+			idx := append([]int(nil), mut.Remove...)
+			for i := 1; i < len(idx); i++ {
+				for k := i; k > 0 && idx[k] > idx[k-1]; k-- {
+					idx[k], idx[k-1] = idx[k-1], idx[k]
+				}
+			}
+			for k, i := range idx {
+				if i < 0 || i >= len(cams) || (k > 0 && idx[k-1] == i) {
+					return Record{}, false
+				}
+				cams = append(cams[:i], cams[i+1:]...)
+			}
+		case OpAdd:
+			cams = append(cams, mut.Cameras...)
+		default:
+			return Record{}, false
+		}
+	}
+	if len(cams) == 0 {
+		return Record{}, false
+	}
+	return Record{
+		ID:          reg.ID,
+		Torus:       reg.Torus,
+		Cameras:     cams,
+		Folded:      true,
+		BaseVersion: reg.BaseVersion + uint64(len(muts)),
+	}, true
+}
+
+// Compact rewrites the journal as a deduplicated, folded snapshot
+// regardless of size, using the atomic temp+fsync+rename discipline.
 func (j *Journal) Compact() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -352,17 +616,43 @@ func (j *Journal) Compact() error {
 }
 
 // compactLocked writes the snapshot and swaps the append handle onto
-// the fresh file. Callers hold j.mu.
+// the fresh file. Deployments whose mutations fold are written as one
+// Folded registration; the rest keep registration + mutations verbatim.
+// In-memory state is committed only after the atomic rename succeeds.
+// Callers hold j.mu.
 func (j *Journal) compactLocked() error {
+	type staged struct {
+		reg        Record
+		muts       []Record
+		unfoldable bool
+	}
+	stagedDeps := make([]staged, len(j.deps))
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(header{Version: Version, Kind: Kind}); err != nil {
 		return fmt.Errorf("depjournal: encode header: %w", err)
 	}
-	for _, rec := range j.recs {
-		if err := enc.Encode(rec); err != nil {
-			return fmt.Errorf("depjournal: encode record %s: %w", rec.ID, err)
+	var lines int64
+	for di, d := range j.deps {
+		st := staged{reg: d.reg, muts: d.muts, unfoldable: d.unfoldable}
+		if j.foldableLocked(d) {
+			if folded, ok := foldDeployment(d.reg, d.muts, j.materialize); ok {
+				st = staged{reg: folded}
+			} else {
+				st.unfoldable = true
+			}
 		}
+		if err := enc.Encode(st.reg); err != nil {
+			return fmt.Errorf("depjournal: encode record %s: %w", st.reg.ID, err)
+		}
+		lines++
+		for i := range st.muts {
+			if err := enc.Encode(st.muts[i]); err != nil {
+				return fmt.Errorf("depjournal: encode record %s: %w", st.reg.ID, err)
+			}
+			lines++
+		}
+		stagedDeps[di] = st
 	}
 	if err := writeAtomic(j.path, buf.Bytes()); err != nil {
 		return err
@@ -375,8 +665,14 @@ func (j *Journal) compactLocked() error {
 	}
 	j.f.Close()
 	j.f = f
+	for di := range j.deps {
+		j.deps[di].reg = stagedDeps[di].reg
+		j.deps[di].muts = stagedDeps[di].muts
+		j.deps[di].unfoldable = stagedDeps[di].unfoldable
+	}
+	j.dupLines = 0
 	j.size = int64(buf.Len())
-	j.lines = int64(len(j.recs))
+	j.lines = lines
 	return nil
 }
 
@@ -424,7 +720,7 @@ func (j *Journal) Has(id string) bool {
 	return ok
 }
 
-// Lookup returns the journaled record for id.
+// Lookup returns the journaled registration record for id.
 func (j *Journal) Lookup(id string) (Record, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -432,7 +728,19 @@ func (j *Journal) Lookup(id string) (Record, bool) {
 	if !ok {
 		return Record{}, false
 	}
-	return j.recs[i], true
+	return j.deps[i].reg, true
+}
+
+// Mutations returns a copy of the mutation records of id, in applied
+// order (empty after a fold absorbed them into the registration).
+func (j *Journal) Mutations(id string) []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i, ok := j.ids[id]
+	if !ok || len(j.deps[i].muts) == 0 {
+		return nil
+	}
+	return append([]Record(nil), j.deps[i].muts...)
 }
 
 // Records returns the journaled registrations in registration order,
@@ -440,8 +748,10 @@ func (j *Journal) Lookup(id string) (Record, bool) {
 func (j *Journal) Records() []Record {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	out := make([]Record, len(j.recs))
-	copy(out, j.recs)
+	out := make([]Record, len(j.deps))
+	for i, d := range j.deps {
+		out[i] = d.reg
+	}
 	return out
 }
 
@@ -449,7 +759,7 @@ func (j *Journal) Records() []Record {
 func (j *Journal) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return len(j.recs)
+	return len(j.deps)
 }
 
 // Size returns the journal file's current byte size.

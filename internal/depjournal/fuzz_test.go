@@ -8,10 +8,12 @@ import (
 
 // FuzzReplay fuzzes the journal replay parser: it must never crash, and
 // on any accepted image the invariants the server relies on must hold —
-// every record has an id, the intact-prefix length is within the input,
-// and a snapshot of the parsed records re-parses to the same records
-// (torn-line and duplicate-id inputs therefore round-trip through
-// compaction without drift).
+// every record has an id and a known op, the intact-prefix length is
+// within the input, and a compaction-style snapshot of the linked
+// per-deployment state (registrations last-wins, mutations in order,
+// foldable deployments folded) re-parses to an equivalent journal, so
+// torn-line, duplicate-id, and mutation-interleaved inputs round-trip
+// through compaction without drift.
 func FuzzReplay(f *testing.F) {
 	head := `{"version":1,"kind":"fvcd/deployments"}` + "\n"
 	f.Add([]byte(head))
@@ -21,6 +23,23 @@ func FuzzReplay(f *testing.F) {
 	f.Add([]byte(head + `{"id":"aaaa","n":1}` + "\n" + `{"id":"bbbb","n":2`))
 	// Duplicate ids.
 	f.Add([]byte(head + `{"id":"aaaa","n":1}` + "\n" + `{"id":"aaaa","n":2}` + "\n"))
+	// Mutations interleaved with registrations.
+	f.Add([]byte(head +
+		`{"id":"aaaa","cameras":[{"x":0.1,"y":0.2,"orient":0,"radius":0.1,"aperture":0.5},{"x":0.7,"y":0.7,"orient":1,"radius":0.2,"aperture":1}]}` + "\n" +
+		`{"id":"aaaa","op":"reaim","reaim":[{"i":0,"orient":2.5}]}` + "\n" +
+		`{"id":"aaaa","op":"remove","remove":[1]}` + "\n" +
+		`{"id":"aaaa","op":"add","cameras":[{"x":0.4,"y":0.4,"orient":-1,"radius":0.15,"aperture":0.9}]}` + "\n"))
+	// Duplicate registration resetting a mutation history (last wins).
+	f.Add([]byte(head +
+		`{"id":"aaaa","cameras":[{"x":0.1,"y":0.2,"radius":0.1,"aperture":0.5}]}` + "\n" +
+		`{"id":"aaaa","op":"remove","remove":[0]}` + "\n" +
+		`{"id":"aaaa","cameras":[{"x":0.3,"y":0.3,"radius":0.1,"aperture":0.5}]}` + "\n"))
+	// Torn final mutation line.
+	f.Add([]byte(head + `{"id":"aaaa","n":1}` + "\n" + `{"id":"aaaa","op":"remove","remove":[0`))
+	// A folded snapshot record.
+	f.Add([]byte(head + `{"id":"aaaa","cameras":[{"x":0.1,"y":0.2,"radius":0.1,"aperture":0.5}],"folded":true,"baseVersion":4}` + "\n"))
+	// Unknown op (must be refused or torn-dropped, never linked).
+	f.Add([]byte(head + `{"id":"aaaa","op":"explode"}` + "\n"))
 	// Garbage.
 	f.Add([]byte("not a journal"))
 	f.Add([]byte{})
@@ -40,36 +59,65 @@ func FuzzReplay(f *testing.F) {
 			if r.ID == "" {
 				t.Fatalf("record %d accepted without id", i)
 			}
+			if r.validate() != nil {
+				t.Fatalf("record %d accepted with invalid op %q", i, r.Op)
+			}
 		}
 
-		// Round-trip: a compaction-style snapshot of the parsed records
-		// must re-parse to identical records (after dedup, as compaction
-		// writes the deduplicated in-memory view).
-		dedup := make(map[string]int)
-		var uniq []Record
+		// Link the records exactly as Open does. A mutation without a
+		// prior registration makes the whole image corrupt at Open level;
+		// nothing further to check for such inputs.
+		link := &Journal{ids: make(map[string]int)}
 		for _, r := range recs {
-			if i, ok := dedup[r.ID]; ok {
-				uniq[i] = r
-				continue
+			if err := link.link(r); err != nil {
+				return
 			}
-			dedup[r.ID] = len(uniq)
-			uniq = append(uniq, r)
 		}
+
+		// Compaction-style snapshot: fold deployments whose mutations
+		// fold (explicit camera bases only — no materialize hook here),
+		// keep the rest verbatim. The snapshot must re-parse and re-link
+		// to an equivalent journal.
 		var buf bytes.Buffer
 		enc := json.NewEncoder(&buf)
 		if err := enc.Encode(header{Version: Version, Kind: Kind}); err != nil {
 			t.Fatal(err)
 		}
-		for _, r := range uniq {
-			if err := enc.Encode(r); err != nil {
-				// Non-finite floats cannot round-trip through JSON; parse
-				// can only have produced them from inputs json.Marshal
-				// refuses, which cannot occur: encoding/json rejects NaN/Inf
-				// on encode but never produces them on decode from valid
-				// JSON. Any encode error here is therefore a real bug.
+		type wantDep struct {
+			reg  Record
+			muts []Record
+		}
+		var want []wantDep
+		for _, d := range link.deps {
+			w := wantDep{reg: d.reg, muts: d.muts}
+			if len(d.muts) > 0 && len(d.reg.Cameras) > 0 {
+				if folded, ok := foldDeployment(d.reg, d.muts, nil); ok {
+					if !folded.Folded {
+						t.Fatalf("fold of %s not marked Folded", d.reg.ID)
+					}
+					if folded.BaseVersion != d.reg.BaseVersion+uint64(len(d.muts)) {
+						t.Fatalf("fold of %s: BaseVersion %d, want %d",
+							d.reg.ID, folded.BaseVersion, d.reg.BaseVersion+uint64(len(d.muts)))
+					}
+					if len(folded.Cameras) == 0 {
+						t.Fatalf("fold of %s accepted an empty camera list", d.reg.ID)
+					}
+					w = wantDep{reg: folded}
+				}
+			}
+			if err := enc.Encode(w.reg); err != nil {
+				// encoding/json never produces NaN/Inf from valid JSON input,
+				// so an encode failure here is a real bug.
 				t.Fatalf("snapshot encode: %v", err)
 			}
+			for i := range w.muts {
+				if err := enc.Encode(w.muts[i]); err != nil {
+					t.Fatalf("snapshot encode: %v", err)
+				}
+			}
+			want = append(want, w)
 		}
+
 		recs2, _, good2, err := parse(buf.Bytes())
 		if err != nil {
 			t.Fatalf("snapshot does not re-parse: %v", err)
@@ -77,14 +125,29 @@ func FuzzReplay(f *testing.F) {
 		if good2 != int64(buf.Len()) {
 			t.Fatalf("snapshot has a torn tail: good %d of %d", good2, buf.Len())
 		}
-		if len(recs2) != len(uniq) {
-			t.Fatalf("round trip: %d records, want %d", len(recs2), len(uniq))
+		link2 := &Journal{ids: make(map[string]int)}
+		for _, r := range recs2 {
+			if err := link2.link(r); err != nil {
+				t.Fatalf("snapshot does not re-link: %v", err)
+			}
 		}
-		for i := range uniq {
-			a, _ := json.Marshal(uniq[i])
-			b, _ := json.Marshal(recs2[i])
-			if !bytes.Equal(a, b) {
-				t.Fatalf("record %d drifted: %s → %s", i, a, b)
+		if len(link2.deps) != len(want) {
+			t.Fatalf("round trip: %d deployments, want %d", len(link2.deps), len(want))
+		}
+		jsonEq := func(a, b any) bool {
+			ab, _ := json.Marshal(a)
+			bb, _ := json.Marshal(b)
+			return bytes.Equal(ab, bb)
+		}
+		for i, w := range want {
+			d := link2.deps[i]
+			if !jsonEq(d.reg, w.reg) || len(d.muts) != len(w.muts) {
+				t.Fatalf("deployment %d drifted: %+v vs %+v", i, d, w)
+			}
+			for k := range w.muts {
+				if !jsonEq(d.muts[k], w.muts[k]) {
+					t.Fatalf("deployment %d mutation %d drifted", i, k)
+				}
 			}
 		}
 	})

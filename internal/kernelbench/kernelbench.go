@@ -238,7 +238,15 @@ func Run(benchtime time.Duration) (Report, error) {
 	return report, nil
 }
 
-// measure times one case with the doubling schedule.
+// bestOf is how many equal-size batches a full measurement runs; the
+// fastest one is reported. Shared machines inject multi-10% scheduling
+// noise between batches, and the minimum over a few batches is the
+// standard estimator of the uncontended cost — without it a perf gate
+// on these numbers would be a coin flip.
+const bestOf = 5
+
+// measure times one case with the doubling schedule, then reports the
+// fastest of bestOf batches at the final size.
 func measure(c Case, benchtime time.Duration) (Result, error) {
 	fn, err := c.Setup()
 	if err != nil {
@@ -250,13 +258,25 @@ func measure(c Case, benchtime time.Duration) (Result, error) {
 	for {
 		iters, elapsed, mallocs, bytes := timeBatch(fn, n)
 		if elapsed >= benchtime || n >= 1<<28 {
-			return Result{
+			res := Result{
 				Name:           c.Name,
 				Iterations:     iters,
 				NsPerPoint:     float64(elapsed.Nanoseconds()) / float64(iters),
 				BytesPerPoint:  float64(bytes) / float64(iters),
 				AllocsPerPoint: float64(mallocs) / float64(iters),
-			}, nil
+			}
+			// The smoke mode (benchtime ≤ 0) stays single-batch; a full
+			// run re-times the chosen size and keeps the fastest batch.
+			for extra := 1; benchtime > 0 && extra < bestOf; extra++ {
+				iters, elapsed, mallocs, bytes = timeBatch(fn, n)
+				if ns := float64(elapsed.Nanoseconds()) / float64(iters); ns < res.NsPerPoint {
+					res.NsPerPoint = ns
+					res.Iterations = iters
+					res.BytesPerPoint = float64(bytes) / float64(iters)
+					res.AllocsPerPoint = float64(mallocs) / float64(iters)
+				}
+			}
+			return res, nil
 		}
 		// Grow toward the target the way testing.B does: aim past
 		// benchtime, at most 100× at a step.

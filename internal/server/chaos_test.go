@@ -334,13 +334,13 @@ func TestPanicRecoveryZeroAlloc(t *testing.T) {
 	}
 }
 
-// TestRetryAfterJitter pins the 429 Retry-After contract: a 1-second
-// base jittered ±20%, emitted as parseable fractional seconds.
+// TestRetryAfterJitter pins the Retry-After contract shared by the 429
+// and journal-503 paths: a 1-second base jittered ±20%, emitted as
+// parseable fractional seconds.
 func TestRetryAfterJitter(t *testing.T) {
-	a := &admission{}
 	seen := map[string]bool{}
 	for i := 0; i < 200; i++ {
-		s := a.retryAfter()
+		s := retryAfter()
 		v, err := strconv.ParseFloat(s, 64)
 		if err != nil {
 			t.Fatalf("Retry-After %q is not a number: %v", s, err)

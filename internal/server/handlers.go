@@ -10,9 +10,11 @@ import (
 
 	"fullview/internal/core"
 	"fullview/internal/depcache"
+	"fullview/internal/depjournal"
 	"fullview/internal/deploy"
 	"fullview/internal/faultinject"
 	"fullview/internal/geom"
+	"fullview/internal/sensor"
 	"fullview/internal/spatial"
 )
 
@@ -44,10 +46,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		if err := faultinject.Fire(faultinject.DepcacheBuild); err != nil {
 			return nil, err
 		}
-		e := &depcache.Entry{
-			Fingerprint: fp,
-			Net:         net,
-			Index:       spatial.NewIndex(net),
+		// An id the journal already holds may carry mutations (or a
+		// compaction-folded history): rebuild from the journal, not from
+		// this request, or re-registering after a PATCH would resurrect
+		// the pre-mutation state.
+		if s.journal != nil {
+			if rec, ok := s.journal.Lookup(fp); ok {
+				return s.entryFromRecord(rec)
+			}
 		}
 		// Persist before caching: a deployment the journal could not
 		// record is refused outright (503, retry later) rather than
@@ -56,10 +62,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		if err := s.persist(fp, &req); err != nil {
 			return nil, err
 		}
-		return e, nil
+		return &depcache.Entry{
+			Fingerprint: fp,
+			Net:         net,
+			Index:       spatial.NewMutableIndex(net, s.mutableOpts(0)),
+		}, nil
 	})
 	if err != nil {
 		if errors.Is(err, errNotDurable) {
+			w.Header().Set("Retry-After", retryAfter())
 			writeError(w, http.StatusServiceUnavailable, err.Error())
 		} else {
 			writeError(w, http.StatusInternalServerError, err.Error())
@@ -71,13 +82,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if hit {
 		code = http.StatusOK
 	}
-	s.logf("register %s: %d cameras, cached=%v", fp, entry.Net.Len(), hit)
+	s.logf("register %s: %d cameras, cached=%v", fp, entry.Index.Len(), hit)
 	writeJSON(w, code, registerResponse{
 		ID:        entry.Fingerprint,
-		Cameras:   entry.Net.Len(),
+		Cameras:   entry.Index.Len(),
 		Torus:     entry.Net.Torus().Side(),
 		Cached:    hit,
-		MaxRadius: entry.Net.MaxRadius(),
+		MaxRadius: entry.Index.MaxRadius(),
+		Version:   entry.Index.Version(),
 	})
 }
 
@@ -101,7 +113,9 @@ func (s *Server) deployment(w http.ResponseWriter, r *http.Request) (*depcache.E
 	return entry, true
 }
 
-// handleInspect describes a registered deployment.
+// handleInspect describes a registered deployment's live state:
+// camera count, version, and overlay size reflect every applied patch,
+// so operators can observe a deployment's churn without /metrics.
 func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
 	entry, ok := s.deployment(w, r)
 	if !ok {
@@ -109,11 +123,160 @@ func (s *Server) handleInspect(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, inspectResponse{
 		ID:               entry.Fingerprint,
-		Cameras:          entry.Net.Len(),
+		Cameras:          entry.Index.Len(),
 		Torus:            entry.Net.Torus().Side(),
-		MaxRadius:        entry.Net.MaxRadius(),
-		TotalSensingArea: entry.Net.TotalSensingArea(),
+		MaxRadius:        entry.Index.MaxRadius(),
+		TotalSensingArea: entry.Index.TotalSensingArea(),
+		Version:          entry.Index.Version(),
+		Overlay:          entry.Index.OverlaySize(),
 	})
+}
+
+// badPatch is a PATCH validation failure, mapped to 400. It exists so
+// the apply closure running under the cache's mutation lock can
+// distinguish "client sent nonsense" from "journal is failing" (503)
+// and "internal invariant broke" (500).
+type badPatch struct{ msg string }
+
+func (e *badPatch) Error() string { return e.msg }
+
+// handleMutate applies a PATCH — re-aims, removals, additions — to a
+// registered deployment. The whole batch is validated first, journaled
+// (persist-before-apply: a batch the journal cannot record is refused
+// with 503 + Retry-After and the served state is untouched), and only
+// then applied to the live index, all under the deployment's mutation
+// lock so concurrent patches serialize and journal order equals apply
+// order.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req patchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	if len(req.Reaim) == 0 && len(req.Remove) == 0 && len(req.Add) == 0 {
+		writeError(w, http.StatusBadRequest, "empty patch: give reaim, remove, or add")
+		return
+	}
+	var resp patchResponse
+	found, err := s.cache.Mutate(id,
+		func() (*depcache.Entry, bool) { return s.revive(id) },
+		func(e *depcache.Entry) error { return s.applyPatch(e, &req, &resp) })
+	if !found {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("deployment %q not registered (or evicted); re-register it", id))
+		return
+	}
+	if err != nil {
+		var bad *badPatch
+		switch {
+		case errors.As(err, &bad):
+			writeError(w, http.StatusBadRequest, bad.msg)
+		case errors.Is(err, errNotDurable):
+			w.Header().Set("Retry-After", retryAfter())
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.logf("mutate %s: reaim=%d remove=%d add=%d → version %d (%d cameras, overlay %d)",
+		id, resp.Reaimed, resp.Removed, resp.Added, resp.Version, resp.Cameras, resp.Overlay)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// applyPatch validates, journals, and applies one PATCH batch to an
+// entry. Runs under the deployment's mutation lock.
+func (s *Server) applyPatch(e *depcache.Entry, req *patchRequest, resp *patchResponse) error {
+	live := e.Index.Len()
+	if n := live - len(req.Remove) + len(req.Add); n > s.cfg.MaxCameras {
+		return &badPatch{fmt.Sprintf("patched deployment would have %d cameras, cap is %d", n, s.cfg.MaxCameras)}
+	}
+	reaims := make([]spatial.ReaimOp, len(req.Reaim))
+	for i, op := range req.Reaim {
+		if op.Index < 0 || op.Index >= live {
+			return &badPatch{fmt.Sprintf("reaim index %d out of range [0, %d)", op.Index, live)}
+		}
+		reaims[i] = spatial.ReaimOp{Index: op.Index, Orient: op.Orient}
+	}
+	seen := make(map[int]bool, len(req.Remove))
+	for _, i := range req.Remove {
+		if i < 0 || i >= live {
+			return &badPatch{fmt.Sprintf("remove index %d out of range [0, %d)", i, live)}
+		}
+		if seen[i] {
+			return &badPatch{fmt.Sprintf("remove index %d listed twice", i)}
+		}
+		seen[i] = true
+	}
+	adds := make([]sensor.Camera, len(req.Add))
+	for i, c := range req.Add {
+		adds[i] = sensor.Camera{
+			Pos:      geom.V(c.X, c.Y),
+			Orient:   c.Orient,
+			Radius:   c.Radius,
+			Aperture: c.Aperture,
+			Group:    c.Group,
+		}
+		if err := adds[i].Validate(); err != nil {
+			return &badPatch{fmt.Sprintf("add camera %d: %v", i, err)}
+		}
+	}
+
+	// Journal the batch before touching the index, in the exact apply
+	// order; the replayed journal then reproduces the live state
+	// bit-for-bit.
+	var recs []depjournal.Record
+	if len(reaims) > 0 {
+		ops := make([]depjournal.ReaimOp, len(reaims))
+		for i, op := range reaims {
+			ops[i] = depjournal.ReaimOp{I: op.Index, Orient: op.Orient}
+		}
+		recs = append(recs, depjournal.Record{ID: e.Fingerprint, Op: depjournal.OpReaim, Reaim: ops})
+	}
+	if len(req.Remove) > 0 {
+		recs = append(recs, depjournal.Record{ID: e.Fingerprint, Op: depjournal.OpRemove, Remove: req.Remove})
+	}
+	if len(adds) > 0 {
+		cams := make([]depjournal.Camera, len(req.Add))
+		for i, c := range req.Add {
+			cams[i] = depjournal.Camera{X: c.X, Y: c.Y, Orient: c.Orient,
+				Radius: c.Radius, Aperture: c.Aperture, Group: c.Group}
+		}
+		recs = append(recs, depjournal.Record{ID: e.Fingerprint, Op: depjournal.OpAdd, Cameras: cams})
+	}
+	if err := s.persistMutations(e.Fingerprint, recs); err != nil {
+		return err
+	}
+
+	// Everything was validated against the live list above, so the index
+	// cannot refuse these; an error here is an internal invariant break
+	// and surfaces as 500.
+	if len(reaims) > 0 {
+		if _, err := e.Index.Reaim(reaims); err != nil {
+			return fmt.Errorf("apply reaim: %w", err)
+		}
+	}
+	if len(req.Remove) > 0 {
+		if _, err := e.Index.Remove(req.Remove); err != nil {
+			return fmt.Errorf("apply remove: %w", err)
+		}
+	}
+	if len(adds) > 0 {
+		if _, err := e.Index.Add(adds); err != nil {
+			return fmt.Errorf("apply add: %w", err)
+		}
+	}
+	*resp = patchResponse{
+		ID:      e.Fingerprint,
+		Version: e.Index.Version(),
+		Cameras: e.Index.Len(),
+		Overlay: e.Index.OverlaySize(),
+		Reaimed: len(reaims),
+		Removed: len(req.Remove),
+		Added:   len(adds),
+	}
+	return nil
 }
 
 // handleQuery answers a batch of point full-view checks across a
@@ -145,7 +308,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	mc, err := core.NewMultiCheckerFromIndex(entry.Index, thetas)
+	// Pin one snapshot for the whole batch: every point is evaluated
+	// against the same deployment version even while patches land.
+	view := entry.Index.Snapshot()
+	mc, err := core.NewMultiCheckerFromSource(view, thetas)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -183,7 +349,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.m.points.Add(int64(len(req.Points)))
-	writeJSON(w, http.StatusOK, queryResponse{ID: entry.Fingerprint, Results: results})
+	writeJSON(w, http.StatusOK, queryResponse{ID: entry.Fingerprint, Version: view.Version(), Results: results})
 }
 
 // handleSurvey sweeps a sample grid through the parallel sweep engine
@@ -199,7 +365,9 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 		writeDecodeError(w, err)
 		return
 	}
-	checker, err := core.NewCheckerFromIndex(entry.Index, req.ThetaPi*math.Pi)
+	// Pin one snapshot for the whole sweep (same rationale as query).
+	view := entry.Index.Snapshot()
+	checker, err := core.NewCheckerFromSource(view, req.ThetaPi*math.Pi)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -210,7 +378,7 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 	// rejected by arithmetic, not by attempting the allocation.
 	k := req.Grid
 	if k <= 0 {
-		k, err = deploy.DenseGridSide(entry.Net.Len())
+		k, err = deploy.DenseGridSide(view.Len())
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
@@ -223,7 +391,7 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("survey of %d×%d points exceeds cap %d", k, k, s.cfg.MaxBatchPoints))
 		return
 	}
-	points, err := deploy.GridPoints(entry.Net.Torus(), k)
+	points, err := deploy.GridPoints(view.Torus(), k)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -246,6 +414,7 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 	s.m.points.Add(int64(stats.Points))
 	writeJSON(w, http.StatusOK, surveyResponse{
 		ID:                 entry.Fingerprint,
+		Version:            view.Version(),
 		ThetaPi:            req.ThetaPi,
 		Points:             stats.Points,
 		FullView:           stats.FullView,

@@ -8,14 +8,28 @@
 //
 // # Routes
 //
-//	POST /v1/deployments              register a camera network
-//	GET  /v1/deployments/{id}         describe a registered deployment
-//	POST /v1/deployments/{id}/query   batch point full-view checks over a θ-list
-//	POST /v1/deployments/{id}/survey  region sweep (dense grid or k×k grid)
-//	GET  /healthz                     liveness probe
-//	GET  /readyz                      readiness: starting | ok | degraded
-//	GET  /metrics                     Prometheus text metrics
-//	GET  /debug/pprof/*               standard Go profiling endpoints
+//	POST  /v1/deployments              register a camera network
+//	GET   /v1/deployments/{id}         describe a registered deployment (live state + version)
+//	PATCH /v1/deployments/{id}         mutate a deployment: reaim / remove / add cameras
+//	POST  /v1/deployments/{id}/query   batch point full-view checks over a θ-list
+//	POST  /v1/deployments/{id}/survey  region sweep (dense grid or k×k grid)
+//	GET   /healthz                     liveness probe
+//	GET   /readyz                      readiness: starting | ok | degraded
+//	GET   /metrics                     Prometheus text metrics
+//	GET   /debug/pprof/*               standard Go profiling endpoints
+//
+// # Mutability
+//
+// Deployments are mutable after registration: PATCH applies a batch of
+// re-aims, removals, and additions to the cached spatial.MutableIndex,
+// which absorbs the churn in a delta overlay and folds it into a fresh
+// CSR base in the background once it outgrows Config.RebuildFraction
+// of the base. Every mutation batch bumps the deployment version,
+// echoed by every response, and queries and surveys evaluate against
+// one pinned snapshot so a batch never straddles a concurrent patch.
+// Mutations are journaled (persist-before-apply) when StateDir is set:
+// a journal write failure refuses the patch with 503 + Retry-After and
+// leaves the served state untouched.
 //
 // # Resilience
 //
@@ -116,6 +130,11 @@ type Config struct {
 	// threshold (default 4 MiB; negative disables compaction). Only
 	// meaningful with StateDir.
 	JournalCompactBytes int64
+	// RebuildFraction is the overlay-to-base size ratio past which a
+	// mutated deployment's index is folded into a fresh CSR base in the
+	// background (0 selects spatial.DefaultRebuildFraction; negative
+	// disables automatic rebuilds).
+	RebuildFraction float64
 	// Logger receives operational log lines; nil discards them.
 	Logger *log.Logger
 }
@@ -162,6 +181,7 @@ type metrics struct {
 	inFlight        *telemetry.Gauge
 	points          *telemetry.Counter
 	registered      *telemetry.Counter
+	rebuilds        *telemetry.Counter
 	panics          *telemetry.Counter
 	journalFailures *telemetry.Counter
 	latency         map[string]*telemetry.Histogram // per route
@@ -231,6 +251,8 @@ func (s *Server) newMetrics() *metrics {
 			"Sample points pushed through the coverage kernel."),
 		registered: reg.Counter("fvcd_deployments_registered_total",
 			"Deployment registrations accepted (including cache hits)."),
+		rebuilds: reg.Counter("fvcd_rebuilds_total",
+			"Overlay-to-CSR index rebuilds installed across all deployments."),
 		panics: reg.Counter("fvcd_panics_total",
 			"Handler panics recovered into 500 responses."),
 		journalFailures: reg.Counter("fvcd_journal_write_failures_total",
@@ -238,7 +260,7 @@ func (s *Server) newMetrics() *metrics {
 		latency:     make(map[string]*telemetry.Histogram),
 		requestHelp: "HTTP requests by route and status code.",
 	}
-	for _, route := range []string{"register", "inspect", "query", "survey"} {
+	for _, route := range []string{"register", "inspect", "mutate", "query", "survey"} {
 		m.latency[route] = reg.Histogram("fvcd_request_duration_ns",
 			"Request latency in nanoseconds by route.", nil, telemetry.L("route", route))
 	}
@@ -256,6 +278,12 @@ func (s *Server) newMetrics() *metrics {
 	reg.GaugeFunc("fvcd_depcache_hit_ratio",
 		"Fraction of deployment-cache lookups served from cache.",
 		func() float64 { return s.cache.Stats().HitRatio() })
+	reg.CounterFunc("fvcd_mutations_total",
+		"Deployment mutation batches applied (PATCH requests that changed state).",
+		func() int64 { return s.cache.Stats().Mutations })
+	reg.GaugeFunc("fvcd_overlay_cameras",
+		"Delta-overlay entries (removed + added cameras) awaiting an index rebuild, summed over cached deployments.",
+		func() float64 { return float64(s.cache.OverlayCameras()) })
 	return m
 }
 
@@ -273,6 +301,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/deployments", s.admitted(adm, "register", s.handleRegister))
 	mux.HandleFunc("GET /v1/deployments/{id}", s.admitted(adm, "inspect", s.handleInspect))
+	mux.HandleFunc("PATCH /v1/deployments/{id}", s.admitted(adm, "mutate", s.handleMutate))
 	mux.HandleFunc("POST /v1/deployments/{id}/query", s.admitted(adm, "query", s.handleQuery))
 	mux.HandleFunc("POST /v1/deployments/{id}/survey", s.admitted(adm, "survey", s.handleSurvey))
 
@@ -307,7 +336,7 @@ func (s *Server) admitted(adm *admission, route string, h http.HandlerFunc) http
 				code = StatusClientClosedRequest
 				msg = "request cancelled while queued"
 			} else {
-				w.Header().Set("Retry-After", adm.retryAfter())
+				w.Header().Set("Retry-After", retryAfter())
 			}
 			writeError(w, code, msg)
 			s.m.requests(route, code)

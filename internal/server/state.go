@@ -9,12 +9,15 @@ import (
 	"fullview/internal/depcache"
 	"fullview/internal/depjournal"
 	"fullview/internal/faultinject"
+	"fullview/internal/geom"
+	"fullview/internal/sensor"
 	"fullview/internal/spatial"
 )
 
-// errNotDurable classifies a registration rejected because the durable
-// journal could not record it; handleRegister maps it to 503.
-var errNotDurable = errors.New("registration not durable: journal write failed")
+// errNotDurable classifies a registration or mutation rejected because
+// the durable journal could not record it; the handlers map it to 503
+// with a jittered Retry-After.
+var errNotDurable = errors.New("not durable: journal write failed")
 
 // journalFile is the deployment journal's name inside the state dir.
 const journalFile = "deployments.jsonl"
@@ -43,7 +46,13 @@ func (s *Server) openState() error {
 		return fmt.Errorf("server: create state dir: %w", err)
 	}
 	j, err := depjournal.Open(filepath.Join(s.cfg.StateDir, journalFile),
-		depjournal.Options{CompactBytes: s.cfg.JournalCompactBytes})
+		depjournal.Options{
+			CompactBytes: s.cfg.JournalCompactBytes,
+			// The fold hook lets compaction absorb mutation records into
+			// recipe-form registrations by materialising the recipe through
+			// the exact registration build path.
+			Materialize: s.materializeRecord,
+		})
 	if err != nil {
 		return fmt.Errorf("server: open deployment journal: %w", err)
 	}
@@ -101,33 +110,116 @@ func (s *Server) revive(id string) (*depcache.Entry, bool) {
 	return s.reviveRecord(rec)
 }
 
-// reviveRecord rebuilds one journal record into the cache, verifying
-// that the rebuilt network still fingerprints to the journaled id — a
-// mismatch (corrupt record, or a record from an incompatible build)
-// is skipped with a log line rather than served under a wrong id.
+// reviveRecord rebuilds one journal record into the cache.
 func (s *Server) reviveRecord(rec depjournal.Record) (*depcache.Entry, bool) {
-	req := requestFromRecord(rec)
-	net, err := s.buildNetwork(&req)
-	if err != nil {
-		s.logf("journal: cannot rebuild deployment %s: %v", rec.ID, err)
-		return nil, false
-	}
-	fp := depcache.Fingerprint(net)
-	if fp != rec.ID {
-		s.logf("journal: record %s rebuilds to fingerprint %s; skipping", rec.ID, fp)
-		return nil, false
-	}
-	entry, _, err := s.cache.GetOrBuild(fp, func() (*depcache.Entry, error) {
+	entry, _, err := s.cache.GetOrBuild(rec.ID, func() (*depcache.Entry, error) {
 		if err := faultinject.Fire(faultinject.DepcacheBuild); err != nil {
 			return nil, err
 		}
-		return &depcache.Entry{Fingerprint: fp, Net: net, Index: spatial.NewIndex(net)}, nil
+		return s.entryFromRecord(rec)
 	})
 	if err != nil {
-		s.logf("journal: cannot rebuild index for %s: %v", rec.ID, err)
+		s.logf("journal: cannot revive deployment %s: %v", rec.ID, err)
 		return nil, false
 	}
 	return entry, true
+}
+
+// entryFromRecord rebuilds one journaled deployment: the base network
+// through the exact registration build path, then every journaled
+// mutation replayed in order, so the revived index answers
+// bit-identically to the pre-crash (or pre-eviction) one. It is the
+// single rebuild path shared by revival and by handleRegister's
+// build-on-miss closure — both must see the mutated state, never the
+// client's base request.
+//
+// An unfolded record is verified to still fingerprint to its journaled
+// id (a mismatch means corruption or an incompatible build, and must
+// not be served under a wrong id). A compaction-folded record skips the
+// check by design — its camera list is the folded live state, not the
+// base registration the id fingerprints — and resumes version counting
+// at the folded-in BaseVersion.
+func (s *Server) entryFromRecord(rec depjournal.Record) (*depcache.Entry, error) {
+	req := requestFromRecord(rec)
+	net, err := s.buildNetwork(&req)
+	if err != nil {
+		return nil, fmt.Errorf("rebuild network: %w", err)
+	}
+	if !rec.Folded {
+		if fp := depcache.Fingerprint(net); fp != rec.ID {
+			return nil, fmt.Errorf("record rebuilds to fingerprint %s, not its id", fp)
+		}
+	}
+	e := &depcache.Entry{
+		Fingerprint: rec.ID,
+		Net:         net,
+		Index:       spatial.NewMutableIndex(net, s.mutableOpts(rec.BaseVersion)),
+	}
+	for i, mut := range s.journal.Mutations(rec.ID) {
+		if err := applyMutationRecord(e.Index, mut); err != nil {
+			return nil, fmt.Errorf("replay mutation %d (%s): %w", i, mut.Op, err)
+		}
+	}
+	return e, nil
+}
+
+// applyMutationRecord replays one journaled mutation onto a live index.
+func applyMutationRecord(ix *spatial.MutableIndex, mut depjournal.Record) error {
+	switch mut.Op {
+	case depjournal.OpReaim:
+		ops := make([]spatial.ReaimOp, len(mut.Reaim))
+		for i, op := range mut.Reaim {
+			ops[i] = spatial.ReaimOp{Index: op.I, Orient: op.Orient}
+		}
+		_, err := ix.Reaim(ops)
+		return err
+	case depjournal.OpRemove:
+		_, err := ix.Remove(mut.Remove)
+		return err
+	case depjournal.OpAdd:
+		cams := make([]sensor.Camera, len(mut.Cameras))
+		for i, c := range mut.Cameras {
+			cams[i] = sensor.Camera{
+				Pos:      geom.V(c.X, c.Y),
+				Orient:   c.Orient,
+				Radius:   c.Radius,
+				Aperture: c.Aperture,
+				Group:    c.Group,
+			}
+		}
+		_, err := ix.Add(cams)
+		return err
+	default:
+		return fmt.Errorf("unknown mutation op %q", mut.Op)
+	}
+}
+
+// mutableOpts builds the MutableOptions every served index shares:
+// the configured rebuild threshold and the rebuild telemetry hook.
+func (s *Server) mutableOpts(baseVersion uint64) spatial.MutableOptions {
+	return spatial.MutableOptions{
+		RebuildFraction: s.cfg.RebuildFraction,
+		BaseVersion:     baseVersion,
+		OnRebuild:       func() { s.m.rebuilds.Inc() },
+	}
+}
+
+// materializeRecord resolves a recipe-form journal record to its flat
+// camera list for compaction folding, through the exact registration
+// build path so the folded list is bit-identical to the live one.
+func (s *Server) materializeRecord(rec depjournal.Record) ([]depjournal.Camera, error) {
+	req := requestFromRecord(rec)
+	net, err := s.buildNetwork(&req)
+	if err != nil {
+		return nil, err
+	}
+	cams := net.Cameras()
+	out := make([]depjournal.Camera, len(cams))
+	for i, c := range cams {
+		out[i] = depjournal.Camera{X: c.Pos.X, Y: c.Pos.Y, Orient: c.Orient,
+			Radius: c.Radius, Aperture: c.Aperture, Group: c.Group}
+	}
+	return out, nil
 }
 
 // persist journals a new registration. Failure marks the service
@@ -144,6 +236,23 @@ func (s *Server) persist(id string, req *registerRequest) error {
 		s.m.journalFailures.Inc()
 		s.setJournalErr(err)
 		s.logf("journal: append %s failed: %v", id, err)
+		return fmt.Errorf("%w: %v", errNotDurable, err)
+	}
+	s.setJournalErr(nil)
+	return nil
+}
+
+// persistMutations journals one PATCH batch before it is applied, with
+// the same degraded-state bookkeeping as persist. Stateless servers
+// (no journal) apply mutations in memory only.
+func (s *Server) persistMutations(id string, recs []depjournal.Record) error {
+	if s.journal == nil || len(recs) == 0 {
+		return nil
+	}
+	if err := s.journal.AppendMutations(id, recs); err != nil {
+		s.m.journalFailures.Inc()
+		s.setJournalErr(err)
+		s.logf("journal: mutate %s failed: %v", id, err)
 		return fmt.Errorf("%w: %v", errNotDurable, err)
 	}
 	s.setJournalErr(nil)

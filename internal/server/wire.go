@@ -53,22 +53,63 @@ type registerRequest struct {
 
 // registerResponse names the registered deployment. ID is the content
 // fingerprint of the network: re-registering the same network returns
-// the same id with cached=true.
+// the same id with cached=true. Cameras and Version describe the LIVE
+// state — a re-registration of an id that was mutated since reports the
+// mutated deployment, not the base registration.
 type registerResponse struct {
 	ID        string  `json:"id"`
 	Cameras   int     `json:"cameras"`
 	Torus     float64 `json:"torus"`
 	Cached    bool    `json:"cached"`
 	MaxRadius float64 `json:"maxRadius"`
+	Version   uint64  `json:"version"`
 }
 
-// inspectResponse describes a registered deployment.
+// inspectResponse describes a registered deployment's live state.
+// Version counts applied mutation batches (monotonic across restarts);
+// Overlay is the current delta-overlay size — removed plus added
+// cameras not yet folded into the CSR base — so operators can watch
+// overlay growth per deployment without scraping /metrics.
 type inspectResponse struct {
 	ID               string  `json:"id"`
 	Cameras          int     `json:"cameras"`
 	Torus            float64 `json:"torus"`
 	MaxRadius        float64 `json:"maxRadius"`
 	TotalSensingArea float64 `json:"totalSensingArea"`
+	Version          uint64  `json:"version"`
+	Overlay          int     `json:"overlay"`
+}
+
+// reaimJSON re-points one live camera.
+type reaimJSON struct {
+	// Index addresses the camera in the live list: registration order,
+	// as already modified by earlier patches (removed cameras are gone,
+	// added ones appended).
+	Index int `json:"index"`
+	// Orient is the new facing direction in radians.
+	Orient float64 `json:"orient"`
+}
+
+// patchRequest mutates a registered deployment in place. The three
+// groups apply in a fixed order — reaim, then remove, then add — and
+// all indices address the live list as it stood BEFORE the patch
+// (reaiming does not renumber, so reaim and remove share one index
+// space). At least one group must be non-empty.
+type patchRequest struct {
+	Reaim  []reaimJSON  `json:"reaim,omitempty"`
+	Remove []int        `json:"remove,omitempty"`
+	Add    []cameraJSON `json:"add,omitempty"`
+}
+
+// patchResponse reports the deployment state after the patch.
+type patchResponse struct {
+	ID      string `json:"id"`
+	Version uint64 `json:"version"`
+	Cameras int    `json:"cameras"`
+	Overlay int    `json:"overlay"`
+	Reaimed int    `json:"reaimed"`
+	Removed int    `json:"removed"`
+	Added   int    `json:"added"`
 }
 
 // pointJSON is one sample point.
@@ -102,9 +143,12 @@ type pointResultJSON struct {
 	PerTheta    []thetaVerdictJSON `json:"perTheta"`
 }
 
-// queryResponse is the batch answer, in request point order.
+// queryResponse is the batch answer, in request point order. Version
+// names the deployment version the whole batch was evaluated against
+// (one pinned snapshot; concurrent patches do not tear a batch).
 type queryResponse struct {
 	ID      string            `json:"id"`
+	Version uint64            `json:"version"`
 	Results []pointResultJSON `json:"results"`
 }
 
@@ -118,9 +162,11 @@ type surveyRequest struct {
 	Workers int     `json:"workers,omitempty"`
 }
 
-// surveyResponse reports the region statistics of a sweep.
+// surveyResponse reports the region statistics of a sweep. Version is
+// the pinned deployment version the sweep ran against.
 type surveyResponse struct {
 	ID                 string  `json:"id"`
+	Version            uint64  `json:"version"`
 	ThetaPi            float64 `json:"thetaPi"`
 	Points             int     `json:"points"`
 	FullView           int     `json:"fullView"`

@@ -50,9 +50,10 @@ grep -q "drained cleanly" "$logfile" || { echo "no clean-drain log line:"; cat "
 pid=""
 
 # --- Crash recovery ---------------------------------------------------
-# Start with a durable state dir, register a deployment, query it, then
-# kill -9 the daemon (no drain, no journal close). A fresh daemon on the
-# same state dir must answer the same query for the same id
+# Start with a durable state dir, register a deployment, PATCH it, query
+# it, then kill -9 the daemon (no drain, no journal close). A fresh
+# daemon on the same state dir must replay the registration AND the
+# mutation records and answer the same query for the same id
 # byte-for-byte, from the journal alone.
 statedir="$workdir/state"
 crashlog="$workdir/fvcd-crash.log"
@@ -71,13 +72,22 @@ depid=$(curl -sf -X POST "http://$addr/v1/deployments" \
     -d '{"profile":"0.3:0.2:0.4,0.7:0.1:0.5","n":200,"seed":42}' \
     | sed 's/.*"id":"\([^"]*\)".*/\1/')
 [[ -n "$depid" ]] || { echo "registration returned no id"; exit 1; }
+
+# Mutate the deployment in place: the patch must bump the version (one
+# bump per group: reaim, remove, add) and is journaled before it is
+# applied, so it must survive the kill -9 below.
+patch='{"reaim":[{"index":0,"orient":2.25}],"remove":[11,5],"add":[{"x":0.4,"y":0.6,"orient":-0.5,"radius":0.18,"aperture":1.2}]}'
+version=$(curl -sf -X PATCH "http://$addr/v1/deployments/$depid" -d "$patch" \
+    | sed 's/.*"version":\([0-9]*\).*/\1/')
+[[ "$version" == "3" ]] || { echo "patch reported version $version, want 3"; exit 1; }
+
 query='{"thetasPi":[0.2,0.25,0.5],"points":[{"x":0.5,"y":0.5},{"x":0.1,"y":0.9}]}'
 curl -sf -X POST "http://$addr/v1/deployments/$depid/query" -d "$query" >"$workdir/q1.json"
 
 kill -9 "$pid"
 wait "$pid" 2>/dev/null || true
 pid=""
-echo "fvcd killed (-9) after registering $depid"
+echo "fvcd killed (-9) after registering and patching $depid"
 
 restartlog="$workdir/fvcd-restart.log"
 "$workdir/fvcd" -addr 127.0.0.1:0 -state "$statedir" >"$restartlog" 2>&1 &
@@ -102,7 +112,9 @@ curl -sf "http://$addr/readyz" | grep -q '"status":"ok"' \
 curl -sf -X POST "http://$addr/v1/deployments/$depid/query" -d "$query" >"$workdir/q2.json"
 diff "$workdir/q1.json" "$workdir/q2.json" \
     || { echo "query answers diverged across kill -9 restart"; exit 1; }
-echo "crash recovery: deployment $depid answered bit-identically after restart"
+curl -sf "http://$addr/v1/deployments/$depid" | grep -q '"version":3' \
+    || { echo "restarted fvcd lost the patch: version != 3"; exit 1; }
+echo "crash recovery: patched deployment $depid answered bit-identically after restart (version 3 replayed)"
 
 kill -TERM "$pid"
 wait "$pid" || { echo "restarted fvcd exited non-zero:"; cat "$restartlog"; exit 1; }
