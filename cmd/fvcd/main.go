@@ -23,8 +23,17 @@
 //	GET   /v1/deployments/{id}         describe a registered deployment
 //	PATCH /v1/deployments/{id}         mutate it in place (reaim/remove/add)
 //	POST  /v1/deployments/{id}/query   batch point checks across a θ-list
-//	POST  /v1/deployments/{id}/survey  region sweep
+//	POST  /v1/deployments/{id}/survey  region sweep (inline)
+//	POST  /v1/jobs                     submit an async survey/sweep job
+//	GET   /v1/jobs/{id}                poll job status, progress, result
+//	DELETE /v1/jobs/{id}               cancel a job
+//	GET   /v1/jobs/{id}/events         stream job progress over SSE
 //	GET   /healthz, /readyz, /metrics, /debug/pprof/*
+//
+// Jobs are journaled under -state alongside the deployments: a daemon
+// killed mid-survey resumes the job from its last completed band after
+// a restart, and the merged result is bit-identical to an uninterrupted
+// run.
 //
 // Patches are applied through a delta overlay on the deployment's CSR
 // index; once the overlay exceeds -rebuild-fraction of the base, the
@@ -74,6 +83,10 @@ func run(args []string, w io.Writer) error {
 		readTimeout   = fs.Duration("read-timeout", 10*time.Second, "HTTP read timeout (0 = none)")
 		writeTimeout  = fs.Duration("write-timeout", 0, "HTTP write timeout (0 = none; long surveys need headroom)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		jobQueue      = fs.Int("job-queue", 0, "pending async jobs per kind before submissions answer 429 (0 = 64)")
+		jobWorkers    = fs.Int("job-concurrency", 0, "job workers per kind (0 = 2)")
+		jobTTL        = fs.Duration("job-ttl", 0, "retention of finished job results before 410 Gone (0 = 15m, negative = forever)")
+		jobThrottle   = fs.Duration("job-throttle", 0, "pause between job bands, for background pacing (0 = none)")
 		showVersion   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +107,10 @@ func run(args []string, w io.Writer) error {
 		SurveyWorkers:   *parallel,
 		RebuildFraction: *rebuildFrac,
 		StateDir:        *stateDir,
+		JobQueue:        *jobQueue,
+		JobConcurrency:  *jobWorkers,
+		JobTTL:          *jobTTL,
+		JobThrottle:     *jobThrottle,
 		Logger:          logger,
 	})
 	if err != nil {

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-version"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fvcd") {
+		t.Errorf("version output missing binary name: %q", b.String())
+	}
+}
+
+func TestUnknownFlagFails(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-no-such-flag"}, &b); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestMalformedDurationFails(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-job-ttl", "bogus"}, &b); err == nil {
+		t.Fatal("malformed -job-ttl accepted")
+	}
+}
+
+// TestStateDirCollision points -state at an existing regular file: the
+// server must refuse to start (it cannot create the state dir) before
+// ever binding the listen socket.
+func TestStateDirCollision(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err := run([]string{"-state", path, "-addr", "127.0.0.1:0"}, &b)
+	if err == nil {
+		t.Fatal("run accepted a regular file as the state dir")
+	}
+	if !strings.Contains(err.Error(), "state") {
+		t.Errorf("error %q does not mention the state dir", err)
+	}
+}
+
+func TestUnlistenableAddrFails(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-addr", "256.256.256.256:70000"}, &b); err == nil {
+		t.Fatal("run accepted an unlistenable address")
+	}
+}

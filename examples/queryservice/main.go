@@ -7,7 +7,10 @@
 // network a second time to show the deployment cache hitting, PATCHes
 // the live deployment (reaim/remove/add) to show the mutation overlay,
 // and cross-checks the post-patch verdicts against a fresh library
-// checker built from the mutated camera list.
+// checker built from the mutated camera list. Finally it runs the same
+// survey as an asynchronous job — submit, stream the per-band SSE
+// progress, poll with Retry-After-aware backoff — and cross-checks the
+// job's merged result against the library's synchronous sweep.
 //
 // Run self-contained (starts an in-process service on a random port):
 //
@@ -23,6 +26,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -100,6 +104,24 @@ type (
 		Version uint64        `json:"version"`
 		Results []pointResult `json:"results"`
 	}
+	jobSubmitRequest struct {
+		Kind       string  `json:"kind"`
+		Deployment string  `json:"deployment"`
+		ThetaPi    float64 `json:"thetaPi,omitempty"`
+		Grid       int     `json:"grid,omitempty"`
+	}
+	jobResult struct {
+		Stats []fullview.RegionStats `json:"stats"`
+	}
+	jobResponse struct {
+		ID        string     `json:"id"`
+		State     string     `json:"state"`
+		Bands     int        `json:"bands"`
+		BandsDone int        `json:"bandsDone"`
+		Durable   bool       `json:"durable"`
+		Error     string     `json:"error"`
+		Result    *jobResult `json:"result"`
+	}
 )
 
 func main() {
@@ -118,8 +140,9 @@ func run() error {
 	base := *addr
 	if base == "" {
 		// No daemon given: host the service in-process on a random port,
-		// exactly as cmd/fvcd would.
-		srv, err := fullview.NewService(fullview.ServiceConfig{})
+		// exactly as cmd/fvcd would. A small job throttle paces the async
+		// job below so its SSE stream visibly carries per-band events.
+		srv, err := fullview.NewService(fullview.ServiceConfig{JobThrottle: 2 * time.Millisecond})
 		if err != nil {
 			return err
 		}
@@ -272,6 +295,52 @@ func run() error {
 	}
 	fmt.Println("post-patch verdicts match a fresh checker over the mutated camera list")
 
+	// Async jobs: the same survey work, off the request path. Submit a
+	// survey job against the (patched) deployment, stream its band-by-
+	// band progress over SSE, poll it to the terminal state with the
+	// same Retry-After-aware backoff, and check the merged result
+	// bit-for-bit against the library's synchronous sweep.
+	const jobGrid = 60
+	var job jobResponse
+	if err := postJSON(base+"/v1/jobs", jobSubmitRequest{
+		Kind: "survey", Deployment: reg.ID, ThetaPi: 0.25, Grid: jobGrid,
+	}, &job); err != nil {
+		return fmt.Errorf("submit job: %w", err)
+	}
+	fmt.Printf("submitted survey job %s (%d bands, durable=%v)\n", job.ID, job.Bands, job.Durable)
+
+	bandEvents, streamState, err := streamJob(base + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		return fmt.Errorf("stream job events: %w", err)
+	}
+	fmt.Printf("SSE stream: %d band events, closing state %q\n", bandEvents, streamState)
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for job.State != "done" && job.State != "failed" && job.State != "cancelled" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s stuck in %q (%d/%d bands)", job.ID, job.State, job.BandsDone, job.Bands)
+		}
+		if err := getJSON(base+"/v1/jobs/"+job.ID, &job); err != nil {
+			return fmt.Errorf("poll job: %w", err)
+		}
+	}
+	if job.State != "done" || job.Result == nil || len(job.Result.Stats) != 1 {
+		return fmt.Errorf("job %s ended %q: %s", job.ID, job.State, job.Error)
+	}
+	jobPoints, err := fullview.GridPoints(fullview.UnitTorus, jobGrid)
+	if err != nil {
+		return err
+	}
+	jobChecker, err := fullview.NewChecker(mutNet, 0.25*math.Pi)
+	if err != nil {
+		return err
+	}
+	if want := jobChecker.SurveyRegion(jobPoints); job.Result.Stats[0] != want {
+		return fmt.Errorf("job result %+v differs from the library sweep %+v", job.Result.Stats[0], want)
+	}
+	fmt.Printf("job result matches the library sweep bit-for-bit: %d/%d grid points full-view covered\n",
+		job.Result.Stats[0].FullView, job.Result.Stats[0].Points)
+
 	// Show the cache and churn working in the service's own metrics.
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
@@ -286,7 +355,9 @@ func run() error {
 		interesting := strings.HasPrefix(line, "fvcd_depcache_") ||
 			strings.HasPrefix(line, "fvcd_mutations_total") ||
 			strings.HasPrefix(line, "fvcd_overlay_cameras") ||
-			strings.HasPrefix(line, "fvcd_rebuilds_total")
+			strings.HasPrefix(line, "fvcd_rebuilds_total") ||
+			strings.HasPrefix(line, "fvcd_jobs_total") ||
+			strings.HasPrefix(line, "fvcd_job_bands_total")
 		if interesting && !strings.HasPrefix(line, "#") {
 			fmt.Println("metrics:", line)
 		}
@@ -343,6 +414,43 @@ func postJSON(url string, v, out any) error {
 	return doJSON(http.MethodPost, url, v, out)
 }
 
+// getJSON reads url under the retry policy (no request body).
+func getJSON(url string, out any) error {
+	return doJSON(http.MethodGet, url, nil, out)
+}
+
+// streamJob consumes one job's SSE event stream to EOF, returning the
+// number of per-band progress events and the state carried by the last
+// snapshot (the stream closes with a terminal snapshot).
+func streamJob(url string) (bands int, lastState string, err error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", fmt.Errorf("events: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: band"):
+			bands++
+		case strings.HasPrefix(line, "data: "):
+			var payload struct {
+				State string `json:"state"`
+			}
+			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &payload) == nil &&
+				payload.State != "" {
+				lastState = payload.State
+			}
+		}
+	}
+	return bands, lastState, sc.Err()
+}
+
 // doJSON sends v as a JSON request body with the given method under the
 // retry policy. PATCH shares POST's retry safety here: fvcd persists a
 // patch to the journal before applying it and a retried 5xx either
@@ -351,17 +459,26 @@ func postJSON(url string, v, out any) error {
 // the same patch twice blindly, because those statuses are sent before
 // any journal write.
 func doJSON(method, url string, v, out any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return err
+	var body []byte
+	if v != nil {
+		var err error
+		if body, err = json.Marshal(v); err != nil {
+			return err
+		}
 	}
 	var lastErr error
 	for attempt := 0; attempt < defaultRetry.maxAttempts; attempt++ {
-		req, err := http.NewRequest(method, url, bytes.NewReader(body))
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
 		if err != nil {
 			return err
 		}
-		req.Header.Set("Content-Type", "application/json")
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			// Transport failure before any response: always safe to retry

@@ -47,6 +47,26 @@ const (
 	// after validation. A sleeping hook simulates a pathological slow
 	// query for deadline tests.
 	QueryLatency Point = "query-latency"
+	// JobJournalWrite fires inside every job-journal write (spec, band,
+	// and terminal records). An error makes the write fail as if the
+	// disk did; the job then runs memory-only and the service reports
+	// degraded readiness.
+	JobJournalWrite Point = "job-journal-write"
+	// JobReplay fires at the start of the job manager's startup replay
+	// of the per-job journals. An error abandons the replay (the daemon
+	// starts with no restored jobs); a sleeping hook holds the service
+	// in its "starting" readiness state.
+	JobReplay Point = "job-replay"
+	// JobBand fires before each job band executes (once per retry
+	// attempt). An error fails the attempt — wrap it with
+	// experiment.Transient to exercise the bounded-retry path — and a
+	// blocking hook holds a job mid-run deterministically.
+	JobBand Point = "job-band"
+	// JobPanic fires inside the job worker's per-band panic containment,
+	// right next to JobBand. A panicking hook simulates a worker bug;
+	// the job must fail with a structured error while the daemon keeps
+	// serving.
+	JobPanic Point = "job-panic"
 )
 
 // hook is an armed hook plus the generation it was installed at, so a

@@ -1,0 +1,327 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fullview/internal/core"
+	"fullview/internal/faultinject"
+)
+
+// The job journal format: one JSONL file per job under <Dir>. Line 1 is
+// the header (format version, job id, creation time, and the full spec
+// — everything needed to re-derive the job's work after a crash); every
+// further line is one record: a completed band's RegionStats, or the
+// terminal state. Records are appended with the depjournal discipline
+// (O_APPEND write + fsync per record, truncate-back on a failed write),
+// so a kill -9 loses at most the band whose completion was never
+// acknowledged; replay tolerates a torn final line and refuses interior
+// damage. Once a job reaches a terminal state its file is compacted to
+// header + terminal record via the checkpoint-style atomic
+// temp+fsync+rename rewrite.
+const (
+	// Version is the job journal format version.
+	Version = 1
+	// FileKind tags a job journal file's header line.
+	FileKind = "fvcd/job"
+	// fileSuffix is the per-job journal filename suffix.
+	fileSuffix = ".jsonl"
+)
+
+// ErrCorrupt reports a job journal file damaged beyond the
+// torn-final-line tolerance. Replay quarantines such files (renamed
+// *.corrupt) instead of refusing to start the daemon.
+var ErrCorrupt = errors.New("jobs: journal corrupt")
+
+// header is the first line of a job journal file.
+type header struct {
+	Version   int    `json:"version"`
+	Kind      string `json:"kind"`
+	ID        string `json:"id"`
+	CreatedNS int64  `json:"createdNs"`
+	Spec      Spec   `json:"spec"`
+}
+
+func (h header) validate() error {
+	if h.Version != Version || h.Kind != FileKind {
+		return fmt.Errorf("unsupported header version=%d kind=%q", h.Version, h.Kind)
+	}
+	if h.ID == "" {
+		return errors.New("header has no job id")
+	}
+	return h.Spec.validate()
+}
+
+// record is one post-header journal line: exactly one of a completed
+// band (Band + Stats) or the terminal state (State, plus Error or
+// Result and the completion time for TTL accounting across restarts).
+type record struct {
+	Band       *int              `json:"band,omitempty"`
+	Stats      *core.RegionStats `json:"stats,omitempty"`
+	State      State             `json:"state,omitempty"`
+	Error      string            `json:"error,omitempty"`
+	Result     *Result           `json:"result,omitempty"`
+	FinishedNS int64             `json:"finishedNs,omitempty"`
+}
+
+func (r *record) validate(spec Spec) error {
+	band := r.Band != nil
+	term := r.State != ""
+	switch {
+	case band == term:
+		return errors.New("record must be exactly one of band or terminal")
+	case band:
+		if r.Stats == nil {
+			return fmt.Errorf("band %d record has no stats", *r.Band)
+		}
+		if *r.Band < 0 || *r.Band >= spec.Bands() {
+			return fmt.Errorf("band %d out of range [0, %d)", *r.Band, spec.Bands())
+		}
+	default:
+		switch r.State {
+		case StateDone:
+			if r.Result == nil || len(r.Result.Stats) != spec.Slots() {
+				return fmt.Errorf("done record needs a result with %d stats", spec.Slots())
+			}
+		case StateFailed, StateCancelled:
+		default:
+			return fmt.Errorf("terminal record has non-terminal state %q", r.State)
+		}
+	}
+	return nil
+}
+
+// parseJob decodes one job journal image: the header, the completed
+// bands, and the terminal record if the job finished. good is the byte
+// length of the intact prefix — the final line may be torn (a crash
+// mid-append) and is then dropped so the caller can truncate; any
+// earlier malformed line, or a record after the terminal one, is
+// ErrCorrupt.
+func parseJob(data []byte) (hdr header, bands map[int]core.RegionStats, term *record, good int64, err error) {
+	if len(data) == 0 {
+		return hdr, nil, nil, 0, fmt.Errorf("%w: empty file", ErrCorrupt)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(nil, 64<<20)
+	lineEnd := 0
+	if !sc.Scan() {
+		return hdr, nil, nil, 0, fmt.Errorf("%w: missing header", ErrCorrupt)
+	}
+	headerLine := sc.Bytes()
+	lineEnd += len(headerLine) + 1
+	if uerr := strictUnmarshal(headerLine, &hdr); uerr != nil {
+		return hdr, nil, nil, 0, fmt.Errorf("%w: bad header: %v", ErrCorrupt, uerr)
+	}
+	if uerr := hdr.validate(); uerr != nil {
+		return hdr, nil, nil, 0, fmt.Errorf("%w: bad header: %v", ErrCorrupt, uerr)
+	}
+	good = min(int64(lineEnd), int64(len(data)))
+	bands = make(map[int]core.RegionStats)
+	lineNo := 1
+	for sc.Scan() {
+		raw := sc.Bytes()
+		lineEnd += len(raw) + 1
+		lineNo++
+		if len(bytes.TrimSpace(raw)) == 0 {
+			good = min(int64(lineEnd), int64(len(data)))
+			continue
+		}
+		var rec record
+		if uerr := strictUnmarshal(raw, &rec); uerr != nil {
+			// An undecodable *final* line is a torn append (a crash
+			// mid-write can only persist a prefix of the line): drop it
+			// and keep the intact prefix. Interior damage is real
+			// corruption and refused.
+			if lineEnd >= len(data) {
+				break
+			}
+			return hdr, nil, nil, 0, fmt.Errorf("%w: line %d: %v", ErrCorrupt, lineNo, uerr)
+		}
+		// A record that decodes but violates the schema — band out of
+		// range, record after the terminal one — cannot come from a torn
+		// write of this format's writer; that is corruption wherever it
+		// sits.
+		uerr := rec.validate(hdr.Spec)
+		if uerr == nil && term != nil {
+			uerr = errors.New("record after terminal record")
+		}
+		if uerr != nil {
+			return hdr, nil, nil, 0, fmt.Errorf("%w: line %d: %v", ErrCorrupt, lineNo, uerr)
+		}
+		if rec.Band != nil {
+			bands[*rec.Band] = *rec.Stats
+		} else {
+			r := rec
+			term = &r
+		}
+		good = min(int64(lineEnd), int64(len(data)))
+	}
+	if serr := sc.Err(); serr != nil {
+		return hdr, nil, nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, serr)
+	}
+	return hdr, bands, term, good, nil
+}
+
+// strictUnmarshal decodes one JSON document and rejects trailing data.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON document")
+	}
+	return nil
+}
+
+// jobFile is one job's open journal handle.
+type jobFile struct {
+	path string
+	f    *os.File
+	size int64
+	hdr  header
+}
+
+// createJobFile starts a fresh job journal with its header line,
+// fsynced before returning. The faultinject.JobJournalWrite point fires
+// before the write.
+func createJobFile(path string, hdr header) (*jobFile, error) {
+	if err := faultinject.Fire(faultinject.JobJournalWrite); err != nil {
+		return nil, fmt.Errorf("jobs: create journal: %w", err)
+	}
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encode header: %w", err)
+	}
+	line = append(line, '\n')
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: create journal: %w", err)
+	}
+	jf := &jobFile{path: path, f: f, hdr: hdr}
+	if _, err := f.Write(line); err != nil {
+		jf.remove()
+		return nil, fmt.Errorf("jobs: write header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		jf.remove()
+		return nil, fmt.Errorf("jobs: fsync header: %w", err)
+	}
+	jf.size = int64(len(line))
+	return jf, nil
+}
+
+// reopenJobFile opens an existing (replayed) job journal for appending,
+// first truncating away a torn tail so a later append cannot land after
+// torn bytes and turn them into interior corruption.
+func reopenJobFile(path string, hdr header, good int64) (*jobFile, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reopen journal: %w", err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobs: truncate torn line: %w", err)
+	}
+	return &jobFile{path: path, f: f, size: good, hdr: hdr}, nil
+}
+
+// append durably writes one record: O_APPEND write + fsync, with
+// truncate-back on failure so a partial line cannot become interior
+// corruption. The faultinject.JobJournalWrite point fires before the
+// write.
+func (jf *jobFile) append(rec record) error {
+	if err := faultinject.Fire(faultinject.JobJournalWrite); err != nil {
+		return fmt.Errorf("jobs: write record: %w", err)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: encode record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := jf.f.Write(line); err != nil {
+		_ = jf.f.Truncate(jf.size)
+		return fmt.Errorf("jobs: write record: %w", err)
+	}
+	if err := jf.f.Sync(); err != nil {
+		_ = jf.f.Truncate(jf.size)
+		return fmt.Errorf("jobs: fsync record: %w", err)
+	}
+	jf.size += int64(len(line))
+	return nil
+}
+
+// compact rewrites the journal as header + terminal record only (the
+// band records are subsumed by the result), via the atomic
+// temp+fsync+rename discipline, and closes the append handle — a
+// terminal job never writes again.
+func (jf *jobFile) compact(term record) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(jf.hdr); err != nil {
+		return fmt.Errorf("jobs: encode header: %w", err)
+	}
+	if err := enc.Encode(term); err != nil {
+		return fmt.Errorf("jobs: encode terminal: %w", err)
+	}
+	if err := writeAtomic(jf.path, buf.Bytes()); err != nil {
+		return err
+	}
+	jf.size = int64(buf.Len())
+	jf.close()
+	return nil
+}
+
+func (jf *jobFile) close() {
+	if jf.f != nil {
+		jf.f.Close()
+		jf.f = nil
+	}
+}
+
+func (jf *jobFile) remove() {
+	jf.close()
+	os.Remove(jf.path)
+}
+
+// writeAtomic replaces path with data via temp-file + fsync + rename in
+// the destination directory, then syncs the directory entry.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("jobs: create temp: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("jobs: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("jobs: fsync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobs: close temp: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("jobs: rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

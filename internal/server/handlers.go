@@ -404,9 +404,19 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	stats, err := checker.SurveyRegionContext(r.Context(), points, workers)
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// The inline survey outlived SurveyTimeout: steer the client
+			// to the async job API, where the same sweep runs without a
+			// request deadline and survives crashes.
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{
+				Error:      "deadline exceeded: survey outlived the inline request timeout",
+				RetryAsJob: true,
+				Jobs:       "/v1/jobs",
+			})
+		case errors.Is(err, context.Canceled):
 			writeCtxError(w, err)
-		} else {
+		default:
 			writeError(w, http.StatusInternalServerError, err.Error())
 		}
 		return

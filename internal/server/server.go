@@ -13,6 +13,10 @@
 //	PATCH /v1/deployments/{id}         mutate a deployment: reaim / remove / add cameras
 //	POST  /v1/deployments/{id}/query   batch point full-view checks over a θ-list
 //	POST  /v1/deployments/{id}/survey  region sweep (dense grid or k×k grid)
+//	POST  /v1/jobs                     submit an async survey/sweep job
+//	GET   /v1/jobs/{id}                poll job status, progress, result
+//	DELETE /v1/jobs/{id}               cancel a job (idempotent)
+//	GET   /v1/jobs/{id}/events         stream partial results over SSE
 //	GET   /healthz                     liveness probe
 //	GET   /readyz                      readiness: starting | ok | degraded
 //	GET   /metrics                     Prometheus text metrics
@@ -30,6 +34,21 @@
 // Mutations are journaled (persist-before-apply) when StateDir is set:
 // a journal write failure refuses the patch with 503 + Retry-After and
 // leaves the served state untouched.
+//
+// # Jobs
+//
+// Long-running surveys and θ-sweeps run asynchronously through
+// internal/jobs: POST /v1/jobs answers 202 with a job id immediately,
+// the compute proceeds band-by-band (one grid row at one θ) on a
+// bounded worker pool, and each completed band is fsynced to a per-job
+// journal under StateDir/jobs. A killed daemon restarted on the same
+// state dir resumes incomplete jobs from their last journaled band and
+// finishes them bit-identically to an uninterrupted run; terminal
+// results are kept for Config.JobTTL and then garbage-collected
+// (polling a collected id answers 410 Gone). Job-worker panics fail
+// only their job; job-journal write failures degrade jobs to
+// memory-only and surface on /readyz, mirroring the depjournal
+// contract.
 //
 // # Resilience
 //
@@ -80,6 +99,7 @@ import (
 	"fullview/internal/depcache"
 	"fullview/internal/depjournal"
 	"fullview/internal/faultinject"
+	"fullview/internal/jobs"
 	"fullview/internal/telemetry"
 )
 
@@ -135,6 +155,18 @@ type Config struct {
 	// background (0 selects spatial.DefaultRebuildFraction; negative
 	// disables automatic rebuilds).
 	RebuildFraction float64
+	// JobQueue bounds each job kind's pending queue; a full queue
+	// rejects submissions with 429 (default 64).
+	JobQueue int
+	// JobConcurrency is the number of job workers per kind (default 2).
+	JobConcurrency int
+	// JobTTL is how long terminal job results are retained for polling
+	// before garbage collection (default 15m; negative retains forever).
+	JobTTL time.Duration
+	// JobThrottle pauses job workers after every completed band — an
+	// ops/test pacing knob that makes mid-job crashes reproducible
+	// (default 0, no pause).
+	JobThrottle time.Duration
 	// Logger receives operational log lines; nil discards them.
 	Logger *log.Logger
 }
@@ -203,6 +235,10 @@ type Server struct {
 	journal *depjournal.Journal
 	ready   chan struct{}
 
+	// jobs is the async job subsystem (always non-nil; journals under
+	// StateDir/jobs when StateDir is set, memory-only otherwise).
+	jobs *jobs.Manager
+
 	stateMu    sync.Mutex
 	journalErr error // last journal-write failure; nil when healthy
 
@@ -232,6 +268,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if err := s.openJobs(); err != nil {
+		return nil, err
+	}
 	s.mux = s.routes()
 	// Cache warm-up from the journal runs in the background; /readyz
 	// reports "starting" until it finishes. Queries for journaled ids
@@ -260,7 +299,7 @@ func (s *Server) newMetrics() *metrics {
 		latency:     make(map[string]*telemetry.Histogram),
 		requestHelp: "HTTP requests by route and status code.",
 	}
-	for _, route := range []string{"register", "inspect", "mutate", "query", "survey"} {
+	for _, route := range []string{"register", "inspect", "mutate", "query", "survey", "jobs"} {
 		m.latency[route] = reg.Histogram("fvcd_request_duration_ns",
 			"Request latency in nanoseconds by route.", nil, telemetry.L("route", route))
 	}
@@ -304,6 +343,13 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("PATCH /v1/deployments/{id}", s.admitted(adm, "mutate", s.handleMutate))
 	mux.HandleFunc("POST /v1/deployments/{id}/query", s.admitted(adm, "query", s.handleQuery))
 	mux.HandleFunc("POST /v1/deployments/{id}/survey", s.admitted(adm, "survey", s.handleSurvey))
+	mux.HandleFunc("POST /v1/jobs", s.admitted(adm, "jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.admitted(adm, "jobs", s.handleJobGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.admitted(adm, "jobs", s.handleJobCancel))
+	// The event stream is long-lived by design: it sits off the
+	// admission gate (like the other observability endpoints) so an open
+	// stream never pins a compute slot.
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -460,6 +506,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	hs := s.hs
 	s.mu.Unlock()
 	err := hs.Shutdown(ctx)
+	// Stop the job workers after the HTTP drain (submissions may still
+	// arrive during it). Running jobs get no terminal record — a
+	// shutdown is not a cancellation — so a restart on the same state
+	// dir resumes them from their last journaled band.
+	if s.jobs != nil {
+		s.jobs.Close()
+	}
 	// Close the journal only after the drain: in-flight registrations
 	// may still append. Close is idempotent, and a crash that skips it
 	// loses nothing — every append was already fsynced.

@@ -74,26 +74,30 @@ func (s *Server) openState() error {
 // the warm-up — only cache temperature does.
 func (s *Server) warmup() {
 	defer close(s.ready)
-	if s.journal == nil {
-		return
-	}
-	if err := faultinject.Fire(faultinject.JournalReplay); err != nil {
-		s.logf("journal replay: injected fault: %v", err)
-	}
-	recs := s.journal.Records()
-	warm := recs
-	if len(warm) > s.cfg.CacheSize {
-		warm = warm[len(warm)-s.cfg.CacheSize:]
-	}
-	warmed := 0
-	for _, rec := range warm {
-		if _, ok := s.reviveRecord(rec); ok {
-			warmed++
+	if s.journal != nil {
+		if err := faultinject.Fire(faultinject.JournalReplay); err != nil {
+			s.logf("journal replay: injected fault: %v", err)
+		}
+		recs := s.journal.Records()
+		warm := recs
+		if len(warm) > s.cfg.CacheSize {
+			warm = warm[len(warm)-s.cfg.CacheSize:]
+		}
+		warmed := 0
+		for _, rec := range warm {
+			if _, ok := s.reviveRecord(rec); ok {
+				warmed++
+			}
+		}
+		if len(recs) > 0 {
+			s.logf("journal: replayed %d deployments (%d warmed into cache)", len(recs), warmed)
 		}
 	}
-	if len(recs) > 0 {
-		s.logf("journal: replayed %d deployments (%d warmed into cache)", len(recs), warmed)
-	}
+	// The job replay runs after the deployment replay so resumed jobs
+	// can revive the deployments they survey; /readyz stays "starting"
+	// until both finish. Start also launches the job worker pools, so a
+	// stateless server passes through here too.
+	s.jobs.Start()
 }
 
 // revive rebuilds a journaled deployment that is not (or no longer) in
@@ -273,14 +277,16 @@ func (s *Server) readiness() (state, reason string) {
 	default:
 		return ReadyStarting, "journal replay in progress"
 	}
-	if s.journal == nil {
-		return ReadyOK, ""
+	if s.journal != nil {
+		s.stateMu.Lock()
+		err := s.journalErr
+		s.stateMu.Unlock()
+		if err != nil {
+			return ReadyDegraded, "journal writes failing (registrations 503, queries unaffected): " + err.Error()
+		}
 	}
-	s.stateMu.Lock()
-	err := s.journalErr
-	s.stateMu.Unlock()
-	if err != nil {
-		return ReadyDegraded, "journal writes failing (registrations 503, queries unaffected): " + err.Error()
+	if err := s.jobs.JournalErr(); err != nil {
+		return ReadyDegraded, "job journal writes failing (jobs run memory-only): " + err.Error()
 	}
 	return ReadyOK, ""
 }

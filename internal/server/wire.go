@@ -180,9 +180,13 @@ type surveyResponse struct {
 	ElapsedNS          int64   `json:"elapsedNs"`
 }
 
-// errorResponse is the uniform error body.
+// errorResponse is the uniform error body. RetryAsJob and Jobs appear
+// only on an inline-survey 504: a machine-readable hint that the same
+// work should be resubmitted through the async job API at Jobs.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error      string `json:"error"`
+	RetryAsJob bool   `json:"retry_as_job,omitempty"`
+	Jobs       string `json:"jobs,omitempty"`
 }
 
 // writeJSON encodes v with the given status.

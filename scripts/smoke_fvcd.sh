@@ -119,4 +119,101 @@ echo "crash recovery: patched deployment $depid answered bit-identically after r
 kill -TERM "$pid"
 wait "$pid" || { echo "restarted fvcd exited non-zero:"; cat "$restartlog"; exit 1; }
 pid=""
+
+# --- Job resumption ---------------------------------------------------
+# Start a throttled durable daemon, submit an async survey job, kill -9
+# the daemon mid-job, and restart it unthrottled on the same state dir.
+# The job must resume from its journal, report resumed:true, bump
+# fvcd_job_resume_total, and finish with a result byte-identical to a
+# fresh, uninterrupted job of the same spec.
+jobstate="$workdir/jobstate"
+joblog="$workdir/fvcd-job.log"
+"$workdir/fvcd" -addr 127.0.0.1:0 -state "$jobstate" -job-throttle 75ms >"$joblog" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on \(.*\)/\1/p' "$joblog" | head -n 1)
+    [[ -n "$addr" ]] && break
+    kill -0 "$pid" 2>/dev/null || { echo "fvcd died on startup:"; cat "$joblog"; exit 1; }
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "fvcd never reported its address:"; cat "$joblog"; exit 1; }
+
+depid=$(curl -sf -X POST "http://$addr/v1/deployments" \
+    -d '{"profile":"0.3:0.2:0.4,0.7:0.1:0.5","n":200,"seed":42}' \
+    | sed 's/.*"id":"\([^"]*\)".*/\1/')
+[[ -n "$depid" ]] || { echo "registration returned no id"; exit 1; }
+
+jobid=$(curl -sf -X POST "http://$addr/v1/jobs" \
+    -d '{"kind":"survey","deployment":"'"$depid"'","thetaPi":0.25,"grid":12}' \
+    | sed 's/.*"id":"\([^"]*\)".*/\1/')
+[[ -n "$jobid" ]] || { echo "job submission returned no id"; exit 1; }
+
+# Wait for at least two journaled bands so the resume has a prefix to
+# skip, then kill without warning.
+bandsdone=0
+for _ in $(seq 1 100); do
+    bandsdone=$(curl -sf "http://$addr/v1/jobs/$jobid" \
+        | sed 's/.*"bandsDone":\([0-9]*\).*/\1/')
+    [[ "$bandsdone" -ge 2 ]] && break
+    sleep 0.05
+done
+[[ "$bandsdone" -ge 2 ]] || { echo "job never journaled two bands"; cat "$joblog"; exit 1; }
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "fvcd killed (-9) with job $jobid at $bandsdone/12 bands"
+
+jobrestartlog="$workdir/fvcd-job-restart.log"
+"$workdir/fvcd" -addr 127.0.0.1:0 -state "$jobstate" >"$jobrestartlog" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on \(.*\)/\1/p' "$jobrestartlog" | head -n 1)
+    [[ -n "$addr" ]] && break
+    kill -0 "$pid" 2>/dev/null || { echo "fvcd died on restart:"; cat "$jobrestartlog"; exit 1; }
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "restarted fvcd never reported its address:"; cat "$jobrestartlog"; exit 1; }
+for _ in $(seq 1 100); do
+    curl -sf "http://$addr/readyz" | grep -q '"status":"ok"' && break
+    sleep 0.1
+done
+
+# Poll the resumed job to completion.
+for _ in $(seq 1 200); do
+    curl -sf "http://$addr/v1/jobs/$jobid" >"$workdir/job1.json"
+    grep -q '"state":"done"' "$workdir/job1.json" && break
+    if grep -qE '"state":"(failed|cancelled)"' "$workdir/job1.json"; then
+        echo "resumed job ended badly:"; cat "$workdir/job1.json"; exit 1
+    fi
+    sleep 0.05
+done
+grep -q '"state":"done"' "$workdir/job1.json" \
+    || { echo "resumed job never finished:"; cat "$workdir/job1.json"; exit 1; }
+grep -q '"resumed":true' "$workdir/job1.json" \
+    || { echo "finished job does not report resumed:true:"; cat "$workdir/job1.json"; exit 1; }
+
+# A fresh, uninterrupted job of the same spec must produce the same
+# exact-integer result.
+jobid2=$(curl -sf -X POST "http://$addr/v1/jobs" \
+    -d '{"kind":"survey","deployment":"'"$depid"'","thetaPi":0.25,"grid":12}' \
+    | sed 's/.*"id":"\([^"]*\)".*/\1/')
+for _ in $(seq 1 200); do
+    curl -sf "http://$addr/v1/jobs/$jobid2" >"$workdir/job2.json"
+    grep -q '"state":"done"' "$workdir/job2.json" && break
+    sleep 0.05
+done
+res1=$(grep -oE '"result":\{"stats":\[[^]]*\]\}' "$workdir/job1.json")
+res2=$(grep -oE '"result":\{"stats":\[[^]]*\]\}' "$workdir/job2.json")
+[[ -n "$res1" && "$res1" == "$res2" ]] \
+    || { echo "resumed result diverged from fresh run:"; echo "$res1"; echo "$res2"; exit 1; }
+
+resumes=$(curl -sf "http://$addr/metrics" | sed -n 's/^fvcd_job_resume_total \([0-9]*\)$/\1/p')
+[[ "${resumes:-0}" -ge 1 ]] || { echo "fvcd_job_resume_total = ${resumes:-missing}, want >= 1"; exit 1; }
+echo "job resumption: $jobid resumed after kill -9 and matched a fresh run bit-identically (resume_total=$resumes)"
+
+kill -TERM "$pid"
+wait "$pid" || { echo "job-leg fvcd exited non-zero:"; cat "$jobrestartlog"; exit 1; }
+pid=""
 echo "fvcd smoke: OK"
