@@ -38,6 +38,11 @@
 //	-benchmaxregress R
 //	              regression tolerance as a fraction (default 0.10,
 //	              i.e. fail beyond +10% ns/point)
+//	-batch M      which kernel execution paths to measure: "all"
+//	              (default), "point" (point-at-a-time cases only), or
+//	              "batch" (cell-sorted batch cases only) — the A/B
+//	              profiling switch; incompatible with -benchbaseline,
+//	              whose gate needs the full suite
 //
 // Profiling (usable with any experiment or -kernelbench):
 //
@@ -52,6 +57,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"fullview/internal/figures"
@@ -81,6 +87,7 @@ func run(args []string, stdout io.Writer) error {
 		benchTime    = fs.String("benchtime", "1s", "minimum measuring time per kernel benchmark (duration, or \"1x\" for a single batch)")
 		benchBase    = fs.String("benchbaseline", "", "baseline JSON to compare against; regressions past -benchmaxregress fail the run")
 		benchRegress = fs.Float64("benchmaxregress", 0.10, "ns/point regression tolerance vs -benchbaseline, as a fraction")
+		benchBatch   = fs.String("batch", "all", "kernel paths to measure: all, point, or batch (A/B profiling)")
 
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -126,7 +133,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *kbench {
-		return runKernelBench(stdout, *benchTime, *benchOut, *benchBase, *benchRegress)
+		return runKernelBench(stdout, *benchTime, *benchOut, *benchBase, *benchRegress, *benchBatch)
 	}
 
 	if *list {
@@ -166,7 +173,7 @@ func run(args []string, stdout io.Writer) error {
 // runKernelBench executes the kernel micro-benchmark suite, prints
 // benchstat-compatible lines, optionally writes the JSON report, and —
 // with a baseline — enforces the regression gate.
-func runKernelBench(stdout io.Writer, benchTime, benchOut, benchBase string, maxRegress float64) error {
+func runKernelBench(stdout io.Writer, benchTime, benchOut, benchBase string, maxRegress float64, batchMode string) error {
 	var target time.Duration
 	switch benchTime {
 	case "1x":
@@ -178,7 +185,20 @@ func runKernelBench(stdout io.Writer, benchTime, benchOut, benchBase string, max
 			return fmt.Errorf("benchtime: %w", err)
 		}
 	}
-	report, err := kernelbench.Run(target)
+	var keep func(kernelbench.Case) bool
+	switch batchMode {
+	case "", "all":
+	case "point":
+		keep = func(c kernelbench.Case) bool { return !strings.HasSuffix(c.Name, "Batch") }
+	case "batch":
+		keep = func(c kernelbench.Case) bool { return strings.HasSuffix(c.Name, "Batch") }
+	default:
+		return fmt.Errorf("batch: unknown mode %q (all, point, or batch)", batchMode)
+	}
+	if keep != nil && benchBase != "" {
+		return fmt.Errorf("-batch %s cannot be combined with -benchbaseline: the gate needs the full suite (missing cases fail Compare)", batchMode)
+	}
+	report, err := kernelbench.RunFiltered(target, keep)
 	if err != nil {
 		return err
 	}

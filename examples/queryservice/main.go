@@ -104,6 +104,15 @@ type (
 		Version uint64        `json:"version"`
 		Results []pointResult `json:"results"`
 	}
+	surveyRequest struct {
+		ThetaPi float64 `json:"thetaPi"`
+		Grid    int     `json:"grid,omitempty"`
+	}
+	surveyResponse struct {
+		Points    int   `json:"points"`
+		FullView  int   `json:"fullView"`
+		ElapsedNS int64 `json:"elapsedNs"`
+	}
 	jobSubmitRequest struct {
 		Kind       string  `json:"kind"`
 		Deployment string  `json:"deployment"`
@@ -295,12 +304,37 @@ func run() error {
 	}
 	fmt.Println("post-patch verdicts match a fresh checker over the mutated camera list")
 
+	// Inline survey: one request-path sweep over a dense grid. The
+	// response carries the server's kernel wall time, so the print
+	// shows what the batch execution path costs per point in situ.
+	const surveyGrid = 60
+	var sv surveyResponse
+	if err := postJSON(base+"/v1/deployments/"+reg.ID+"/survey",
+		surveyRequest{ThetaPi: 0.25, Grid: surveyGrid}, &sv); err != nil {
+		return fmt.Errorf("inline survey: %w", err)
+	}
+	surveyPoints, err := fullview.GridPoints(fullview.UnitTorus, surveyGrid)
+	if err != nil {
+		return err
+	}
+	surveyChecker, err := fullview.NewChecker(mutNet, 0.25*math.Pi)
+	if err != nil {
+		return err
+	}
+	if want := surveyChecker.SurveyRegion(surveyPoints); sv.Points != want.Points || sv.FullView != want.FullView {
+		return fmt.Errorf("inline survey says %d/%d full-view, library sweep says %d/%d",
+			sv.FullView, sv.Points, want.FullView, want.Points)
+	}
+	fmt.Printf("inline survey leg: %d points in %.2fms (%.0f ns/point), %d full-view covered\n",
+		sv.Points, float64(sv.ElapsedNS)/1e6, float64(sv.ElapsedNS)/float64(sv.Points), sv.FullView)
+
 	// Async jobs: the same survey work, off the request path. Submit a
 	// survey job against the (patched) deployment, stream its band-by-
 	// band progress over SSE, poll it to the terminal state with the
 	// same Retry-After-aware backoff, and check the merged result
 	// bit-for-bit against the library's synchronous sweep.
 	const jobGrid = 60
+	jobStart := time.Now()
 	var job jobResponse
 	if err := postJSON(base+"/v1/jobs", jobSubmitRequest{
 		Kind: "survey", Deployment: reg.ID, ThetaPi: 0.25, Grid: jobGrid,
@@ -340,6 +374,9 @@ func run() error {
 	}
 	fmt.Printf("job result matches the library sweep bit-for-bit: %d/%d grid points full-view covered\n",
 		job.Result.Stats[0].FullView, job.Result.Stats[0].Points)
+	jobElapsed := time.Since(jobStart)
+	fmt.Printf("survey job leg: %d points across %d bands in %.2fms wall (submit→done, incl. polling)\n",
+		job.Result.Stats[0].Points, job.Bands, float64(jobElapsed.Nanoseconds())/1e6)
 
 	// Show the cache and churn working in the service's own metrics.
 	resp, err := http.Get(base + "/metrics")

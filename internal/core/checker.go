@@ -29,6 +29,7 @@ type Checker struct {
 	necessary  occupancy // anchored 2θ partition, O(m) evaluator
 	sufficient occupancy // anchored θ partition
 	dirBuf     []float64
+	batch      spatial.BatchScratch // SurveyBatch gather scratch
 }
 
 // NewChecker builds a Checker for the network with effective angle
@@ -83,6 +84,7 @@ func (c *Checker) Clone() *Checker {
 	clone.necessary = c.necessary.clone()
 	clone.sufficient = c.sufficient.clone()
 	clone.dirBuf = make([]float64, 0, cap(c.dirBuf))
+	clone.batch = spatial.BatchScratch{}
 	return &clone
 }
 

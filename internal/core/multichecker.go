@@ -50,10 +50,12 @@ type MultiReport struct {
 type MultiChecker struct {
 	index       spatial.Source
 	thetas      []float64
+	twoThetas   []float64 // 2·thetas[i], hoisted for the batch path
 	occs        []thetaOccupancy
 	dirBuf      []float64
 	perTheta    []ThetaReport
 	fullViewBuf []bool
+	batch       spatial.BatchScratch // EvaluateBatch gather scratch
 }
 
 // thetaOccupancy pairs the two partition evaluators of one θ.
@@ -102,6 +104,9 @@ func NewMultiCheckerFromSource(ix spatial.Source, thetas []float64) (*MultiCheck
 			return nil, fmt.Errorf("core: sufficient partition (θ=%v): %w", theta, err)
 		}
 		m.occs = append(m.occs, thetaOccupancy{necessary: necessary, sufficient: sufficient})
+		// Doubling is exact in floating point, so the hoisted threshold
+		// compares bit-identically to Evaluate's inline 2*θ.
+		m.twoThetas = append(m.twoThetas, 2*theta)
 	}
 	return m, nil
 }
@@ -121,6 +126,7 @@ func (m *MultiChecker) Clone() *MultiChecker {
 	}
 	clone.dirBuf = make([]float64, 0, cap(m.dirBuf))
 	clone.perTheta = make([]ThetaReport, len(m.perTheta))
+	clone.batch = spatial.BatchScratch{}
 	return &clone
 }
 

@@ -28,10 +28,24 @@ import (
 // for concurrent use; clone one per goroutine.
 type occupancy struct {
 	sectors []geom.Sector
+	w       float64  // lattice sector width
 	invW    float64  // 1 / w, precomputed
 	full    int      // sectors[:full] are the lattice sectors
 	mask    []uint64 // reusable occupation bitmask over the full sectors
 }
+
+// interiorGuard is the absolute angular margin (radians) inside which a
+// direction counts as strictly interior to its lattice sector without
+// consulting Sector.Contains. Every floating-point discrepancy in play —
+// the ±2π normalization of the direction, the NormalizeAngle'd sector
+// starts, and the subtractions of the interiority test itself — is a few
+// ulps of 2π (≈1e-15), so a 1e-9 margin proves both that the sector's
+// exact Contains predicate accepts the direction and that no other
+// lattice sector's can: their deltas sit at least w − guard away from
+// the containment threshold. Directions within the guard of a boundary
+// (or of the lattice's end, dn·invW ≥ full) take the exact probe path,
+// so verdicts are identical to the brute-force scan for every input.
+const interiorGuard = 1e-9
 
 // newOccupancy builds the evaluator for the anchored partition of width w.
 func newOccupancy(w float64) (occupancy, error) {
@@ -42,6 +56,7 @@ func newOccupancy(w float64) (occupancy, error) {
 	full, _ := geom.SplitCircle(w)
 	return occupancy{
 		sectors: sectors,
+		w:       w,
 		invW:    1 / w,
 		full:    full,
 		mask:    make([]uint64, (full+63)/64),
@@ -76,33 +91,59 @@ func (o *occupancy) allOccupied(dirs []float64) bool {
 			return false
 		}
 	}
-	for i := range o.mask {
-		o.mask[i] = 0
+	mask := o.mask
+	for i := range mask {
+		mask[i] = 0
 	}
+	full, w, invW, sectors := o.full, o.w, o.invW, o.sectors
 	count := 0
 	for _, d := range dirs {
 		dn := d
 		if dn < 0 {
 			dn += geom.TwoPi
 		}
-		j := int(dn * o.invW)
-		for cand := j - 1; cand <= j+1; cand++ {
-			cs := cand % o.full
-			if cs < 0 {
-				cs += o.full
-			}
-			w, bit := cs>>6, uint64(1)<<(uint(cs)&63)
-			if o.mask[w]&bit != 0 {
+		j := int(dn * invW)
+		if j < full {
+			if lo := dn - sectors[j].Start; lo > interiorGuard && w-lo > interiorGuard {
+				// Strictly interior to lattice sector j (see
+				// interiorGuard): that sector certainly contains d and no
+				// other lattice sector possibly can — mark and move on
+				// without any Contains evaluation.
+				wd, bit := j>>6, uint64(1)<<(uint(j)&63)
+				if mask[wd]&bit == 0 {
+					mask[wd] |= bit
+					count++
+					if count == full {
+						return true
+					}
+				}
 				continue
 			}
-			if o.sectors[cs].Contains(d) {
-				o.mask[w] |= bit
+		}
+		for cand := j - 1; cand <= j+1; cand++ {
+			// Reduce cand into [0, full) with compares instead of an
+			// integer division: cand ∈ [−1, full+1] (j ∈ [0, full]), so
+			// one add and at most two subtracts reproduce cand mod full
+			// exactly. The divide was the hot instruction of this loop.
+			cs := cand
+			if cs < 0 {
+				cs += full
+			}
+			for cs >= full {
+				cs -= full
+			}
+			w, bit := cs>>6, uint64(1)<<(uint(cs)&63)
+			if mask[w]&bit != 0 {
+				continue
+			}
+			if sectors[cs].Contains(d) {
+				mask[w] |= bit
 				count++
-				if count == o.full {
+				if count == full {
 					return true
 				}
 			}
 		}
 	}
-	return count == o.full
+	return count == full
 }

@@ -12,16 +12,17 @@ import (
 // when workers ≤ 0) and aggregates exactly like SurveyRegion: results
 // are bit-identical to the sequential sweep at any worker count. Each
 // worker gets its own Clone of the Checker over the shared immutable
-// spatial index.
+// spatial index and rides the cell-sorted batch kernel (SurveyBatch),
+// so every production survey — server /survey, job bands, experiment
+// grids — amortises the spatial gather across sweep.BatchSize points.
 //
 // A cancelled context aborts the sweep promptly and returns ctx.Err()
 // with zero statistics.
 func (c *Checker) SurveyRegionContext(ctx context.Context, points []geom.Vec, workers int) (RegionStats, error) {
-	return sweep.Run(ctx, points, workers,
+	return sweep.RunBatch(ctx, points, workers,
 		func() (*Checker, error) { return c.Clone(), nil },
-		func(worker *Checker, acc RegionStats, _ int, p geom.Vec) RegionStats {
-			acc.observe(worker.Report(p))
-			return acc
+		func(worker *Checker, acc RegionStats, _ int, pts []geom.Vec) RegionStats {
+			return acc.Merge(worker.SurveyBatch(pts))
 		},
 		RegionStats.Merge,
 	)

@@ -69,35 +69,40 @@ func pointsThetasTrialFunc(cfg Config, thetas []float64, pointsPerTrial, trials,
 		for i := range points {
 			points[i] = geom.V(r.Float64()*side, r.Float64()*side)
 		}
-		return sweep.Run(context.Background(), points, sweepWorkers(trials, parallelism),
+		// The batch kernel (EvaluateBatch) reports points in batch order
+		// with verdicts bit-identical to Evaluate, so the fold below — and
+		// therefore every trial aggregate — matches the point-at-a-time
+		// sweep exactly while amortising the spatial gather per batch.
+		return sweep.RunBatch(context.Background(), points, sweepWorkers(trials, parallelism),
 			func() (*core.MultiChecker, error) { return checker.Clone(), nil },
-			func(worker *core.MultiChecker, acc pointsThetasTrial, _ int, p geom.Vec) pointsThetasTrial {
+			func(worker *core.MultiChecker, acc pointsThetasTrial, _ int, pts []geom.Vec) pointsThetasTrial {
 				if acc.PerTheta == nil {
 					acc.PerTheta = make([]pointThetaCounts, len(thetas))
 				}
-				rep := worker.Evaluate(p)
-				for k, v := range rep.PerTheta {
-					t := &acc.PerTheta[k]
-					if v.Necessary {
-						t.Necessary++
-						if !v.FullView {
-							t.NecessaryNotFullView++
+				worker.EvaluateBatch(pts, func(_ int, rep core.MultiReport) {
+					for k, v := range rep.PerTheta {
+						t := &acc.PerTheta[k]
+						if v.Necessary {
+							t.Necessary++
+							if !v.FullView {
+								t.NecessaryNotFullView++
+							}
+						}
+						if v.FullView {
+							t.FullView++
+							if !v.Sufficient {
+								t.FullViewNotSuf++
+							}
+						}
+						if v.Sufficient {
+							t.Sufficient++
 						}
 					}
-					if v.FullView {
-						t.FullView++
-						if !v.Sufficient {
-							t.FullViewNotSuf++
-						}
+					if cfg.KTarget > 0 && rep.NumCovering >= cfg.KTarget {
+						acc.KCovered++
 					}
-					if v.Sufficient {
-						t.Sufficient++
-					}
-				}
-				if cfg.KTarget > 0 && rep.NumCovering >= cfg.KTarget {
-					acc.KCovered++
-				}
-				acc.Covering = append(acc.Covering, float64(rep.NumCovering))
+					acc.Covering = append(acc.Covering, float64(rep.NumCovering))
+				})
 				return acc
 			},
 			func(dst, src pointsThetasTrial) pointsThetasTrial {

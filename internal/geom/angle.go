@@ -15,6 +15,22 @@ const TwoPi = 2 * math.Pi
 // NormalizeAngle maps an arbitrary angle to the canonical range [0, 2π).
 // NaN and ±Inf are returned unchanged.
 func NormalizeAngle(a float64) float64 {
+	if a > -TwoPi && a < TwoPi {
+		// Fast path for the dominant case (atan2 outputs, differences of
+		// normalized directions): |a| < 2π makes math.Mod(a, 2π) the
+		// identity — the quotient truncates to zero — so the reduction
+		// collapses to the two conditional fix-ups below, bit-identical
+		// to the general path but without Mod's exponent-walking loop.
+		// a = −2π exactly is excluded so its Mod image (−0.0) keeps its
+		// sign; NaN fails both comparisons and takes the general path.
+		if a < 0 {
+			a += TwoPi
+		}
+		if a >= TwoPi {
+			a -= TwoPi
+		}
+		return a
+	}
 	if math.IsNaN(a) || math.IsInf(a, 0) {
 		return a
 	}

@@ -195,7 +195,10 @@ type Event struct {
 	BandsDone int               `json:"bandsDone"`
 	Bands     int               `json:"bands"`
 	Stats     *core.RegionStats `json:"stats,omitempty"`
-	Error     string            `json:"error,omitempty"`
+	// ElapsedNS is the band's wall time (band events only; zero on
+	// events replayed for bands that completed before a resume).
+	ElapsedNS int64  `json:"elapsedNs,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a job's externally visible state.
@@ -237,6 +240,11 @@ type Hooks struct {
 	// JobDone fires once per job reaching a terminal state, with the
 	// wall time from run start (or creation, if it never ran).
 	JobDone func(kind Kind, state State, elapsed time.Duration)
+	// BandDone fires once per band completed by this process, with the
+	// number of sample points the band evaluated and the band's wall
+	// time (including retries). Bands restored from the journal on
+	// resume do not re-fire — they did no work here.
+	BandDone func(kind Kind, points int, elapsed time.Duration)
 }
 
 // Config tunes a Manager. The zero value works (memory-only jobs).
@@ -769,6 +777,7 @@ func (m *Manager) runJob(j *job) {
 		if done {
 			continue
 		}
+		t0 := time.Now()
 		stats, err := m.runBand(ctx, runner, band)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -778,7 +787,7 @@ func (m *Manager) runJob(j *job) {
 			m.finishJob(j, StateFailed, fmt.Sprintf("band %d: %v", band, err), nil)
 			return
 		}
-		m.completeBand(j, band, stats)
+		m.completeBand(j, band, stats, time.Since(t0))
 		if m.cfg.Throttle > 0 {
 			select {
 			case <-ctx.Done():
@@ -896,8 +905,11 @@ func jitter(d time.Duration) time.Duration {
 }
 
 // completeBand records a finished band: journal first (failure degrades
-// to memory-only, never fails the band), then counters and events.
-func (m *Manager) completeBand(j *job, band int, stats core.RegionStats) {
+// to memory-only, never fails the band), then counters, hooks, and
+// events. elapsed is the band's wall time, surfaced through
+// Hooks.BandDone and the band event; the journal record deliberately
+// omits it, so bands restored on resume report no phantom work.
+func (m *Manager) completeBand(j *job, band int, stats core.RegionStats, elapsed time.Duration) {
 	j.mu.Lock()
 	j.perBand[band] = stats
 	done := len(j.perBand)
@@ -913,6 +925,9 @@ func (m *Manager) completeBand(j *job, band int, stats core.RegionStats) {
 		}
 	}
 	m.bandsDone.Add(1)
+	if m.cfg.Hooks.BandDone != nil {
+		m.cfg.Hooks.BandDone(j.spec.Kind, stats.Points, elapsed)
+	}
 	m.emit(j, Event{
 		Type:      EventBand,
 		State:     StateRunning,
@@ -921,6 +936,7 @@ func (m *Manager) completeBand(j *job, band int, stats core.RegionStats) {
 		BandsDone: done,
 		Bands:     j.spec.Bands(),
 		Stats:     &stats,
+		ElapsedNS: elapsed.Nanoseconds(),
 	})
 }
 

@@ -37,12 +37,22 @@ func (d Delta) Regressed(maxRegress float64) bool {
 }
 
 // Compare matches current results against a baseline by case name and
-// returns one Delta per baseline case, in baseline order. A baseline
-// case missing from the current run is an error — a silently dropped
-// benchmark must not read as "no regression".
+// returns one Delta per baseline case, in baseline order. Any mismatch
+// in case coverage is an error, in both directions: a baseline case
+// missing from the current run means a benchmark was silently dropped
+// (which must not read as "no regression"), and a current case missing
+// from the baseline means the suite grew (or a case was renamed)
+// without re-baselining — the new case would run ungated forever.
 func Compare(baseline, current Report) ([]Delta, error) {
+	inBaseline := make(map[string]bool, len(baseline.Results))
+	for _, b := range baseline.Results {
+		inBaseline[b.Name] = true
+	}
 	byName := make(map[string]Result, len(current.Results))
 	for _, r := range current.Results {
+		if !inBaseline[r.Name] {
+			return nil, fmt.Errorf("case %s is in the current run but missing from the baseline — re-baseline with `fvcbench -kernelbench -benchout <baseline>`", r.Name)
+		}
 		byName[r.Name] = r
 	}
 	deltas := make([]Delta, 0, len(baseline.Results))

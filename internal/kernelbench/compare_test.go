@@ -45,8 +45,27 @@ func TestCompareFlagsRegressions(t *testing.T) {
 }
 
 func TestCompareRefusesMissingCase(t *testing.T) {
-	if _, err := Compare(report("A", 100.0), report("B", 100.0)); err == nil {
+	// Both directions are hard failures: a dropped case must not read
+	// as "no regression", and a new (or renamed) case must not run
+	// ungated until someone re-baselines.
+	_, err := Compare(report("A", 100.0, "B", 90.0), report("A", 100.0))
+	if err == nil {
 		t.Fatal("baseline case missing from current run was accepted")
+	}
+	if !strings.Contains(err.Error(), "B") || !strings.Contains(err.Error(), "missing from the current run") {
+		t.Fatalf("dropped-case error does not name the case and direction: %v", err)
+	}
+	_, err = Compare(report("A", 100.0), report("A", 100.0, "New", 50.0))
+	if err == nil {
+		t.Fatal("current case missing from the baseline was accepted")
+	}
+	if !strings.Contains(err.Error(), "New") || !strings.Contains(err.Error(), "missing from the baseline") {
+		t.Fatalf("new-case error does not name the case and direction: %v", err)
+	}
+	// A rename is both at once; either direction may fire, but it must
+	// not pass.
+	if _, err := Compare(report("A", 100.0), report("B", 100.0)); err == nil {
+		t.Fatal("renamed case was accepted")
 	}
 	if _, err := Compare(report("A", 0.0), report("A", 100.0)); err == nil {
 		t.Fatal("non-positive baseline was accepted")

@@ -7,8 +7,13 @@
 // repository carries a perf trajectory across PRs (BENCH_baseline.json,
 // BENCH_kernel.json).
 //
-// Every case evaluates exactly one sample point per iteration, so ns/op,
-// B/op, and allocs/op read directly as ns/point, B/point, allocs/point.
+// Point-at-a-time cases evaluate exactly one sample point per
+// iteration, so ns/op, B/op, and allocs/op read directly as ns/point,
+// B/point, allocs/point. Batch cases (names ending in "Batch") evaluate
+// Points samples per iteration through the cell-sorted batch kernel;
+// the harness divides by iterations × Points, so every reported figure
+// is still per point and batch cases compare directly against their
+// point-at-a-time twins.
 package kernelbench
 
 import (
@@ -24,6 +29,7 @@ import (
 	"fullview/internal/geom"
 	"fullview/internal/rng"
 	"fullview/internal/sensor"
+	"fullview/internal/sweep"
 )
 
 // pointPool is the number of pre-drawn sample points a case cycles
@@ -41,12 +47,27 @@ var Thetas = []float64{0.15 * math.Pi, 0.25 * math.Pi, math.Pi / 3, 0.5 * math.P
 // Case is one kernel micro-benchmark.
 type Case struct {
 	// Name is the stable benchmark identifier ("FullViewHomog1000", …).
-	// The `go test` benchmark is named Benchmark<Name>.
+	// The `go test` benchmark is named Benchmark<Name>. Batch-kernel
+	// cases end in "Batch" — the convention `fvcbench -batch` filters
+	// on.
 	Name string
+	// Points is the number of sample points one fn(i) call evaluates
+	// (0 and 1 both mean one). Per-point figures divide by it.
+	Points int
 	// Setup builds the fixture (network, checker, point pool) and
-	// returns the per-point kernel; fn(i) evaluates point i%pointPool.
-	// Setup cost is excluded from measurement.
+	// returns the per-iteration kernel; fn(i) evaluates the i-th point
+	// (or point batch) of the cycled pool. Setup cost is excluded from
+	// measurement.
 	Setup func() (fn func(i int), err error)
+}
+
+// PointsPerOp returns the number of sample points one iteration of the
+// case evaluates (at least 1).
+func (c Case) PointsPerOp() int {
+	if c.Points > 1 {
+		return c.Points
+	}
+	return 1
 }
 
 // samplePoints draws the shared pool of uniform sample points.
@@ -181,6 +202,66 @@ func Cases() []Case {
 			},
 		},
 		{
+			// The batch twin of FullViewMultiTheta1000: the same network,
+			// θ-list, and point pool, evaluated sweep.BatchSize points per
+			// iteration through MultiChecker.EvaluateBatch (cell-sorted
+			// gather, candidate reuse, hoisted 2θ thresholds). Verdicts
+			// are bit-identical; only the grouping differs.
+			Name:   "FullViewMultiTheta1000Batch",
+			Points: sweep.BatchSize,
+			Setup:  multiThetaBatchSetup,
+		},
+		{
+			// The batch twin of SectorOccupancy1000 on the same network
+			// and point pool. The point case pays two gathers per point
+			// (MeetsNecessary + MeetsSufficient); the batch kernel
+			// (Checker.SurveyBatch) answers both conditions — plus the
+			// max-gap verdict the point case skips — from one cell-sorted
+			// gather per batch.
+			Name:   "SectorOccupancy1000Batch",
+			Points: sweep.BatchSize,
+			Setup: func() (func(int), error) {
+				net, err := homogNetwork(1000)
+				if err != nil {
+					return nil, err
+				}
+				checker, err := core.NewChecker(net, math.Pi/4)
+				if err != nil {
+					return nil, err
+				}
+				pts := samplePoints(11)
+				return func(i int) {
+					lo := (i * sweep.BatchSize) & (pointPool - 1)
+					stats := checker.SurveyBatch(pts[lo : lo+sweep.BatchSize])
+					sink += stats.Necessary + stats.Sufficient
+				}, nil
+			},
+		},
+		{
+			// The full survey kernel (the /survey and job-band hot path)
+			// on the 100×-radius-span heterogeneous network, batch-at-a-
+			// time: per-tier cell sort + candidate-major scan where tier
+			// reach per radius group matters most.
+			Name:   "SurveyHet1000Batch",
+			Points: sweep.BatchSize,
+			Setup: func() (func(int), error) {
+				net, err := hetNetwork(1000)
+				if err != nil {
+					return nil, err
+				}
+				checker, err := core.NewChecker(net, math.Pi/4)
+				if err != nil {
+					return nil, err
+				}
+				pts := samplePoints(5)
+				return func(i int) {
+					lo := (i * sweep.BatchSize) & (pointPool - 1)
+					stats := checker.SurveyBatch(pts[lo : lo+sweep.BatchSize])
+					sink += stats.FullView
+				}, nil
+			},
+		},
+		{
 			// k-coverage multiplicity on the heterogeneous network.
 			Name: "CountCoveringHet1000",
 			Setup: func() (func(int), error) {
@@ -201,11 +282,13 @@ func Cases() []Case {
 	}
 }
 
-// Result is the measurement of one case. Per-iteration figures are
-// per-point figures by construction.
+// Result is the measurement of one case. All figures are per point:
+// point-at-a-time cases evaluate one point per iteration, batch cases
+// divide by iterations × PointsPerOp.
 type Result struct {
 	Name           string  `json:"name"`
 	Iterations     int     `json:"iterations"`
+	PointsPerOp    int     `json:"pointsPerOp,omitempty"`
 	NsPerPoint     float64 `json:"nsPerPoint"`
 	BytesPerPoint  float64 `json:"bytesPerPoint"`
 	AllocsPerPoint float64 `json:"allocsPerPoint"`
@@ -223,17 +306,32 @@ type Report struct {
 // of doubling size until the measured batch lasts at least benchtime
 // (one single batch when benchtime ≤ 0 — the -benchtime=1x smoke mode).
 func Run(benchtime time.Duration) (Report, error) {
+	return RunFiltered(benchtime, nil)
+}
+
+// RunFiltered is Run restricted to the cases keep accepts (nil keeps
+// every case) — the engine behind `fvcbench -batch point|batch` A/B
+// profiling. Filtered reports must not be compared against the full
+// committed baseline: Compare treats the missing cases as a gate
+// failure.
+func RunFiltered(benchtime time.Duration, keep func(Case) bool) (Report, error) {
 	report := Report{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
 	for _, c := range Cases() {
+		if keep != nil && !keep(c) {
+			continue
+		}
 		res, err := measure(c, benchtime)
 		if err != nil {
 			return Report{}, fmt.Errorf("kernelbench %s: %w", c.Name, err)
 		}
 		report.Results = append(report.Results, res)
+	}
+	if len(report.Results) == 0 {
+		return Report{}, fmt.Errorf("kernelbench: the case filter kept no cases")
 	}
 	return report, nil
 }
@@ -246,34 +344,40 @@ func Run(benchtime time.Duration) (Report, error) {
 const bestOf = 5
 
 // measure times one case with the doubling schedule, then reports the
-// fastest of bestOf batches at the final size.
+// fastest of bestOf batches at the final size. Per-point figures divide
+// by iterations × PointsPerOp, so batch and point cases read on the
+// same scale.
 func measure(c Case, benchtime time.Duration) (Result, error) {
 	fn, err := c.Setup()
 	if err != nil {
 		return Result{}, err
 	}
 	fn(0) // warm-up: fault in scratch buffers, reach steady state
+	perOp := float64(c.PointsPerOp())
 
 	n := 64
 	for {
 		iters, elapsed, mallocs, bytes := timeBatch(fn, n)
 		if elapsed >= benchtime || n >= 1<<28 {
+			points := float64(iters) * perOp
 			res := Result{
 				Name:           c.Name,
 				Iterations:     iters,
-				NsPerPoint:     float64(elapsed.Nanoseconds()) / float64(iters),
-				BytesPerPoint:  float64(bytes) / float64(iters),
-				AllocsPerPoint: float64(mallocs) / float64(iters),
+				PointsPerOp:    c.Points,
+				NsPerPoint:     float64(elapsed.Nanoseconds()) / points,
+				BytesPerPoint:  float64(bytes) / points,
+				AllocsPerPoint: float64(mallocs) / points,
 			}
 			// The smoke mode (benchtime ≤ 0) stays single-batch; a full
 			// run re-times the chosen size and keeps the fastest batch.
 			for extra := 1; benchtime > 0 && extra < bestOf; extra++ {
 				iters, elapsed, mallocs, bytes = timeBatch(fn, n)
-				if ns := float64(elapsed.Nanoseconds()) / float64(iters); ns < res.NsPerPoint {
+				points = float64(iters) * perOp
+				if ns := float64(elapsed.Nanoseconds()) / points; ns < res.NsPerPoint {
 					res.NsPerPoint = ns
 					res.Iterations = iters
-					res.BytesPerPoint = float64(bytes) / float64(iters)
-					res.AllocsPerPoint = float64(mallocs) / float64(iters)
+					res.BytesPerPoint = float64(bytes) / points
+					res.AllocsPerPoint = float64(mallocs) / points
 				}
 			}
 			return res, nil

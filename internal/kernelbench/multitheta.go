@@ -2,6 +2,7 @@ package kernelbench
 
 import (
 	"fullview/internal/core"
+	"fullview/internal/sweep"
 )
 
 // multiThetaSetup builds the fused θ-sweep case: evaluate the full
@@ -28,5 +29,28 @@ func multiThetaSetup() (func(int), error) {
 		p := pts[i&(pointPool-1)]
 		rep := checker.Evaluate(p)
 		sink += rep.NumCovering
+	}, nil
+}
+
+// multiThetaBatchSetup is multiThetaSetup through the batch kernel:
+// identical network, θ-list, and point pool, evaluated sweep.BatchSize
+// points per iteration by MultiChecker.EvaluateBatch. Reports are
+// bit-identical to Evaluate per point; the case exists to measure the
+// cell-sorted gather's amortisation against its point-at-a-time twin.
+func multiThetaBatchSetup() (func(int), error) {
+	net, err := homogNetwork(1000)
+	if err != nil {
+		return nil, err
+	}
+	checker, err := core.NewMultiChecker(net, Thetas)
+	if err != nil {
+		return nil, err
+	}
+	pts := samplePoints(9)
+	return func(i int) {
+		lo := (i * sweep.BatchSize) & (pointPool - 1)
+		checker.EvaluateBatch(pts[lo:lo+sweep.BatchSize], func(_ int, rep core.MultiReport) {
+			sink += rep.NumCovering
+		})
 	}, nil
 }

@@ -421,7 +421,12 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	elapsed := time.Since(t0)
 	s.m.points.Add(int64(stats.Points))
+	s.m.surveyPoints.Add(int64(stats.Points))
+	if stats.Points > 0 {
+		s.m.pointCost["survey"].Observe(elapsed.Nanoseconds() / int64(stats.Points))
+	}
 	writeJSON(w, http.StatusOK, surveyResponse{
 		ID:                 entry.Fingerprint,
 		Version:            view.Version(),
@@ -435,7 +440,7 @@ func (s *Server) handleSurvey(w http.ResponseWriter, r *http.Request) {
 		FullViewFraction:   stats.FullViewFraction(),
 		NecessaryFraction:  stats.NecessaryFraction(),
 		SufficientFraction: stats.SufficientFraction(),
-		ElapsedNS:          time.Since(t0).Nanoseconds(),
+		ElapsedNS:          elapsed.Nanoseconds(),
 	})
 }
 

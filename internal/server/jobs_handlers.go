@@ -113,6 +113,12 @@ func (s *Server) openJobs() error {
 			JobDone: func(k jobs.Kind, _ jobs.State, elapsed time.Duration) {
 				durations[k].Observe(elapsed.Nanoseconds())
 			},
+			BandDone: func(_ jobs.Kind, points int, elapsed time.Duration) {
+				s.m.surveyPoints.Add(int64(points))
+				if points > 0 {
+					s.m.pointCost["job"].Observe(elapsed.Nanoseconds() / int64(points))
+				}
+			},
 		},
 	}, s.execJob)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -613,5 +614,74 @@ func TestJobTransientBandRetries(t *testing.T) {
 	want := libStats(t, net, []float64{0.25}, 6)
 	if final.Result.Stats[0] != want[0] {
 		t.Fatalf("retried result %+v != library %+v", final.Result.Stats[0], want[0])
+	}
+}
+
+// metricValue parses the sample value off a /metrics line returned by
+// metricLine, failing if the line is absent.
+func metricValue(t *testing.T, h http.Handler, prefix string) float64 {
+	t.Helper()
+	line := metricLine(t, h, prefix)
+	if line == "" {
+		t.Fatalf("no /metrics line starts with %q", prefix)
+	}
+	fields := strings.Fields(line)
+	v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+	if err != nil {
+		t.Fatalf("metric line %q: %v", line, err)
+	}
+	return v
+}
+
+// TestSurveyPointTelemetry checks the production visibility of the
+// survey kernel: inline /survey requests and job bands both feed
+// fvcd_survey_points_total, and each observes the per-band ns/point
+// histogram under its own source label.
+func TestSurveyPointTelemetry(t *testing.T) {
+	srv := mustNewStopped(t, Config{})
+	h := srv.Handler()
+	waitReadyz(t, h, "ok")
+	net := testNetwork(t, 60, 11)
+	id := registerNet(t, h, net)
+
+	if got := metricValue(t, h, "fvcd_survey_points_total"); got != 0 {
+		t.Fatalf("fvcd_survey_points_total starts at %v, want 0", got)
+	}
+
+	// Inline survey: one 32×32 sweep = 1024 points, one histogram
+	// observation under source="survey".
+	body, err := json.Marshal(surveyRequest{ThetaPi: 0.25, Grid: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, h, "POST", "/v1/deployments/"+id+"/survey", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("survey: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := metricValue(t, h, "fvcd_survey_points_total"); got != 1024 {
+		t.Fatalf("after inline survey: fvcd_survey_points_total = %v, want 1024", got)
+	}
+	if got := metricValue(t, h, `fvcd_band_ns_per_point_count{source="survey"}`); got != 1 {
+		t.Fatalf("survey histogram count = %v, want 1", got)
+	}
+	if got := metricValue(t, h, `fvcd_band_ns_per_point_count{source="job"}`); got != 0 {
+		t.Fatalf("job histogram count = %v before any job, want 0", got)
+	}
+
+	// Survey job: one θ × Grid 24 = 24 bands of 24 points each. The
+	// counter grows by the full 576 and the job-source histogram sees
+	// one observation per band.
+	job := submitJob(t, h, jobSubmitRequest{Kind: "survey", Deployment: id, ThetaPi: 0.25, Grid: 24})
+	if final := pollJob(t, h, job.ID); final.State != "done" {
+		t.Fatalf("job state %q (error %q), want done", final.State, final.Error)
+	}
+	if got := metricValue(t, h, "fvcd_survey_points_total"); got != 1024+576 {
+		t.Fatalf("after job: fvcd_survey_points_total = %v, want %d", got, 1024+576)
+	}
+	if got := metricValue(t, h, `fvcd_band_ns_per_point_count{source="job"}`); got != 24 {
+		t.Fatalf("job histogram count = %v, want 24 (one per band)", got)
+	}
+	if got := metricValue(t, h, `fvcd_band_ns_per_point_count{source="survey"}`); got != 1 {
+		t.Fatalf("survey histogram count moved to %v after a job, want 1", got)
 	}
 }

@@ -212,6 +212,8 @@ type metrics struct {
 	queueDepth      *telemetry.Gauge
 	inFlight        *telemetry.Gauge
 	points          *telemetry.Counter
+	surveyPoints    *telemetry.Counter
+	pointCost       map[string]*telemetry.Histogram // ns/point, by source
 	registered      *telemetry.Counter
 	rebuilds        *telemetry.Counter
 	panics          *telemetry.Counter
@@ -288,6 +290,9 @@ func (s *Server) newMetrics() *metrics {
 		inFlight:   reg.Gauge("fvcd_inflight", "Requests currently executing."),
 		points: reg.Counter("fvcd_points_evaluated_total",
 			"Sample points pushed through the coverage kernel."),
+		surveyPoints: reg.Counter("fvcd_survey_points_total",
+			"Sample points evaluated by region surveys (inline /survey requests and job bands)."),
+		pointCost: make(map[string]*telemetry.Histogram),
 		registered: reg.Counter("fvcd_deployments_registered_total",
 			"Deployment registrations accepted (including cache hits)."),
 		rebuilds: reg.Counter("fvcd_rebuilds_total",
@@ -302,6 +307,11 @@ func (s *Server) newMetrics() *metrics {
 	for _, route := range []string{"register", "inspect", "mutate", "query", "survey", "jobs"} {
 		m.latency[route] = reg.Histogram("fvcd_request_duration_ns",
 			"Request latency in nanoseconds by route.", nil, telemetry.L("route", route))
+	}
+	for _, source := range []string{"survey", "job"} {
+		m.pointCost[source] = reg.Histogram("fvcd_band_ns_per_point",
+			"Per-point kernel cost of one survey (or job band) in nanoseconds per point.",
+			telemetry.PointCostBuckets, telemetry.L("source", source))
 	}
 	reg.CounterFunc("fvcd_depcache_hits_total",
 		"Deployment-cache lookups served from cache.",

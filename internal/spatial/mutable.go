@@ -52,6 +52,14 @@ type Source interface {
 	// AppendViewedDirections appends the viewed directions of every
 	// camera covering p.
 	AppendViewedDirections(dst []float64, p geom.Vec) []float64
+	// AppendCoveringBatch answers AppendCovering for a whole point batch
+	// through the cell-sorted gather: cams[offs[i]:offs[i+1]] equals the
+	// per-point AppendCovering output element for element. The returned
+	// slices are owned by sc and valid until its next batch call.
+	AppendCoveringBatch(sc *BatchScratch, points []geom.Vec) (cams []int32, offs []int32)
+	// AppendViewedDirectionsBatch is AppendCoveringBatch for viewed
+	// directions.
+	AppendViewedDirectionsBatch(sc *BatchScratch, points []geom.Vec) (dirs []float64, offs []int32)
 	// CountCovering returns the point's k-coverage multiplicity.
 	CountCovering(p geom.Vec) int
 	// ForEachCovering calls fn for every covering camera.

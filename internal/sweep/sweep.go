@@ -95,63 +95,10 @@ func Run[S, T any](
 		return zero, nil
 	}
 	workers = normalizeWorkers(workers, len(points))
-
-	if workers == 1 {
-		return runChunk(ctx, 0, 0, len(points), points, newState, kernel)
-	}
-
-	// Contiguous chunks; merged in chunk order below, so the fold order
-	// over points is exactly the sequential order at every boundary.
-	chunk := (len(points) + workers - 1) / workers
-	parent := ctx
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	partials := make([]T, workers)
-	used := make([]bool, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(points) {
-			hi = len(points)
-		}
-		if lo >= hi {
-			continue
-		}
-		used[w] = true
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			acc, err := runChunk(ctx, w, lo, hi, points, newState, kernel)
-			if err != nil {
-				errs[w] = err
-				cancel()
-				return
-			}
-			partials[w] = acc
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	if err := selectError(parent, errs); err != nil {
-		return zero, err
-	}
-	acc := zero
-	first := true
-	for w := 0; w < workers; w++ {
-		if !used[w] {
-			continue
-		}
-		if first {
-			acc = partials[w]
-			first = false
-			continue
-		}
-		acc = merge(acc, partials[w])
-	}
-	return acc, nil
+	return runParallel(ctx, len(points), workers, merge,
+		func(ctx context.Context, w, lo, hi int) (T, error) {
+			return runChunk(ctx, w, lo, hi, points, newState, kernel)
+		})
 }
 
 // runChunk executes one worker's contiguous chunk [lo, hi) with panic

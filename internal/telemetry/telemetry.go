@@ -45,6 +45,20 @@ var DurationBuckets = []int64{
 	10_000_000_000,
 }
 
+// PointCostBuckets are histogram bounds for per-point kernel cost, in
+// nanoseconds per point: 10ns to 100µs with 1-2.5-5 steps per decade.
+// The batch coverage kernel answers dense-grid points in tens of
+// nanoseconds; a degenerate deployment (one giant tier, overlay-heavy
+// snapshot) can push a point into the tens of microseconds, so the
+// range brackets both.
+var PointCostBuckets = []int64{
+	10, 25, 50,
+	100, 250, 500,
+	1_000, 2_500, 5_000,
+	10_000, 25_000, 50_000,
+	100_000,
+}
+
 // Counter is a monotonically increasing integer.
 type Counter struct{ v atomic.Int64 }
 

@@ -31,6 +31,12 @@ func benchKernelCase(b *testing.B, name string) {
 		for i := 0; i < b.N; i++ {
 			fn(i)
 		}
+		// Batch cases evaluate PointsPerOp points per iteration; report
+		// the per-point cost explicitly so they read on the same scale
+		// as their point-at-a-time twins.
+		if pts := c.PointsPerOp(); pts > 1 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*int64(pts)), "ns/point")
+		}
 		return
 	}
 	b.Fatalf("kernelbench: no case named %q", name)
@@ -44,3 +50,11 @@ func BenchmarkFullViewMultiTheta1000(b *testing.B) {
 }
 func BenchmarkSectorOccupancy1000(b *testing.B)  { benchKernelCase(b, "SectorOccupancy1000") }
 func BenchmarkCountCoveringHet1000(b *testing.B) { benchKernelCase(b, "CountCoveringHet1000") }
+
+func BenchmarkFullViewMultiTheta1000Batch(b *testing.B) {
+	benchKernelCase(b, "FullViewMultiTheta1000Batch")
+}
+func BenchmarkSectorOccupancy1000Batch(b *testing.B) {
+	benchKernelCase(b, "SectorOccupancy1000Batch")
+}
+func BenchmarkSurveyHet1000Batch(b *testing.B) { benchKernelCase(b, "SurveyHet1000Batch") }
