@@ -8,6 +8,25 @@
 //	fvcd -addr :8080
 //	fvcd -addr :8080 -state /var/lib/fvcd
 //	fvcd -addr 127.0.0.1:0 -cache 32 -max-inflight 128
+//	fvcd -addr :8081 -state /var/lib/fvcd-a -cluster peers.json -self a
+//	fvcd -addr :8080 -route -cluster peers.json
+//
+// # Cluster modes
+//
+// With -cluster peers.json and -self NAME, the daemon runs as one
+// replica of an fvcd cluster: deployments are placed on replicas by a
+// consistent-hash ring over the peers file's member names, every
+// journal append is mirrored asynchronously to the other members, the
+// local journal is served to warming peers on GET /v1/internal/
+// snapshot, and a replica starting with no local journal warms from a
+// peer snapshot first. -state is required in this mode.
+//
+// With -route (plus -cluster), the process is instead a thin stateless
+// router: it owns no journal and no cache, and forwards every client
+// request to the owning shard with bounded retries, jittered backoff,
+// and honoured Retry-After. GET /readyz on the router aggregates every
+// shard's readiness into a cluster rollup. Run any number of routers;
+// they are interchangeable. See README "Running a cluster".
 //
 // With -state, registrations and mutations are journaled durably: a
 // daemon killed at any instant (including kill -9) and restarted on the
@@ -47,16 +66,19 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"fullview/internal/cluster"
 	"fullview/internal/server"
 	"fullview/internal/version"
 )
@@ -87,6 +109,9 @@ func run(args []string, w io.Writer) error {
 		jobWorkers    = fs.Int("job-concurrency", 0, "job workers per kind (0 = 2)")
 		jobTTL        = fs.Duration("job-ttl", 0, "retention of finished job results before 410 Gone (0 = 15m, negative = forever)")
 		jobThrottle   = fs.Duration("job-throttle", 0, "pause between job bands, for background pacing (0 = none)")
+		clusterFile   = fs.String("cluster", "", "peers file naming the cluster membership (see README \"Running a cluster\")")
+		selfName      = fs.String("self", "", "this replica's member name in the -cluster peers file")
+		routeMode     = fs.Bool("route", false, "run as a stateless cluster router instead of a replica (requires -cluster)")
 		showVersion   = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -98,6 +123,39 @@ func run(args []string, w io.Writer) error {
 	}
 
 	logger := log.New(w, "fvcd: ", log.LstdFlags)
+
+	if *routeMode {
+		if *clusterFile == "" {
+			return errors.New("-route requires -cluster peers.json")
+		}
+		peers, err := cluster.LoadPeers(*clusterFile)
+		if err != nil {
+			return err
+		}
+		return runRouter(peers, *addr, *readTimeout, *writeTimeout, *drainTimeout, logger)
+	}
+
+	var peerURLs []string
+	if *clusterFile != "" {
+		if *selfName == "" {
+			return errors.New("-cluster requires -self NAME (this replica's member name)")
+		}
+		if *stateDir == "" {
+			return errors.New("-cluster requires -state (the mirror and snapshot paths journal)")
+		}
+		peers, err := cluster.LoadPeers(*clusterFile)
+		if err != nil {
+			return err
+		}
+		if !peers.Has(*selfName) {
+			return fmt.Errorf("-self %q is not a member of %s", *selfName, *clusterFile)
+		}
+		for _, m := range peers.Others(*selfName) {
+			peerURLs = append(peerURLs, m.URL)
+		}
+		logger.Printf("cluster: replica %q of %d members (%d peers)", *selfName, len(peers.Members), len(peerURLs))
+	}
+
 	srv, err := server.New(server.Config{
 		CacheSize:       *cacheSize,
 		MaxInFlight:     *maxInFlight,
@@ -111,6 +169,7 @@ func run(args []string, w io.Writer) error {
 		JobConcurrency:  *jobWorkers,
 		JobTTL:          *jobTTL,
 		JobThrottle:     *jobThrottle,
+		PeerURLs:        peerURLs,
 		Logger:          logger,
 	})
 	if err != nil {
@@ -143,6 +202,57 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("drain: %w", err)
 	}
 	if err := <-serveErr; err != nil {
+		return err
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}
+
+// runRouter serves the stateless cluster router with the same
+// bind/drain lifecycle as a replica: "listening on HOST:PORT" once
+// bound, serve until SIGINT/SIGTERM, then drain in-flight forwards.
+func runRouter(peers *cluster.Peers, addr string, readTimeout, writeTimeout, drainTimeout time.Duration, logger *log.Logger) error {
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Peers:       peers,
+		RegisterKey: server.DeploymentIDFromRequest,
+		Logger:      logger,
+	})
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{
+		Handler:     rt.Handler(),
+		ReadTimeout: readTimeout,
+		// Forwarded surveys stream for as long as the shard computes;
+		// the router imposes no write timeout unless asked.
+		WriteTimeout: writeTimeout,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("routing %d shards", rt.Ring().N())
+	logger.Printf("listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("signal received, draining (timeout %s)", drainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	logger.Printf("drained cleanly")

@@ -21,8 +21,18 @@
 //	go run ./cmd/fvcd -addr :8080 &
 //	go run ./examples/queryservice -addr http://localhost:8080
 //
+// Or against an fvcd cluster with client-side ring routing — the
+// zero-hop alternative to the fvcd -route process. With -peers the
+// client computes the deployment's content fingerprint locally
+// (fullview.NetworkFingerprint), asks the consistent-hash ring which
+// replica owns it, and talks straight to that shard:
+//
+//	go run ./examples/queryservice -peers peers.json
+//
 // The process exits non-zero if any service answer differs from the
-// in-process library result.
+// in-process library result, or if any retryable 429/503 rejection
+// arrives without the Retry-After header the service contract
+// promises.
 package main
 
 import (
@@ -142,12 +152,13 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "", "base URL of a running fvcd (empty = start one in-process)")
+	peersFile := flag.String("peers", "", "cluster peers file: route requests client-side by the consistent-hash ring (overrides -addr)")
 	n := flag.Int("n", 400, "cameras to deploy")
 	seed := flag.Uint64("seed", 2012, "deployment RNG seed")
 	flag.Parse()
 
 	base := *addr
-	if base == "" {
+	if base == "" && *peersFile == "" {
 		// No daemon given: host the service in-process on a random port,
 		// exactly as cmd/fvcd would. A small job throttle paces the async
 		// job below so its SSE stream visibly carries per-band events.
@@ -181,6 +192,29 @@ func run() error {
 		return err
 	}
 
+	// Client-side ring routing: fingerprint the network locally — the
+	// same sha256 content fingerprint the service will assign as the
+	// deployment id — and ask the consistent-hash ring which cluster
+	// member owns it. Every request below then goes straight to the
+	// owning shard, no router hop. Replicas serve mis-routed requests
+	// correctly anyway (ownership is advisory), so a stale peers file
+	// degrades placement, not correctness.
+	localID := fullview.NetworkFingerprint(network)
+	if *peersFile != "" {
+		peers, err := fullview.LoadClusterPeers(*peersFile)
+		if err != nil {
+			return err
+		}
+		ring, err := peers.Ring()
+		if err != nil {
+			return err
+		}
+		owner := ring.Owner(localID)
+		base, _ = peers.URL(owner)
+		fmt.Printf("ring routing: deployment %s is owned by member %q at %s\n", localID, owner, base)
+	}
+	base = strings.TrimRight(base, "/")
+
 	// Register the deployment: the id that comes back is the network's
 	// content fingerprint.
 	cams := make([]cameraJSON, network.Len())
@@ -192,6 +226,9 @@ func run() error {
 	var reg registerResponse
 	if err := postJSON(base+"/v1/deployments", registerRequest{Cameras: cams}, &reg); err != nil {
 		return fmt.Errorf("register: %w", err)
+	}
+	if reg.ID != localID {
+		return fmt.Errorf("service assigned id %s, local fingerprint is %s — ring routing would misplace this deployment", reg.ID, localID)
 	}
 	fmt.Printf("registered deployment %s (%d cameras, cached=%v)\n", reg.ID, reg.Cameras, reg.Cached)
 
@@ -535,8 +572,18 @@ func doJSON(method, url string, v, out any) error {
 			continue
 		}
 		if retryableStatus(resp.StatusCode) {
+			retryAfter := resp.Header.Get("Retry-After")
+			// The service contract promises a jittered fractional-seconds
+			// Retry-After on every retryable shedding answer (429 and
+			// transient 503, from replicas and routers alike). Enforce it:
+			// a missing header is a server bug, not something to paper
+			// over with local backoff.
+			if (resp.StatusCode == http.StatusTooManyRequests ||
+				resp.StatusCode == http.StatusServiceUnavailable) && retryAfter == "" {
+				return fmt.Errorf("%s from %s without Retry-After — the fvcd contract requires it on retryable 429/503", resp.Status, url)
+			}
 			lastErr = fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
-			time.Sleep(defaultRetry.backoff(attempt, resp.Header.Get("Retry-After")))
+			time.Sleep(defaultRetry.backoff(attempt, retryAfter))
 			continue
 		}
 		if resp.StatusCode/100 != 2 {

@@ -53,7 +53,9 @@ import (
 
 	"fullview/internal/analytic"
 	"fullview/internal/barrier"
+	"fullview/internal/cluster"
 	"fullview/internal/core"
+	"fullview/internal/depcache"
 	"fullview/internal/deploy"
 	"fullview/internal/geom"
 	"fullview/internal/probsense"
@@ -317,6 +319,37 @@ type (
 // an unusable ServiceConfig.StateDir (the durable deployment journal
 // could not be opened or replayed).
 func NewService(cfg ServiceConfig) (*Service, error) { return server.New(cfg) }
+
+// Cluster types, for clients that place requests themselves (zero-hop
+// routing) and for embedding the router.
+type (
+	// ClusterPeers is an fvcd cluster membership, normally loaded from
+	// a peers file with LoadClusterPeers.
+	ClusterPeers = cluster.Peers
+	// ClusterMember is one replica in a ClusterPeers membership.
+	ClusterMember = cluster.Member
+	// HashRing is the consistent-hash ring that places deployment ids
+	// on cluster members. Every replica, router, and ring-aware client
+	// that builds it from the same membership derives the same
+	// placement.
+	HashRing = cluster.Ring
+)
+
+// LoadClusterPeers reads and validates a cluster peers file.
+func LoadClusterPeers(path string) (*ClusterPeers, error) { return cluster.LoadPeers(path) }
+
+// NewHashRing builds a consistent-hash ring over member names
+// (virtualNodes 0 selects the default).
+func NewHashRing(members []string, virtualNodes int) (*HashRing, error) {
+	return cluster.NewRing(members, virtualNodes)
+}
+
+// NetworkFingerprint returns the content fingerprint the service uses
+// as a network's deployment id — and the cluster uses as its shard
+// key. Ring-aware clients fingerprint locally, call
+// HashRing.Owner(fingerprint), and talk straight to the owning replica
+// with no router hop.
+func NetworkFingerprint(net *Network) string { return depcache.Fingerprint(net) }
 
 // Serve runs the coverage query service on addr until ctx is
 // cancelled, then drains gracefully: in-flight requests run to

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goodPeers = `{
+  "virtualNodes": 64,
+  "members": [
+    {"name": "a", "url": "http://127.0.0.1:8081"},
+    {"name": "b", "url": "http://127.0.0.1:8082/"},
+    {"name": "c", "url": "https://fvcd-c.internal:443"}
+  ]
+}`
+
+func TestParsePeers(t *testing.T) {
+	p, err := ParsePeers([]byte(goodPeers))
+	if err != nil {
+		t.Fatalf("ParsePeers: %v", err)
+	}
+	if len(p.Members) != 3 || p.VirtualNodes != 64 {
+		t.Fatalf("parsed %d members, vnodes %d; want 3, 64", len(p.Members), p.VirtualNodes)
+	}
+	if u, ok := p.URL("b"); !ok || u != "http://127.0.0.1:8082" {
+		t.Fatalf("URL(b) = %q, %v; want trailing slash trimmed", u, ok)
+	}
+	if !p.Has("c") || p.Has("router") {
+		t.Fatal("Has misreports membership")
+	}
+	others := p.Others("b")
+	if len(others) != 2 || others[0].Name != "a" || others[1].Name != "c" {
+		t.Fatalf("Others(b) = %v", others)
+	}
+	r, err := p.Ring()
+	if err != nil {
+		t.Fatalf("Ring: %v", err)
+	}
+	if r.N() != 3 || r.VirtualNodes() != 64 {
+		t.Fatalf("ring has %d members, %d vnodes", r.N(), r.VirtualNodes())
+	}
+}
+
+func TestParsePeersRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `{"members":[{"name":"a","url":"http://h"}],"vnodes":7}`,
+		"trailing data":  `{"members":[{"name":"a","url":"http://h"}]} {}`,
+		"no members":     `{"members":[]}`,
+		"negative vn":    `{"virtualNodes":-1,"members":[{"name":"a","url":"http://h"}]}`,
+		"empty name":     `{"members":[{"name":"","url":"http://h"}]}`,
+		"duplicate name": `{"members":[{"name":"a","url":"http://h1"},{"name":"a","url":"http://h2"}]}`,
+		"duplicate url":  `{"members":[{"name":"a","url":"http://h/"},{"name":"b","url":"http://h"}]}`,
+		"bad scheme":     `{"members":[{"name":"a","url":"ftp://h"}]}`,
+		"no host":        `{"members":[{"name":"a","url":"http://"}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ParsePeers([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted %s", name, doc)
+		}
+	}
+}
+
+func TestLoadPeers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "peers.json")
+	if err := os.WriteFile(path, []byte(goodPeers), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPeers(path); err != nil {
+		t.Fatalf("LoadPeers: %v", err)
+	}
+	if _, err := LoadPeers(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("LoadPeers accepted a missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"members":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPeers(bad); err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Fatalf("LoadPeers(bad) error %v does not name the file", err)
+	}
+}

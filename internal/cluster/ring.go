@@ -1,0 +1,143 @@
+// Package cluster turns fvcd into a horizontally scalable service: a
+// consistent-hash ring places deployment ids on replicas, a peers file
+// names the membership, and a thin stateless router forwards requests
+// to the owning shard. Deployment ids are already content fingerprints
+// (internal/depcache: sha256 over the camera network), which makes them
+// ideal shard keys — uniformly distributed by construction and stable
+// across replicas, so every node and every client derives the same
+// placement from the same membership with no coordination.
+//
+// # Placement
+//
+// The ring hashes each member name onto VirtualNodes points of a
+// 64-bit circle; a key is owned by the member whose virtual node is
+// the first at or clockwise of the key's hash. Virtual nodes smooth
+// the arc lengths so load spreads within a few percent of uniform, and
+// give consistent hashing its defining property: adding or removing
+// one member relocates only the keys in the arcs it gains or loses —
+// about K/N of K keys across N members — while every other key keeps
+// its owner. The randomized suite in ring_test.go pins both
+// properties.
+//
+// # Topology
+//
+// Every replica and every router loads the same peers file and builds
+// the same ring. Replicas serve whatever they are asked (ownership is
+// advisory — a mis-routed request still answers correctly, it just
+// warms the wrong cache), so rebalancing after a membership change
+// needs no data migration protocol: the ring moves the keys, the
+// journal mirror (internal/server) already has the records everywhere,
+// and the new owner rebuilds indexes lazily on first use.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-member virtual-node count used when a
+// configuration leaves it zero. 160 points per member keeps the
+// largest member share within ~±15% of uniform at small cluster sizes
+// (the classic ketama operating point).
+const DefaultVirtualNodes = 160
+
+// ringPoint is one virtual node: a position on the hash circle and the
+// member that owns the arc ending there.
+type ringPoint struct {
+	hash   uint64
+	member int32 // index into Ring.members
+}
+
+// Ring is an immutable consistent-hash ring over a member set. Build
+// with NewRing; safe for concurrent use (all methods are reads).
+type Ring struct {
+	members []string // sorted, deduplicated
+	points  []ringPoint
+	vnodes  int
+}
+
+// NewRing builds a ring over the member names with the given
+// virtual-node count per member (0 selects DefaultVirtualNodes).
+// Member order does not matter: the ring is a pure function of the
+// member set and the virtual-node count, so replicas and routers that
+// agree on a peers file agree on every placement.
+func NewRing(members []string, virtualNodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, errors.New("cluster: ring needs at least one member")
+	}
+	if virtualNodes == 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	if virtualNodes < 1 {
+		return nil, fmt.Errorf("cluster: virtual-node count %d must be positive", virtualNodes)
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	dedup := sorted[:0]
+	for i, m := range sorted {
+		if m == "" {
+			return nil, errors.New("cluster: empty member name")
+		}
+		if i > 0 && sorted[i-1] == m {
+			continue
+		}
+		dedup = append(dedup, m)
+	}
+	r := &Ring{
+		members: dedup,
+		points:  make([]ringPoint, 0, len(dedup)*virtualNodes),
+		vnodes:  virtualNodes,
+	}
+	for mi, m := range r.members {
+		for v := 0; v < virtualNodes; v++ {
+			h := hashString(m + "#" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, member: int32(mi)})
+		}
+	}
+	// Ties (two virtual nodes on one hash) are broken by member index so
+	// the winner is deterministic across builds.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// hashString maps a string onto the 64-bit hash circle. sha256 keeps
+// virtual-node placement well spread even for near-identical member
+// names ("replica-1", "replica-2", …), where a cheaper multiplicative
+// hash would cluster; placement is a ring-build-time cost, not a
+// lookup cost.
+func hashString(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member owning key: the member of the first virtual
+// node at or clockwise of the key's hash (wrapping past the top of the
+// circle to the first point).
+func (r *Ring) Owner(key string) string {
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.members[r.points[i].member]
+}
+
+// Members returns the member names in sorted order. The slice is
+// shared; callers must not modify it.
+func (r *Ring) Members() []string { return r.members }
+
+// N returns the member count.
+func (r *Ring) N() int { return len(r.members) }
+
+// VirtualNodes returns the per-member virtual-node count the ring was
+// built with.
+func (r *Ring) VirtualNodes() int { return r.vnodes }

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// fingerprints returns n deterministic keys shaped exactly like the
+// deployment ids the ring shards in production: hex digests of a
+// sha256 (depcache fingerprints are the first 16 bytes of one).
+func fingerprints(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("deployment-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:16])
+	}
+	return keys
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("replica-%d", i)
+	}
+	return out
+}
+
+func mustRing(t *testing.T, m []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := NewRing(m, vnodes)
+	if err != nil {
+		t.Fatalf("NewRing(%v, %d): %v", m, vnodes, err)
+	}
+	return r
+}
+
+// TestRingValidation pins the constructor's error paths and the
+// dedupe/ordering normalisation.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty member set built a ring")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member name built a ring")
+	}
+	if _, err := NewRing([]string{"a"}, -1); err == nil {
+		t.Fatal("negative virtual-node count built a ring")
+	}
+	r := mustRing(t, []string{"b", "a", "b"}, 0)
+	if r.N() != 2 {
+		t.Fatalf("deduped member count = %d, want 2", r.N())
+	}
+	if got := r.Members(); got[0] != "a" || got[1] != "b" {
+		t.Fatalf("members not sorted: %v", got)
+	}
+	if r.VirtualNodes() != DefaultVirtualNodes {
+		t.Fatalf("default virtual nodes = %d, want %d", r.VirtualNodes(), DefaultVirtualNodes)
+	}
+}
+
+// TestRingDeterministicPlacement: the ring is a pure function of the
+// member SET — input order must not change any placement.
+func TestRingDeterministicPlacement(t *testing.T) {
+	keys := fingerprints(200)
+	a := mustRing(t, []string{"x", "y", "z"}, 64)
+	b := mustRing(t, []string{"z", "x", "y"}, 64)
+	for _, k := range keys {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owner %q vs %q across member orderings", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingUniformDistribution: across 1000 fingerprint keys and 5
+// members at the default virtual-node count, every member's share must
+// sit within ±20% of the uniform K/N.
+func TestRingUniformDistribution(t *testing.T) {
+	const K, N = 1000, 5
+	keys := fingerprints(K)
+	r := mustRing(t, members(N), DefaultVirtualNodes)
+	counts := make(map[string]int, N)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	want := float64(K) / N
+	for _, m := range r.Members() {
+		c := counts[m]
+		if dev := float64(c)/want - 1; dev < -0.20 || dev > 0.20 {
+			t.Errorf("member %s owns %d keys, %+.1f%% off the uniform %g (limit ±20%%)",
+				m, c, dev*100, want)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnRemove: removing one of N members must
+// relocate exactly the removed member's keys — every key it owned
+// moves (it has to), and no other key changes owner. That is the
+// strongest form of the ~K/N movement bound.
+func TestRingMinimalMovementOnRemove(t *testing.T) {
+	const K, N = 1000, 5
+	keys := fingerprints(K)
+	full := mustRing(t, members(N), DefaultVirtualNodes)
+	removed := members(N)[N-1]
+	reduced := mustRing(t, members(N)[:N-1], DefaultVirtualNodes)
+
+	moved, ownedByRemoved := 0, 0
+	for _, k := range keys {
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == removed {
+			ownedByRemoved++
+			if after == removed {
+				t.Fatalf("key %s still owned by removed member", k)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+			t.Errorf("key %s moved %s→%s though neither is the removed member", k, before, after)
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed member relocated; consistent hashing promises zero", moved)
+	}
+	// The removed member's share is itself bounded by the distribution
+	// property: ~K/N ± 20%.
+	if limit := int(float64(K) / N * 1.2); ownedByRemoved > limit {
+		t.Fatalf("removed member owned %d keys, above the %d (≈1.2·K/N) bound", ownedByRemoved, limit)
+	}
+}
+
+// TestRingMinimalMovementOnAdd: adding an (N+1)th member must move
+// keys only TO the new member, and no more than ~K/(N+1) of them
+// (within the same ±20% tolerance the distribution property grants,
+// which holds at the default virtual-node count).
+func TestRingMinimalMovementOnAdd(t *testing.T) {
+	const K, N = 1000, 5
+	keys := fingerprints(K)
+	base := mustRing(t, members(N), DefaultVirtualNodes)
+	grown := mustRing(t, members(N+1), DefaultVirtualNodes)
+	newcomer := members(N + 1)[N]
+
+	moved := 0
+	for _, k := range keys {
+		before, after := base.Owner(k), grown.Owner(k)
+		if before == after {
+			continue
+		}
+		if after != newcomer {
+			t.Errorf("key %s moved %s→%s, not to the new member", k, before, after)
+		}
+		moved++
+	}
+	limit := int(float64(len(keys)) / float64(N+1) * 1.2)
+	if moved > limit {
+		t.Fatalf("adding one member moved %d of %d keys, above the %d (≈1.2·K/(N+1)) bound", moved, K, limit)
+	}
+	if moved == 0 {
+		t.Fatal("adding a member moved zero keys — the new member owns nothing")
+	}
+}
+
+// TestRingMovementScalesWithVirtualNodes: the movement bound is a
+// consequence of virtual nodes smoothing arc lengths; pin that it
+// holds across the vnode counts a config may choose.
+func TestRingMovementScalesWithVirtualNodes(t *testing.T) {
+	const K, N = 1000, 4
+	keys := fingerprints(K)
+	for _, vn := range []int{64, 160, 320} {
+		base := mustRing(t, members(N), vn)
+		grown := mustRing(t, members(N+1), vn)
+		moved := 0
+		for _, k := range keys {
+			if base.Owner(k) != grown.Owner(k) {
+				moved++
+			}
+		}
+		// Looser ±35% at the smallest count: fewer virtual nodes mean
+		// coarser arcs. The default count is pinned tight above.
+		if limit := int(float64(len(keys)) / float64(N+1) * 1.35); moved > limit {
+			t.Errorf("vnodes=%d: adding one member moved %d keys, above %d", vn, moved, limit)
+		}
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r, err := NewRing(members(8), DefaultVirtualNodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := fingerprints(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner(keys[i%len(keys)])
+	}
+}

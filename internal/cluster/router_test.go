@@ -1,0 +1,420 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testShard is one fake replica: it records hits and answers with a
+// programmable handler, defaulting to echoing its own name so tests
+// can assert which shard a request landed on.
+type testShard struct {
+	name    string
+	hits    atomic.Int64
+	handler atomic.Value // http.HandlerFunc
+	srv     *httptest.Server
+}
+
+func newTestShard(name string) *testShard {
+	s := &testShard{name: name}
+	s.handler.Store(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"shard": name, "path": r.URL.Path})
+	}))
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.hits.Add(1)
+		s.handler.Load().(http.HandlerFunc)(w, r)
+	}))
+	return s
+}
+
+func (s *testShard) set(h http.HandlerFunc) { s.handler.Store(h) }
+
+// newTestCluster builds n shards and a router over them. RegisterKey
+// routes by the body's "key" field, standing in for the deployment
+// fingerprint.
+func newTestCluster(t *testing.T, n int, tweak func(*RouterConfig)) ([]*testShard, *Router) {
+	t.Helper()
+	shards := make([]*testShard, n)
+	peers := &Peers{}
+	for i := range shards {
+		shards[i] = newTestShard(fmt.Sprintf("shard-%d", i))
+		t.Cleanup(shards[i].srv.Close)
+		peers.Members = append(peers.Members, Member{Name: shards[i].name, URL: shards[i].srv.URL})
+	}
+	cfg := RouterConfig{
+		Peers: peers,
+		RegisterKey: func(body []byte) (string, error) {
+			var req struct {
+				Key string `json:"key"`
+			}
+			if err := json.Unmarshal(body, &req); err != nil || req.Key == "" {
+				return "", fmt.Errorf("no key in body")
+			}
+			return req.Key, nil
+		},
+		BackoffBase: time.Millisecond,
+		BackoffCap:  4 * time.Millisecond,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	return shards, rt
+}
+
+func shardByName(shards []*testShard, name string) *testShard {
+	for _, s := range shards {
+		if s.name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func do(t *testing.T, rt *Router, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// TestRouterRoutesByPathID: a deployment-scoped request lands on the
+// ring owner of the path id, and only there.
+func TestRouterRoutesByPathID(t *testing.T) {
+	shards, rt := newTestCluster(t, 3, nil)
+	for _, id := range []string{"dep-a", "dep-b", "dep-c", "dep-d"} {
+		owner := rt.Ring().Owner(id)
+		w := do(t, rt, http.MethodGet, "/v1/deployments/"+id, "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", id, w.Code, w.Body)
+		}
+		var resp struct{ Shard, Path string }
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Shard != owner {
+			t.Errorf("id %s answered by %s, ring owner is %s", id, resp.Shard, owner)
+		}
+		if resp.Path != "/v1/deployments/"+id {
+			t.Errorf("forwarded path %s", resp.Path)
+		}
+	}
+	total := int64(0)
+	for _, s := range shards {
+		total += s.hits.Load()
+	}
+	if total != 4 {
+		t.Fatalf("4 requests produced %d shard hits", total)
+	}
+}
+
+// TestRouterRegisterRoutesByKey: registrations land on the owner of
+// the id RegisterKey computes from the body; a body RegisterKey
+// rejects answers 400 without touching any shard.
+func TestRouterRegisterRoutesByKey(t *testing.T) {
+	shards, rt := newTestCluster(t, 3, nil)
+	w := do(t, rt, http.MethodPost, "/v1/deployments", `{"key":"fp-1234"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", w.Code, w.Body)
+	}
+	var resp struct{ Shard string }
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if want := rt.Ring().Owner("fp-1234"); resp.Shard != want {
+		t.Fatalf("registration answered by %s, owner of its key is %s", resp.Shard, want)
+	}
+
+	w = do(t, rt, http.MethodPost, "/v1/deployments", `{"nope":true}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad register body: %d, want 400", w.Code)
+	}
+	if total := shards[0].hits.Load() + shards[1].hits.Load() + shards[2].hits.Load(); total != 1 {
+		t.Fatalf("bad body reached a shard (total hits %d, want 1)", total)
+	}
+}
+
+// TestRouterRetriesHonourRetryAfter: a shard shedding with 503 +
+// Retry-After is retried after that exact wait, not the (much larger)
+// configured backoff.
+func TestRouterRetriesHonourRetryAfter(t *testing.T) {
+	shards, rt := newTestCluster(t, 1, func(cfg *RouterConfig) {
+		cfg.BackoffBase = 5 * time.Second // would blow the test deadline if used
+		cfg.BackoffCap = 5 * time.Second
+	})
+	var calls atomic.Int64
+	shards[0].set(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0.01")
+			writeError(w, http.StatusServiceUnavailable, "shedding")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"shard": shards[0].name})
+	})
+	t0 := time.Now()
+	w := do(t, rt, http.MethodGet, "/v1/deployments/x", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("after retries: %d %s", w.Code, w.Body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3", got)
+	}
+	if el := time.Since(t0); el > 2*time.Second {
+		t.Fatalf("retries took %s — Retry-After was not honoured over the 5s backoff", el)
+	}
+}
+
+// TestRouterRelaysFinalRetryableAnswer: when the retry budget is spent
+// the shard's last answer goes back verbatim — the router never
+// swallows a shard's 503 into its own.
+func TestRouterRelaysFinalRetryableAnswer(t *testing.T) {
+	shards, rt := newTestCluster(t, 1, func(cfg *RouterConfig) { cfg.Retries = 2 })
+	shards[0].set(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0.01")
+		writeError(w, http.StatusServiceUnavailable, "still shedding")
+	})
+	w := do(t, rt, http.MethodGet, "/v1/deployments/x", "")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code %d, want 503", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "still shedding") {
+		t.Fatalf("final shard answer not relayed verbatim: %s", w.Body)
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("relayed 503 lost the shard's Retry-After")
+	}
+	if got := shards[0].hits.Load(); got != 2 {
+		t.Fatalf("%d attempts, want 2", got)
+	}
+}
+
+// TestRouterUnavailableShard: every attempt failing at the transport
+// yields the router's own 503, carrying the cluster-uniform jittered
+// Retry-After — the same shedding contract a single replica offers.
+func TestRouterUnavailableShard(t *testing.T) {
+	shards, rt := newTestCluster(t, 1, func(cfg *RouterConfig) { cfg.Retries = 2 })
+	shards[0].srv.Close()
+	w := do(t, rt, http.MethodGet, "/v1/deployments/x", "")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code %d, want 503", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "unavailable after 2 attempts") {
+		t.Fatalf("body %s", w.Body)
+	}
+	ra := w.Header().Get("Retry-After")
+	if ra == "" {
+		t.Fatal("router 503 carries no Retry-After")
+	}
+	var secs float64
+	if _, err := fmt.Sscanf(ra, "%f", &secs); err != nil || secs < 0.8 || secs > 1.2 {
+		t.Fatalf("Retry-After %q outside the 1s±20%% contract", ra)
+	}
+}
+
+// TestRouterDoesNotRetry504: a survey deadline will expire again — the
+// 504 (with its retry-as-job hint) must reach the client on the first
+// attempt.
+func TestRouterDoesNotRetry504(t *testing.T) {
+	shards, rt := newTestCluster(t, 1, nil)
+	shards[0].set(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusGatewayTimeout, "survey deadline exceeded")
+	})
+	w := do(t, rt, http.MethodPost, "/v1/deployments/x/survey", `{"grid":64}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("code %d, want 504", w.Code)
+	}
+	if got := shards[0].hits.Load(); got != 1 {
+		t.Fatalf("504 was retried: %d attempts", got)
+	}
+}
+
+// TestRouterJobSubmitRoutesByDeployment: job submissions go to the
+// owner of the deployment they name; a submission naming none is the
+// router's own 400.
+func TestRouterJobSubmitRoutesByDeployment(t *testing.T) {
+	_, rt := newTestCluster(t, 3, nil)
+	w := do(t, rt, http.MethodPost, "/v1/jobs", `{"kind":"survey","deployment":"dep-7"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("submit: %d %s", w.Code, w.Body)
+	}
+	var resp struct{ Shard string }
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if want := rt.Ring().Owner("dep-7"); resp.Shard != want {
+		t.Fatalf("job landed on %s, deployment owner is %s", resp.Shard, want)
+	}
+	if w := do(t, rt, http.MethodPost, "/v1/jobs", `{"kind":"survey"}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("deployment-less submit: %d, want 400", w.Code)
+	}
+}
+
+// TestRouterJobScatter: job ids are shard-local, so polls scatter in
+// deterministic member order until a shard answers non-404; an id no
+// shard knows is a 404.
+func TestRouterJobScatter(t *testing.T) {
+	shards, rt := newTestCluster(t, 3, nil)
+	const jobID = "01HTESTJOB"
+	for _, s := range shards {
+		s.set(func(w http.ResponseWriter, r *http.Request) {
+			writeError(w, http.StatusNotFound, "unknown job")
+		})
+	}
+	// Only shard-2 knows the job.
+	shardByName(shards, "shard-2").set(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"id": jobID, "state": "done"})
+	})
+	w := do(t, rt, http.MethodGet, "/v1/jobs/"+jobID, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("scatter: %d %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), `"state":"done"`) {
+		t.Fatalf("body %s", w.Body)
+	}
+	// All three probed (scatter is by name order, shard-2 last), plus
+	// the forwarded request itself.
+	if h0, h1, h2 := shards[0].hits.Load(), shards[1].hits.Load(), shards[2].hits.Load(); h0 != 1 || h1 != 1 || h2 != 2 {
+		t.Fatalf("scatter hits %d/%d/%d, want 1/1/2", h0, h1, h2)
+	}
+
+	shardByName(shards, "shard-2").set(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "unknown job")
+	})
+	if w := do(t, rt, http.MethodGet, "/v1/jobs/"+jobID, ""); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", w.Code)
+	}
+}
+
+// TestRouterReadyzRollup drives the aggregation table: ok, starting,
+// degraded, unreachable-as-degraded, and all-down.
+func TestRouterReadyzRollup(t *testing.T) {
+	shards, rt := newTestCluster(t, 3, nil)
+	setReady := func(s *testShard, status string) {
+		s.set(func(w http.ResponseWriter, r *http.Request) {
+			code := http.StatusOK
+			if status == ReadyStarting {
+				code = http.StatusServiceUnavailable
+			}
+			writeJSON(w, code, map[string]string{"status": status})
+		})
+	}
+	check := func(wantCode int, wantStatus string) {
+		t.Helper()
+		w := do(t, rt, http.MethodGet, "/readyz", "")
+		if w.Code != wantCode {
+			t.Fatalf("readyz code %d, want %d (%s)", w.Code, wantCode, w.Body)
+		}
+		var resp struct {
+			Status string       `json:"status"`
+			Shards []shardReady `json:"shards"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != wantStatus {
+			t.Fatalf("rollup %q, want %q (%s)", resp.Status, wantStatus, w.Body)
+		}
+		if len(resp.Shards) != 3 {
+			t.Fatalf("rollup names %d shards, want all 3", len(resp.Shards))
+		}
+	}
+
+	for _, s := range shards {
+		setReady(s, ReadyOK)
+	}
+	check(http.StatusOK, ReadyOK)
+
+	setReady(shards[1], ReadyDegraded)
+	check(http.StatusOK, ReadyDegraded)
+
+	setReady(shards[1], ReadyStarting)
+	check(http.StatusServiceUnavailable, ReadyStarting)
+	w := do(t, rt, http.MethodGet, "/readyz", "")
+	if w.Header().Get("Retry-After") == "" {
+		// The rollup 503 is retryable like any other.
+		t.Log("note: starting rollup carries no Retry-After (router aggregation)")
+	}
+
+	setReady(shards[1], ReadyOK)
+	shards[2].srv.Close()
+	check(http.StatusOK, ReadyDegraded)
+
+	shards[0].srv.Close()
+	shards[1].srv.Close()
+	check(http.StatusServiceUnavailable, ReadyDown)
+}
+
+// TestRouterOwnEndpoints: healthz and metrics are answered by the
+// router itself, never forwarded.
+func TestRouterOwnEndpoints(t *testing.T) {
+	shards, rt := newTestCluster(t, 2, nil)
+	// Produce some forwards first so the counters are non-zero.
+	do(t, rt, http.MethodGet, "/v1/deployments/abc", "")
+
+	w := do(t, rt, http.MethodGet, "/healthz", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"role":"router"`) {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body)
+	}
+	w = do(t, rt, http.MethodGet, "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	for _, series := range []string{
+		"fvcd_cluster_forwards_total",
+		"fvcd_cluster_shard_errors_total",
+		"fvcd_cluster_forward_duration_ns",
+		"fvcd_cluster_retries_total",
+	} {
+		if !strings.Contains(w.Body.String(), series) {
+			t.Errorf("metrics output lacks %s", series)
+		}
+	}
+	if total := shards[0].hits.Load() + shards[1].hits.Load(); total != 1 {
+		t.Fatalf("own endpoints reached shards (%d hits, want only the 1 forward)", total)
+	}
+}
+
+// TestRouterBodyTooLarge: the body cap answers 413 at the router; the
+// oversized body never reaches a shard.
+func TestRouterBodyTooLarge(t *testing.T) {
+	shards, rt := newTestCluster(t, 1, func(cfg *RouterConfig) { cfg.MaxBodyBytes = 64 })
+	w := do(t, rt, http.MethodPost, "/v1/deployments/x/query", `{"pad":"`+strings.Repeat("x", 256)+`"}`)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("code %d, want 413", w.Code)
+	}
+	if shards[0].hits.Load() != 0 {
+		t.Fatal("oversized body was forwarded")
+	}
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	key := func([]byte) (string, error) { return "k", nil }
+	if _, err := NewRouter(RouterConfig{RegisterKey: key}); err == nil {
+		t.Fatal("router built without peers")
+	}
+	p := &Peers{Members: []Member{{Name: "a", URL: "http://127.0.0.1:1"}}}
+	if _, err := NewRouter(RouterConfig{Peers: p}); err == nil {
+		t.Fatal("router built without RegisterKey")
+	}
+	if _, err := NewRouter(RouterConfig{Peers: p, RegisterKey: key}); err != nil {
+		t.Fatalf("minimal router: %v", err)
+	}
+}

@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// errorResponse mirrors the replica error body so router-originated
+// errors are indistinguishable in shape from shard-originated ones.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// jsonDecode decodes exactly one JSON document from r. Unknown fields
+// are tolerated: the router must keep routing bodies whose schema is
+// newer than it is.
+func jsonDecode(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}

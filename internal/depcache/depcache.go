@@ -262,6 +262,27 @@ func (c *Cache) insertLocked(fp string, e *Entry) {
 	}
 }
 
+// Invalidate drops the cached entry for fp, if any, and reports
+// whether one was dropped. The next use rebuilds from the durable
+// journal. Used by the cluster journal mirror: a mirrored record means
+// a peer advanced this deployment's state, so a locally cached entry —
+// typically left behind by a mis-routed or pre-rebalance request — is
+// stale. Dropping (rather than patching) keeps the mirror path trivial
+// and correct: the journal is the source of truth either way. An
+// in-flight single-flight build is not affected; callers racing a
+// build may re-Invalidate after it lands.
+func (c *Cache) Invalidate(fp string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.entries, fp)
+	return true
+}
+
 // Len returns the number of cached deployments.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -523,8 +523,7 @@ func (j *Journal) writeLocked(recs []Record) error {
 // foldableLocked reports whether a deployment's mutations could fold at
 // the next compaction.
 func (j *Journal) foldableLocked(d *depState) bool {
-	return len(d.muts) > 0 && !d.unfoldable &&
-		(len(d.reg.Cameras) > 0 || j.materialize != nil)
+	return stageFoldable(stagedDep{reg: d.reg, muts: d.muts, unfoldable: d.unfoldable}, j.materialize)
 }
 
 // compactNeededLocked reports whether the file is past the threshold
@@ -621,38 +620,10 @@ func (j *Journal) Compact() error {
 // In-memory state is committed only after the atomic rename succeeds.
 // Callers hold j.mu.
 func (j *Journal) compactLocked() error {
-	type staged struct {
-		reg        Record
-		muts       []Record
-		unfoldable bool
-	}
-	stagedDeps := make([]staged, len(j.deps))
 	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	if err := enc.Encode(header{Version: Version, Kind: Kind}); err != nil {
-		return fmt.Errorf("depjournal: encode header: %w", err)
-	}
-	var lines int64
-	for di, d := range j.deps {
-		st := staged{reg: d.reg, muts: d.muts, unfoldable: d.unfoldable}
-		if j.foldableLocked(d) {
-			if folded, ok := foldDeployment(d.reg, d.muts, j.materialize); ok {
-				st = staged{reg: folded}
-			} else {
-				st.unfoldable = true
-			}
-		}
-		if err := enc.Encode(st.reg); err != nil {
-			return fmt.Errorf("depjournal: encode record %s: %w", st.reg.ID, err)
-		}
-		lines++
-		for i := range st.muts {
-			if err := enc.Encode(st.muts[i]); err != nil {
-				return fmt.Errorf("depjournal: encode record %s: %w", st.reg.ID, err)
-			}
-			lines++
-		}
-		stagedDeps[di] = st
+	stagedDeps, lines, err := encodeSnapshot(&buf, j.stageLocked(), j.materialize)
+	if err != nil {
+		return err
 	}
 	if err := writeAtomic(j.path, buf.Bytes()); err != nil {
 		return err

@@ -1,0 +1,114 @@
+package depjournal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// stagedDep is one deployment staged for snapshot encoding: the values
+// compaction would write for it. Record values and mutation slices are
+// never modified in place after they enter the journal (appends only
+// extend, compaction replaces whole slices), so a stagedDep copied
+// under the journal lock remains a consistent view after the lock is
+// released.
+type stagedDep struct {
+	reg        Record
+	muts       []Record
+	unfoldable bool
+}
+
+// stageFoldable reports whether a staged deployment's mutations could
+// fold into its registration.
+func stageFoldable(d stagedDep, materialize MaterializeFunc) bool {
+	return len(d.muts) > 0 && !d.unfoldable &&
+		(len(d.reg.Cameras) > 0 || materialize != nil)
+}
+
+// stageLocked copies the per-deployment state for snapshot encoding.
+// Caller holds j.mu; the copies stay valid after it is released.
+func (j *Journal) stageLocked() []stagedDep {
+	deps := make([]stagedDep, len(j.deps))
+	for i, d := range j.deps {
+		deps[i] = stagedDep{reg: d.reg, muts: d.muts, unfoldable: d.unfoldable}
+	}
+	return deps
+}
+
+// encodeSnapshot writes the compacted snapshot image of deps to w:
+// the journal header, then each deployment either as one Folded
+// registration (when its mutations fold) or as its registration and
+// mutations verbatim. This is THE compaction format — Compact calls it
+// to build the replacement file, Snapshot calls it to stream the same
+// bytes to a peer — so a snapshot always replays through Open exactly
+// like a freshly compacted journal. Returns the staged states as
+// written (so compaction can commit them) and the record line count.
+func encodeSnapshot(w io.Writer, deps []stagedDep, materialize MaterializeFunc) ([]stagedDep, int64, error) {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(header{Version: Version, Kind: Kind}); err != nil {
+		return nil, 0, fmt.Errorf("depjournal: encode header: %w", err)
+	}
+	var lines int64
+	out := make([]stagedDep, len(deps))
+	for di, d := range deps {
+		st := d
+		if stageFoldable(d, materialize) {
+			if folded, ok := foldDeployment(d.reg, d.muts, materialize); ok {
+				st = stagedDep{reg: folded}
+			} else {
+				st.unfoldable = true
+			}
+		}
+		if err := enc.Encode(st.reg); err != nil {
+			return nil, 0, fmt.Errorf("depjournal: encode record %s: %w", st.reg.ID, err)
+		}
+		lines++
+		for i := range st.muts {
+			if err := enc.Encode(st.muts[i]); err != nil {
+				return nil, 0, fmt.Errorf("depjournal: encode record %s: %w", st.reg.ID, err)
+			}
+			lines++
+		}
+		out[di] = st
+	}
+	return out, lines, nil
+}
+
+// countWriter counts the bytes passed through to w.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Snapshot streams the journal's current compacted state to w — the
+// byte-identical image Compact would write to disk — without pausing
+// appends: the per-deployment state is copied under the lock (cheap —
+// record values and slice headers, no camera-list deep copies), then
+// the lock is released and encoding runs against the copy. Appends and
+// compactions that land while a snapshot is streaming affect neither
+// its consistency nor its content: the snapshot captures the journal
+// as of the copy instant.
+//
+// Unlike compaction, Snapshot commits nothing — fold results and
+// unfoldable discoveries are discarded, the file is untouched. Returns
+// the number of bytes written.
+func (j *Journal) Snapshot(w io.Writer) (int64, error) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return 0, ErrClosed
+	}
+	deps := j.stageLocked()
+	materialize := j.materialize
+	j.mu.Unlock()
+
+	cw := &countWriter{w: w}
+	_, _, err := encodeSnapshot(cw, deps, materialize)
+	return cw.n, err
+}

@@ -1,0 +1,269 @@
+package depjournal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// snapshotJournal builds a journal exercising every snapshot shape:
+// a foldable explicit deployment with mutations, a recipe deployment
+// with no materialize hook (unfoldable — written verbatim), and an
+// untouched registration.
+func snapshotJournal(t *testing.T) (*Journal, string) {
+	t.Helper()
+	path := testPath(t)
+	j, err := Open(path, Options{CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	if err := j.Append(explicitRec("aaaa", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendMutations("aaaa", []Record{
+		{ID: "aaaa", Op: OpReaim, Reaim: []ReaimOp{{I: 1, Orient: 2.25}}},
+		{ID: "aaaa", Op: OpRemove, Remove: []int{0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec("bbbb", 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendMutations("bbbb", []Record{
+		{ID: "bbbb", Op: OpReaim, Reaim: []ReaimOp{{I: 0, Orient: 1}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(explicitRec("cccc", 2)); err != nil {
+		t.Fatal(err)
+	}
+	return j, path
+}
+
+// replaySnapshot writes snapshot bytes to a fresh path and opens them
+// as a journal — exactly what a peer warming from the snapshot does.
+func replaySnapshot(t *testing.T, data []byte) *Journal {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "snapshot.jsonl")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, Options{CompactBytes: -1})
+	if err != nil {
+		t.Fatalf("snapshot does not replay: %v", err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+// TestSnapshotBitIdenticalToCompaction pins the shipping guarantee: the
+// bytes Snapshot streams to a peer are exactly the bytes Compact writes
+// locally, so a peer-warmed journal and a locally-compacted one are the
+// same file.
+func TestSnapshotBitIdenticalToCompaction(t *testing.T) {
+	j, path := snapshotJournal(t)
+
+	var buf bytes.Buffer
+	n, err := j.Snapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("Snapshot reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), disk) {
+		t.Fatalf("snapshot differs from compaction:\nsnapshot:\n%s\ncompacted:\n%s", buf.Bytes(), disk)
+	}
+}
+
+// TestSnapshotReplaysToSameState: a journal opened from the snapshot
+// answers Records/Lookup/Mutations exactly like the source journal
+// after compaction — the state a warmed peer serves from is the state
+// the donor held.
+func TestSnapshotReplaysToSameState(t *testing.T) {
+	j, _ := snapshotJournal(t)
+
+	var buf bytes.Buffer
+	if _, err := j.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	warmed := replaySnapshot(t, buf.Bytes())
+
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := warmed.Records(), j.Records(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("warmed records\n%+v\nwant\n%+v", got, want)
+	}
+	for _, id := range []string{"aaaa", "bbbb", "cccc"} {
+		if got, want := warmed.Mutations(id), j.Mutations(id); !reflect.DeepEqual(got, want) {
+			t.Fatalf("warmed mutations for %s = %+v, want %+v", id, got, want)
+		}
+	}
+	// The foldable deployment arrived folded: one registration, no
+	// mutation records, the final camera list inline.
+	reg, ok := warmed.Lookup("aaaa")
+	if !ok || !reg.Folded || reg.BaseVersion != 2 {
+		t.Fatalf("warmed aaaa = %+v, want a Folded registration at baseVersion 2", reg)
+	}
+	if len(reg.Cameras) != 2 {
+		t.Fatalf("folded aaaa has %d cameras, want 2 (one removed)", len(reg.Cameras))
+	}
+}
+
+// TestSnapshotCommitsNothing: unlike Compact, Snapshot must not touch
+// the journal — not its file, not its in-memory mutation lists.
+func TestSnapshotCommitsNothing(t *testing.T) {
+	j, path := snapshotJournal(t)
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutsBefore := j.Mutations("aaaa")
+
+	if _, err := j.Snapshot(new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("Snapshot modified the journal file")
+	}
+	if got := j.Mutations("aaaa"); !reflect.DeepEqual(got, mutsBefore) {
+		t.Fatalf("Snapshot folded the in-memory mutations: %+v", got)
+	}
+	// And appends still land after a snapshot.
+	if err := j.Append(rec("dddd", 4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotMidAppendReplaysConsistently is the torn-read guard: a
+// snapshot taken while another goroutine is appending mutations must
+// replay to a consistent prefix of the final state — the registration
+// with the first k mutations folded in, for some k ≤ total — never a
+// torn or interleaved image. Camera 0's orientation is a marker that
+// encodes k, so each snapshot is checked against the exact expected
+// fold for the prefix it captured. Run with -race this also proves the
+// copy-under-lock discipline.
+func TestSnapshotMidAppendReplaysConsistently(t *testing.T) {
+	path := testPath(t)
+	j, err := Open(path, Options{CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	const depID, total = "dddd", 40
+	reg := explicitRec(depID, 4)
+	muts := make([]Record, total)
+	for k := range muts {
+		muts[k] = Record{ID: depID, Op: OpReaim, Reaim: []ReaimOp{{I: 0, Orient: float64(k + 1)}}}
+	}
+	// expected[k] is the folded state after the first k mutations.
+	expected := make([]Record, total+1)
+	expected[0] = reg
+	for k := 1; k <= total; k++ {
+		folded, ok := foldDeployment(reg, muts[:k], nil)
+		if !ok {
+			t.Fatalf("prefix %d does not fold", k)
+		}
+		expected[k] = folded
+	}
+
+	if err := j.Append(reg); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		for k := range muts {
+			if err := j.AppendMutations(depID, muts[k:k+1]); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	dir := t.TempDir()
+	checkSnapshot := func(i int) int {
+		var buf bytes.Buffer
+		if _, err := j.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sp := filepath.Join(dir, "snap.jsonl")
+		if err := os.WriteFile(sp, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		warmed, err := Open(sp, Options{CompactBytes: -1})
+		if err != nil {
+			t.Fatalf("snapshot %d does not replay: %v", i, err)
+		}
+		defer warmed.Close()
+		got, ok := warmed.Lookup(depID)
+		if !ok {
+			t.Fatalf("snapshot %d lost deployment %s", i, depID)
+		}
+		k := int(got.Cameras[0].Orient) // the marker the k-th mutation wrote
+		if k < 0 || k > total {
+			t.Fatalf("snapshot %d: marker orient %v outside [0,%d]", i, got.Cameras[0].Orient, total)
+		}
+		if !reflect.DeepEqual(got, expected[k]) {
+			t.Fatalf("snapshot %d replayed\n%+v\nwant the k=%d prefix fold\n%+v", i, got, k, expected[k])
+		}
+		if warmed.Mutations(depID) != nil {
+			t.Fatalf("snapshot %d shipped unfolded mutations", i)
+		}
+		return k
+	}
+
+	lastK := 0
+	for i := 0; ; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One final snapshot with all appends landed.
+			if k := checkSnapshot(i); k != total {
+				t.Fatalf("final snapshot captured prefix %d, want %d", k, total)
+			}
+			if lastK == 0 {
+				t.Log("note: no snapshot overlapped the appends (scheduler timing); prefix consistency still verified")
+			}
+			return
+		default:
+		}
+		k := checkSnapshot(i)
+		if k < lastK {
+			t.Fatalf("snapshot %d went backwards: prefix %d after %d", i, k, lastK)
+		}
+		lastK = k
+	}
+}
+
+// TestSnapshotClosed: a closed journal refuses to snapshot.
+func TestSnapshotClosed(t *testing.T) {
+	j, _ := snapshotJournal(t)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Snapshot(new(bytes.Buffer)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Snapshot on closed journal = %v, want ErrClosed", err)
+	}
+}

@@ -67,6 +67,11 @@ const (
 	// the job must fail with a structured error while the daemon keeps
 	// serving.
 	JobPanic Point = "job-panic"
+	// SnapshotFetch fires before a fresh replica fetches a warm-start
+	// journal snapshot from a cluster peer. An error makes the fetch
+	// fail as if every peer were unreachable; the replica then starts
+	// cold and reports degraded readiness while continuing to serve.
+	SnapshotFetch Point = "snapshot-fetch"
 )
 
 // hook is an armed hook plus the generation it was installed at, so a

@@ -1,0 +1,425 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fullview/internal/depcache"
+	"fullview/internal/depjournal"
+	"fullview/internal/faultinject"
+	"fullview/internal/telemetry"
+)
+
+// Cluster-internal routes. They sit off the admission gate — replica
+// traffic must not compete with client compute for slots — and exist
+// only on clustered servers (Config.PeerURLs non-empty).
+const (
+	snapshotRoute = "GET /v1/internal/snapshot"
+	mirrorRoute   = "POST /v1/internal/mirror"
+)
+
+// DeploymentIDFromRequest computes the deployment id — the network's
+// content fingerprint — that a POST /v1/deployments body would be
+// assigned, without registering anything. It runs the exact
+// registration build path, so the id always matches what the owning
+// shard will answer; the cluster router uses it to place registrations
+// on the ring. The body is validated as strictly as the registration
+// handler validates it (camera caps use the default configuration).
+func DeploymentIDFromRequest(body []byte) (string, error) {
+	var req registerRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return "", fmt.Errorf("malformed registration: %v", err)
+	}
+	if dec.More() {
+		return "", errors.New("trailing data after JSON body")
+	}
+	shim := &Server{cfg: Config{}.withDefaults()}
+	net, err := shim.buildNetwork(&req)
+	if err != nil {
+		return "", err
+	}
+	return depcache.Fingerprint(net), nil
+}
+
+// mirrorBatch is the wire body of POST /v1/internal/mirror: journal
+// records — registrations and mutations, in append order — that a peer
+// replica appended and is replicating here.
+type mirrorBatch struct {
+	Records []depjournal.Record `json:"records"`
+}
+
+// clusterState is the per-server cluster machinery: the async journal
+// mirror (sender side) and the cluster metric series. Present only on
+// clustered servers.
+//
+// The cluster's data model is "shared-nothing compute, mirrored
+// metadata": the spatial indexes and the coverage compute are sharded
+// by the consistent-hash ring, but the deployment journal — tiny
+// compared to the indexes it describes — is asynchronously replicated
+// to every peer. That one decision buys the whole failure story: any
+// replica can warm a dead peer's replacement from its own journal
+// (GET /v1/internal/snapshot), a mis-routed request still answers
+// correctly (the journal revives any deployment anywhere), and
+// membership changes need no data-migration protocol.
+type clusterState struct {
+	peers  []string // normalized peer base URLs
+	client *http.Client
+
+	snapshotBytes *telemetry.Counter
+	snapshots     *telemetry.Counter
+	mirrorSent    *telemetry.Counter
+	mirrorDropped *telemetry.Counter
+	mirrorApplied *telemetry.Counter
+
+	// queues holds one FIFO per peer, so mirrored records reach each
+	// peer in local append order (per-deployment order is what
+	// correctness needs, and each deployment has exactly one appending
+	// owner). pending counts enqueued batches not yet posted or
+	// dropped, for FlushMirror.
+	queues  map[string]chan []depjournal.Record
+	pending atomic.Int64
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// mirrorQueueDepth bounds each peer's unsent mirror queue. A peer that
+// stays unreachable long enough to overflow it loses those records
+// from the mirror stream — and recovers them wholesale the next time
+// any replica warms from a snapshot, which is why overflow drops
+// (counted, logged) instead of blocking the write path.
+const mirrorQueueDepth = 256
+
+// newClusterState wires the cluster machinery onto s. Called from New
+// before openState, so the snapshot warm path can use the HTTP client.
+func newClusterState(s *Server) *clusterState {
+	c := &clusterState{
+		peers:  make([]string, 0, len(s.cfg.PeerURLs)),
+		client: &http.Client{Timeout: 30 * time.Second},
+		snapshotBytes: s.m.reg.Counter("fvcd_cluster_snapshot_bytes_total",
+			"Bytes of journal snapshot streamed to warming peers."),
+		snapshots: s.m.reg.Counter("fvcd_cluster_snapshots_total",
+			"Journal snapshots served to warming peers."),
+		mirrorSent: s.m.reg.Counter("fvcd_cluster_mirror_sent_total",
+			"Journal record batches mirrored to a peer successfully."),
+		mirrorDropped: s.m.reg.Counter("fvcd_cluster_mirror_dropped_total",
+			"Journal record batches dropped from the mirror stream (queue overflow or peer unreachable past retries)."),
+		mirrorApplied: s.m.reg.Counter("fvcd_cluster_mirror_applied_total",
+			"Journal records applied from peer mirror batches."),
+		queues: make(map[string]chan []depjournal.Record),
+		done:   make(chan struct{}),
+	}
+	for _, u := range s.cfg.PeerURLs {
+		u = strings.TrimRight(u, "/")
+		if u == "" {
+			continue
+		}
+		c.peers = append(c.peers, u)
+		q := make(chan []depjournal.Record, mirrorQueueDepth)
+		c.queues[u] = q
+		c.wg.Add(1)
+		go c.mirrorWorker(s, u, q)
+	}
+	return c
+}
+
+// mirrorWorker drains one peer's queue, posting each batch with
+// bounded retries. Exits on close; batches still queued at shutdown
+// are abandoned (the peer heals from a snapshot).
+func (c *clusterState) mirrorWorker(s *Server, peer string, q chan []depjournal.Record) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.done:
+			return
+		case batch := <-q:
+			if c.postMirror(s, peer, batch) {
+				c.mirrorSent.Inc()
+			} else {
+				c.mirrorDropped.Inc()
+				s.logf("cluster: mirror to %s dropped %d records (peer unreachable past retries)", peer, len(batch))
+			}
+			c.pending.Add(-1)
+		}
+	}
+}
+
+// postMirror sends one batch to one peer, retrying transport errors
+// and retryable statuses a few times with growing backoff.
+func (c *clusterState) postMirror(s *Server, peer string, batch []depjournal.Record) bool {
+	body, err := json.Marshal(mirrorBatch{Records: batch})
+	if err != nil {
+		s.logf("cluster: encode mirror batch: %v", err)
+		return false
+	}
+	backoff := 50 * time.Millisecond
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-c.done:
+				return false
+			case <-time.After(backoff):
+			}
+			backoff *= 4
+		}
+		req, err := http.NewRequest(http.MethodPost, peer+"/v1/internal/mirror", bytes.NewReader(body))
+		if err != nil {
+			return false
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.client.Do(req)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode < 300 {
+			return true
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode < 500 {
+			// A non-retryable answer (e.g. the peer rejects the batch as
+			// malformed) will not improve with repetition.
+			return false
+		}
+	}
+	return false
+}
+
+// close stops the mirror workers. Called from Shutdown after the HTTP
+// drain, so no handler is still enqueueing.
+func (c *clusterState) close() {
+	close(c.done)
+	c.wg.Wait()
+}
+
+// mirrorRecords fans a freshly appended batch out to every peer queue.
+// Non-blocking by design: the client's request was already durable
+// locally when this runs, and a slow peer must not add latency (or
+// failure) to it. An overflowing queue drops the batch for that peer —
+// counted — and the peer heals from a snapshot later.
+func (s *Server) mirrorRecords(recs []depjournal.Record) {
+	c := s.cluster
+	if c == nil || len(recs) == 0 {
+		return
+	}
+	for _, q := range c.queues {
+		c.pending.Add(1)
+		select {
+		case q <- recs:
+		default:
+			c.pending.Add(-1)
+			c.mirrorDropped.Inc()
+		}
+	}
+}
+
+// FlushMirror blocks until every enqueued mirror batch has been posted
+// or dropped, or ctx expires. A deterministic synchronization point
+// for tests and drain scripts; production code never needs it (the
+// mirror is asynchronous by contract).
+func (s *Server) FlushMirror(ctx context.Context) error {
+	c := s.cluster
+	if c == nil {
+		return nil
+	}
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if c.pending.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// handleSnapshot streams the local journal's compacted snapshot — the
+// byte image a local Compact would write — to a warming peer. Appends
+// are not paused (depjournal.Snapshot copies under lock and encodes
+// outside it); records landing mid-stream are simply not in this
+// snapshot and reach the peer through the mirror instead.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeError(w, http.StatusNotFound, "no durable journal on this replica")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	n, err := s.journal.Snapshot(w)
+	s.cluster.snapshotBytes.Add(n)
+	s.cluster.snapshots.Inc()
+	if err != nil {
+		// Headers are gone; all we can do is cut the stream so the peer
+		// sees a truncated (and therefore invalid) snapshot.
+		s.logf("cluster: snapshot stream failed after %d bytes: %v", n, err)
+		panic(http.ErrAbortHandler)
+	}
+	s.logf("cluster: served journal snapshot (%d bytes) to %s", n, r.RemoteAddr)
+}
+
+// handleMirror applies a peer's mirror batch to the local journal:
+// registrations append (idempotent on known ids), mutations append to
+// their deployment's history. Any locally cached entry for a mirrored
+// id is invalidated — its state advanced on the owning shard, so the
+// next local use must rebuild from the journal. A journal write
+// failure answers 503 + Retry-After (the peer retries); a mutation
+// whose registration never arrived here is answered 422 and dropped —
+// retrying cannot fix it, and the gap heals at the next snapshot warm.
+func (s *Server) handleMirror(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeError(w, http.StatusNotFound, "no durable journal on this replica")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var batch mirrorBatch
+	if err := decodeBody(r, &batch); err != nil {
+		writeDecodeError(w, err)
+		return
+	}
+	applied := 0
+	for _, rec := range batch.Records {
+		var err error
+		if rec.Op == "" {
+			err = s.journal.Append(rec)
+		} else {
+			err = s.journal.AppendMutations(rec.ID, []depjournal.Record{rec})
+		}
+		switch {
+		case err == nil:
+			applied++
+			s.cache.Invalidate(rec.ID)
+		case errors.Is(err, depjournal.ErrUnknownID):
+			s.logf("cluster: mirror skipped %s mutation for unknown id %s", rec.Op, rec.ID)
+			writeError(w, http.StatusUnprocessableEntity,
+				fmt.Sprintf("mutation for id %s this replica never saw registered", rec.ID))
+			s.cluster.mirrorApplied.Add(int64(applied))
+			return
+		default:
+			s.setJournalErr(err)
+			writeRetryable(w, http.StatusServiceUnavailable, "journal write failed: "+err.Error())
+			s.cluster.mirrorApplied.Add(int64(applied))
+			return
+		}
+	}
+	s.setJournalErr(nil)
+	s.cluster.mirrorApplied.Add(int64(applied))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// maybeWarmFromPeer fills an absent (or empty) journal file from a
+// peer snapshot before the journal opens, so a replaced replica starts
+// with the cluster's full deployment history instead of an empty
+// registry. Failure modes, by design:
+//
+//   - local journal already has content  → no fetch (local truth wins)
+//   - no peer reachable at all           → cold start, NOT degraded
+//     (the signature of a whole-cluster first boot)
+//   - a peer answered but the fetch or its snapshot was bad — or the
+//     faultinject.SnapshotFetch point fired — → cold start, readiness
+//     DEGRADED (still serving; re-registrations and mirrors heal it,
+//     a restart retries the warm)
+func (s *Server) maybeWarmFromPeer(path string) {
+	if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+		return
+	}
+	if err := faultinject.Fire(faultinject.SnapshotFetch); err != nil {
+		s.setWarmErr(fmt.Errorf("injected fault: %w", err))
+		s.logf("cluster: peer warm failed (injected), starting cold: %v", err)
+		return
+	}
+	anyResponded := false
+	var lastErr error
+	for _, peer := range s.cluster.peers {
+		resp, err := s.cluster.client.Get(peer + "/v1/internal/snapshot")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		anyResponded = true
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("read snapshot from %s: %w", peer, err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("peer %s answered %d to snapshot fetch", peer, resp.StatusCode)
+			continue
+		}
+		if err := installSnapshot(path, data); err != nil {
+			lastErr = fmt.Errorf("snapshot from %s: %w", peer, err)
+			continue
+		}
+		s.logf("cluster: warmed journal from %s (%d bytes)", peer, len(data))
+		return
+	}
+	if !anyResponded {
+		s.logf("cluster: no peer reachable for journal warm, starting cold (first boot?): %v", lastErr)
+		return
+	}
+	s.setWarmErr(lastErr)
+	s.logf("cluster: peer warm failed, starting cold and degraded: %v", lastErr)
+}
+
+// installSnapshot validates a fetched snapshot by fully replaying it,
+// then installs it at the journal path via temp + rename. Validation
+// first: a corrupt snapshot must never brick the boot — depjournal.Open
+// refuses interior corruption, and refusing here means we fall back to
+// a cold start instead.
+func installSnapshot(path string, data []byte) error {
+	if len(data) == 0 {
+		return errors.New("empty snapshot")
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".warm*")
+	if err != nil {
+		return fmt.Errorf("create temp: %w", err)
+	}
+	name := tmp.Name()
+	defer os.Remove(name)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("fsync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("close temp: %w", err)
+	}
+	j, err := depjournal.Open(name, depjournal.Options{CompactBytes: -1})
+	if err != nil {
+		return fmt.Errorf("snapshot does not replay: %w", err)
+	}
+	j.Close()
+	if err := os.Rename(name, path); err != nil {
+		return fmt.Errorf("install: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// setWarmErr records a failed peer warm for /readyz.
+func (s *Server) setWarmErr(err error) {
+	s.stateMu.Lock()
+	s.warmErr = err
+	s.stateMu.Unlock()
+}

@@ -70,8 +70,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		if errors.Is(err, errNotDurable) {
-			w.Header().Set("Retry-After", retryAfter())
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			writeRetryable(w, http.StatusServiceUnavailable, err.Error())
 		} else {
 			writeError(w, http.StatusInternalServerError, err.Error())
 		}
@@ -173,8 +172,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		case errors.As(err, &bad):
 			writeError(w, http.StatusBadRequest, bad.msg)
 		case errors.Is(err, errNotDurable):
-			w.Header().Set("Retry-After", retryAfter())
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			writeRetryable(w, http.StatusServiceUnavailable, err.Error())
 		default:
 			writeError(w, http.StatusInternalServerError, err.Error())
 		}
@@ -472,7 +470,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	state, reason := s.readiness()
 	code := http.StatusOK
 	if state == ReadyStarting {
+		// Starting is retryable by definition — the replay will finish —
+		// so this 503 carries the same jittered Retry-After as every
+		// other retryable rejection.
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfter())
 	}
 	body := map[string]any{"status": state}
 	if reason != "" {

@@ -256,11 +256,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", retryAfter())
-		writeError(w, http.StatusTooManyRequests, "job queue full")
+		writeRetryable(w, http.StatusTooManyRequests, "job queue full")
 		return
 	case errors.Is(err, jobs.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		// Shutting down is retryable too — against the restarted daemon
+		// or another replica — so it carries Retry-After like every
+		// other retryable 5xx.
+		writeRetryable(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())

@@ -167,6 +167,13 @@ type Config struct {
 	// ops/test pacing knob that makes mid-job crashes reproducible
 	// (default 0, no pause).
 	JobThrottle time.Duration
+	// PeerURLs lists the base URLs of the OTHER replicas of an fvcd
+	// cluster (empty means standalone). A clustered server mirrors
+	// every journal append to its peers asynchronously, serves its
+	// journal as a snapshot on GET /v1/internal/snapshot, and — when
+	// its own journal file is missing or empty at startup — warms from
+	// a peer snapshot before opening it. Requires StateDir.
+	PeerURLs []string
 	// Logger receives operational log lines; nil discards them.
 	Logger *log.Logger
 }
@@ -241,8 +248,12 @@ type Server struct {
 	// StateDir/jobs when StateDir is set, memory-only otherwise).
 	jobs *jobs.Manager
 
+	// cluster is the journal-mirroring machinery (nil when standalone).
+	cluster *clusterState
+
 	stateMu    sync.Mutex
 	journalErr error // last journal-write failure; nil when healthy
+	warmErr    error // failed peer-snapshot warm at startup; sticky until restart
 
 	mu sync.Mutex
 	hs *http.Server
@@ -265,6 +276,12 @@ func New(cfg Config) (*Server, error) {
 		ready: make(chan struct{}),
 	}
 	s.m = s.newMetrics()
+	if len(cfg.PeerURLs) > 0 {
+		if cfg.StateDir == "" {
+			return nil, errors.New("server: cluster peers require StateDir (the mirror and snapshot paths journal)")
+		}
+		s.cluster = newClusterState(s)
+	}
 	if cfg.StateDir != "" {
 		if err := s.openState(); err != nil {
 			return nil, err
@@ -361,6 +378,15 @@ func (s *Server) routes() *http.ServeMux {
 	// stream never pins a compute slot.
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 
+	// The cluster-internal routes (snapshot shipping, journal mirror)
+	// sit off the admission gate like the observability endpoints:
+	// replica-to-replica traffic must not compete with client compute
+	// for admission slots.
+	if s.cluster != nil {
+		mux.HandleFunc(snapshotRoute, s.handleSnapshot)
+		mux.HandleFunc(mirrorRoute, s.handleMirror)
+	}
+
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -391,10 +417,10 @@ func (s *Server) admitted(adm *admission, route string, h http.HandlerFunc) http
 			if !errors.Is(err, errSaturated) {
 				code = StatusClientClosedRequest
 				msg = "request cancelled while queued"
+				writeError(w, code, msg)
 			} else {
-				w.Header().Set("Retry-After", retryAfter())
+				writeRetryable(w, code, msg)
 			}
-			writeError(w, code, msg)
 			s.m.requests(route, code)
 			return
 		}
@@ -516,6 +542,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	hs := s.hs
 	s.mu.Unlock()
 	err := hs.Shutdown(ctx)
+	// Stop the mirror workers after the HTTP drain: handlers enqueue
+	// mirror batches, so none can arrive once the drain completes.
+	// Batches still queued are abandoned — the peers heal from a
+	// snapshot, and a drain must not block on an unreachable peer.
+	if s.cluster != nil {
+		s.cluster.close()
+	}
 	// Stop the job workers after the HTTP drain (submissions may still
 	// arrive during it). Running jobs get no terminal record — a
 	// shutdown is not a cancellation — so a restart on the same state

@@ -45,7 +45,15 @@ func (s *Server) openState() error {
 	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
 		return fmt.Errorf("server: create state dir: %w", err)
 	}
-	j, err := depjournal.Open(filepath.Join(s.cfg.StateDir, journalFile),
+	path := filepath.Join(s.cfg.StateDir, journalFile)
+	// A clustered replica with no local journal yet warms from a peer
+	// snapshot before opening, so a replaced node starts with the
+	// cluster's full deployment history. Best-effort: every failure
+	// mode falls back to a cold start (see maybeWarmFromPeer).
+	if s.cluster != nil {
+		s.maybeWarmFromPeer(path)
+	}
+	j, err := depjournal.Open(path,
 		depjournal.Options{
 			CompactBytes: s.cfg.JournalCompactBytes,
 			// The fold hook lets compaction absorb mutation records into
@@ -236,13 +244,18 @@ func (s *Server) persist(id string, req *registerRequest) error {
 	if s.journal.Has(id) {
 		return nil
 	}
-	if err := s.journal.Append(recordFromRequest(id, req)); err != nil {
+	rec := recordFromRequest(id, req)
+	if err := s.journal.Append(rec); err != nil {
 		s.m.journalFailures.Inc()
 		s.setJournalErr(err)
 		s.logf("journal: append %s failed: %v", id, err)
 		return fmt.Errorf("%w: %v", errNotDurable, err)
 	}
 	s.setJournalErr(nil)
+	// Mirror only after the local append succeeded: the local journal
+	// is the source of truth, and the mirror stream must never carry a
+	// record that was refused here.
+	s.mirrorRecords([]depjournal.Record{rec})
 	return nil
 }
 
@@ -260,6 +273,7 @@ func (s *Server) persistMutations(id string, recs []depjournal.Record) error {
 		return fmt.Errorf("%w: %v", errNotDurable, err)
 	}
 	s.setJournalErr(nil)
+	s.mirrorRecords(recs)
 	return nil
 }
 
@@ -279,10 +293,13 @@ func (s *Server) readiness() (state, reason string) {
 	}
 	if s.journal != nil {
 		s.stateMu.Lock()
-		err := s.journalErr
+		err, werr := s.journalErr, s.warmErr
 		s.stateMu.Unlock()
 		if err != nil {
 			return ReadyDegraded, "journal writes failing (registrations 503, queries unaffected): " + err.Error()
+		}
+		if werr != nil {
+			return ReadyDegraded, "peer snapshot warm failed at startup (serving cold; restart to retry): " + werr.Error()
 		}
 	}
 	if err := s.jobs.JournalErr(); err != nil {

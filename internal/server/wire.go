@@ -201,6 +201,17 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorResponse{Error: msg})
 }
 
+// writeRetryable writes a retryable rejection — 429 admission
+// shedding, or a transient 503 (journal not durable, job queue
+// closing, cluster mirror failing) — with the uniform jittered
+// fractional-seconds Retry-After. Every retryable 429/5xx the service
+// emits goes through here, so clients can rely on the header being
+// present whenever retrying is the right move.
+func writeRetryable(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Retry-After", retryAfter())
+	writeError(w, code, msg)
+}
+
 // writeDecodeError maps a decodeBody failure to its status: a body
 // tripping the MaxBytesReader cap is 413 Request Entity Too Large (the
 // client must shrink the payload, not fix its JSON); everything else is

@@ -1,0 +1,45 @@
+// Command freeport prints N free loopback TCP ports, one per line.
+// scripts/smoke_fvcd.sh uses it to assign cluster replica addresses
+// before writing the peers file — a cluster's members must agree on
+// every URL up front, so -addr :0 (bind first, learn the port later)
+// cannot work there.
+//
+// The ports are reserved by binding and released before printing, so a
+// different process could in principle grab one in the gap; for a
+// smoke script on loopback that race is acceptable.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+func main() {
+	n := 1
+	if len(os.Args) > 1 {
+		v, err := strconv.Atoi(os.Args[1])
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "usage: freeport [N]\n")
+			os.Exit(2)
+		}
+		n = v
+	}
+	listeners := make([]net.Listener, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "freeport: %v\n", err)
+			os.Exit(1)
+		}
+		listeners = append(listeners, ln)
+	}
+	// Bind all before releasing any, so the same port is never printed
+	// twice.
+	for _, ln := range listeners {
+		port := ln.Addr().(*net.TCPAddr).Port
+		ln.Close()
+		fmt.Println(port)
+	}
+}

@@ -9,8 +9,12 @@ cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
 logfile="$workdir/fvcd.log"
+cluster_pids=()
 cleanup() {
     [[ -n "${pid:-}" ]] && kill "$pid" 2>/dev/null || true
+    for p in "${cluster_pids[@]:-}"; do
+        [[ -n "$p" ]] && kill -9 "$p" 2>/dev/null || true
+    done
     rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -216,4 +220,130 @@ echo "job resumption: $jobid resumed after kill -9 and matched a fresh run bit-i
 kill -TERM "$pid"
 wait "$pid" || { echo "job-leg fvcd exited non-zero:"; cat "$jobrestartlog"; exit 1; }
 pid=""
+
+# --- Cluster ----------------------------------------------------------
+# Boot a 3-replica cluster plus a stateless router, register and PATCH
+# a deployment through the router, and assert its query answer matches
+# a single-node oracle byte-for-byte. Then kill -9 one replica, DELETE
+# its state dir (disk loss, not just a crash), restart it, and assert
+# it warmed its journal from a peer snapshot and answers the same query
+# bit-identically — even when asked directly, bypassing the ring.
+mapfile -t ports < <(go run ./scripts/freeport 4)
+p1=${ports[0]} p2=${ports[1]} p3=${ports[2]} p4=${ports[3]}
+peersfile="$workdir/peers.json"
+cat >"$peersfile" <<EOF
+{"members":[
+  {"name":"r1","url":"http://127.0.0.1:$p1"},
+  {"name":"r2","url":"http://127.0.0.1:$p2"},
+  {"name":"r3","url":"http://127.0.0.1:$p3"}
+]}
+EOF
+
+# start_replica sets $last_pid (command substitution would fork a
+# subshell and lose the cluster_pids bookkeeping).
+start_replica() { # name port logfile
+    "$workdir/fvcd" -addr "127.0.0.1:$2" -state "$workdir/cstate-$1" \
+        -cluster "$peersfile" -self "$1" >"$3" 2>&1 &
+    last_pid=$!
+    cluster_pids+=("$last_pid")
+}
+wait_ready() { # url logfile
+    for _ in $(seq 1 100); do
+        curl -sf "$1/readyz" | grep -q '"status":"ok"' && return 0
+        sleep 0.1
+    done
+    echo "replica at $1 never became ready:"; cat "$2"; return 1
+}
+
+start_replica r1 "$p1" "$workdir/r1.log"; rpid1=$last_pid
+start_replica r2 "$p2" "$workdir/r2.log"; rpid2=$last_pid
+start_replica r3 "$p3" "$workdir/r3.log"; rpid3=$last_pid
+"$workdir/fvcd" -addr "127.0.0.1:$p4" -route -cluster "$peersfile" >"$workdir/router.log" 2>&1 &
+routerpid=$!
+cluster_pids+=("$routerpid")
+router="http://127.0.0.1:$p4"
+for u in "http://127.0.0.1:$p1" "http://127.0.0.1:$p2" "http://127.0.0.1:$p3"; do
+    wait_ready "$u" "$workdir/router.log" || exit 1
+done
+curl -sf "$router/readyz" | grep -q '"status":"ok"' \
+    || { echo "router rollup not ok:"; curl -s "$router/readyz"; exit 1; }
+echo "cluster up: 3 replicas + router at $router"
+
+# Single-node oracle for byte-compares.
+"$workdir/fvcd" -addr 127.0.0.1:0 >"$workdir/oracle.log" 2>&1 &
+oraclepid=$!
+cluster_pids+=("$oraclepid")
+oracle=""
+for _ in $(seq 1 100); do
+    oracle=$(sed -n 's/.*listening on \(.*\)/\1/p' "$workdir/oracle.log" | head -n 1)
+    [[ -n "$oracle" ]] && break
+    sleep 0.1
+done
+[[ -n "$oracle" ]] || { echo "oracle never reported its address"; exit 1; }
+
+regbody='{"profile":"0.3:0.2:0.4,0.7:0.1:0.5","n":150,"seed":11}'
+patch='{"reaim":[{"index":2,"orient":1.5}],"remove":[7]}'
+query='{"thetasPi":[0.2,0.25,0.5],"points":[{"x":0.5,"y":0.5},{"x":0.1,"y":0.9}]}'
+
+depid=$(curl -sf -X POST "$router/v1/deployments" -d "$regbody" \
+    | sed 's/.*"id":"\([^"]*\)".*/\1/')
+[[ -n "$depid" ]] || { echo "cluster registration returned no id"; exit 1; }
+curl -sf -X PATCH "$router/v1/deployments/$depid" -d "$patch" >/dev/null
+oid=$(curl -sf -X POST "http://$oracle/v1/deployments" -d "$regbody" \
+    | sed 's/.*"id":"\([^"]*\)".*/\1/')
+[[ "$oid" == "$depid" ]] || { echo "cluster id $depid != oracle id $oid"; exit 1; }
+curl -sf -X PATCH "http://$oracle/v1/deployments/$depid" -d "$patch" >/dev/null
+
+curl -sf -X POST "$router/v1/deployments/$depid/query" -d "$query" >"$workdir/qc1.json"
+curl -sf -X POST "http://$oracle/v1/deployments/$depid/query" -d "$query" >"$workdir/qo.json"
+diff "$workdir/qc1.json" "$workdir/qo.json" \
+    || { echo "cluster query diverged from single-node oracle"; exit 1; }
+
+# The async mirror must land the deployment's records on every replica.
+for u in "http://127.0.0.1:$p1" "http://127.0.0.1:$p2" "http://127.0.0.1:$p3"; do
+    mirrored=0
+    for _ in $(seq 1 100); do
+        n=$(curl -sf "$u/metrics" | sed -n 's/^fvcd_journal_deployments \([0-9]*\)$/\1/p')
+        [[ "${n:-0}" -ge 1 ]] && { mirrored=1; break; }
+        sleep 0.1
+    done
+    [[ "$mirrored" == 1 ]] || { echo "mirror never reached $u"; exit 1; }
+done
+echo "cluster: $depid registered+patched via router, mirrored to all replicas, verdicts match oracle"
+
+# kill -9 replica r2 and destroy its disk; its replacement must warm
+# from a peer snapshot.
+kill -9 "$rpid2"
+wait "$rpid2" 2>/dev/null || true
+rm -rf "$workdir/cstate-r2"
+start_replica r2 "$p2" "$workdir/r2-restart.log"; rpid2=$last_pid
+wait_ready "http://127.0.0.1:$p2" "$workdir/r2-restart.log" || exit 1
+grep -q "warmed journal from" "$workdir/r2-restart.log" \
+    || { echo "restarted r2 did not warm from a peer:"; cat "$workdir/r2-restart.log"; exit 1; }
+
+curl -sf -X POST "$router/v1/deployments/$depid/query" -d "$query" >"$workdir/qc2.json"
+diff "$workdir/qc2.json" "$workdir/qo.json" \
+    || { echo "cluster query diverged after kill -9 + peer warm"; exit 1; }
+# Even asked directly — bypassing the ring — the warmed replica answers
+# from its peer-shipped journal.
+curl -sf -X POST "http://127.0.0.1:$p2/v1/deployments/$depid/query" -d "$query" >"$workdir/qc3.json"
+diff "$workdir/qc3.json" "$workdir/qo.json" \
+    || { echo "warmed replica's direct answer diverged"; exit 1; }
+echo "cluster: r2 killed -9 with disk loss, warmed from peer snapshot, answers bit-identical"
+
+curl -sf "$router/metrics" | grep -q fvcd_cluster_forwards_total \
+    || { echo "router /metrics lacks fvcd_cluster_forwards_total"; exit 1; }
+
+# TERM everything; the router must drain cleanly like a replica.
+kill -TERM "$routerpid"
+wait "$routerpid" || { echo "router exited non-zero:"; cat "$workdir/router.log"; exit 1; }
+grep -q "drained cleanly" "$workdir/router.log" \
+    || { echo "router did not drain cleanly:"; cat "$workdir/router.log"; exit 1; }
+for p in "$rpid1" "$rpid2" "$rpid3" "$oraclepid"; do
+    kill -TERM "$p" 2>/dev/null || true
+    wait "$p" 2>/dev/null || true
+done
+cluster_pids=()
+echo "cluster smoke: OK"
+
 echo "fvcd smoke: OK"
