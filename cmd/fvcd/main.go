@@ -19,7 +19,11 @@
 // journal append is mirrored asynchronously to the other members, the
 // local journal is served to warming peers on GET /v1/internal/
 // snapshot, and a replica starting with no local journal warms from a
-// peer snapshot first. -state is required in this mode.
+// peer snapshot first. -state is required in this mode. Add
+// -antientropy DURATION to run the self-healing reconciler: at each
+// interval the replica compares per-deployment journal digests with
+// its peers and pulls any deployment it is missing or behind on,
+// repairing divergence left by dropped mirrors, crashes, or disk loss.
 //
 // With -route (plus -cluster), the process is instead a thin stateless
 // router: it owns no journal and no cache, and forwards every client
@@ -111,6 +115,7 @@ func run(args []string, w io.Writer) error {
 		jobThrottle   = fs.Duration("job-throttle", 0, "pause between job bands, for background pacing (0 = none)")
 		clusterFile   = fs.String("cluster", "", "peers file naming the cluster membership (see README \"Running a cluster\")")
 		selfName      = fs.String("self", "", "this replica's member name in the -cluster peers file")
+		antiEntropy   = fs.Duration("antientropy", 0, "interval between anti-entropy digest reconciliations with peers (0 = disabled; requires -cluster)")
 		routeMode     = fs.Bool("route", false, "run as a stateless cluster router instead of a replica (requires -cluster)")
 		showVersion   = fs.Bool("version", false, "print version and exit")
 	)
@@ -135,6 +140,13 @@ func run(args []string, w io.Writer) error {
 		return runRouter(peers, *addr, *readTimeout, *writeTimeout, *drainTimeout, logger)
 	}
 
+	if *antiEntropy != 0 && *clusterFile == "" {
+		return errors.New("-antientropy requires -cluster (nothing to reconcile against)")
+	}
+	if *antiEntropy < 0 {
+		return fmt.Errorf("-antientropy must be positive, got %s", *antiEntropy)
+	}
+
 	var peerURLs []string
 	if *clusterFile != "" {
 		if *selfName == "" {
@@ -157,20 +169,21 @@ func run(args []string, w io.Writer) error {
 	}
 
 	srv, err := server.New(server.Config{
-		CacheSize:       *cacheSize,
-		MaxInFlight:     *maxInFlight,
-		QueueTimeout:    *queueTimeout,
-		QueryTimeout:    *queryTimeout,
-		SurveyTimeout:   *surveyTimeout,
-		SurveyWorkers:   *parallel,
-		RebuildFraction: *rebuildFrac,
-		StateDir:        *stateDir,
-		JobQueue:        *jobQueue,
-		JobConcurrency:  *jobWorkers,
-		JobTTL:          *jobTTL,
-		JobThrottle:     *jobThrottle,
-		PeerURLs:        peerURLs,
-		Logger:          logger,
+		CacheSize:           *cacheSize,
+		MaxInFlight:         *maxInFlight,
+		QueueTimeout:        *queueTimeout,
+		QueryTimeout:        *queryTimeout,
+		SurveyTimeout:       *surveyTimeout,
+		SurveyWorkers:       *parallel,
+		RebuildFraction:     *rebuildFrac,
+		StateDir:            *stateDir,
+		JobQueue:            *jobQueue,
+		JobConcurrency:      *jobWorkers,
+		JobTTL:              *jobTTL,
+		JobThrottle:         *jobThrottle,
+		PeerURLs:            peerURLs,
+		AntiEntropyInterval: *antiEntropy,
+		Logger:              logger,
 	})
 	if err != nil {
 		return err

@@ -49,6 +49,20 @@ func TestStateDirCollision(t *testing.T) {
 	}
 }
 
+// TestAntiEntropyFlagValidation: -antientropy is meaningless without a
+// cluster to reconcile against, and an interval must be positive.
+func TestAntiEntropyFlagValidation(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-antientropy", "30s"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "-antientropy requires -cluster") {
+		t.Errorf("standalone -antientropy: err %v, want a requires-cluster refusal", err)
+	}
+	err = run([]string{"-antientropy", "-5s", "-cluster", "nonexistent.json"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "must be positive") {
+		t.Errorf("negative -antientropy: err %v, want a must-be-positive refusal", err)
+	}
+}
+
 func TestUnlistenableAddrFails(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-addr", "256.256.256.256:70000"}, &b); err == nil {

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// clockedBreaker returns a breaker with a manually-advanced clock.
+func clockedBreaker(threshold int, cooldown time.Duration) (*Breaker, *time.Time) {
+	b := NewBreaker(threshold, cooldown)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+// TestBreakerLifecycle walks the full state machine: closed → open on
+// consecutive failures → half-open after the cooldown → closed on a
+// successful probe.
+func TestBreakerLifecycle(t *testing.T) {
+	b, now := clockedBreaker(3, time.Minute)
+	if b.State() != BreakerClosed {
+		t.Fatal("new breaker is not closed")
+	}
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected attempt %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %d after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	*now = now.Add(59 * time.Second)
+	if b.Allow() {
+		t.Fatal("open breaker admitted 1s early")
+	}
+	*now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("expired breaker rejected the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %d during probe, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted while the probe is in flight")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+// TestBreakerFailedProbeReopens: a failed half-open probe re-opens for
+// a full fresh cooldown.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, now := clockedBreaker(1, time.Minute)
+	b.Allow()
+	b.Failure()
+	*now = now.Add(61 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %d after failed probe, want open", b.State())
+	}
+	*now = now.Add(30 * time.Second)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted mid-cooldown: failed probe did not restart the clock")
+	}
+	*now = now.Add(31 * time.Second)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker never re-probed")
+	}
+}
+
+// TestBreakerConsecutiveMeansConsecutive: successes reset the failure
+// count, so a shard failing every other request never trips.
+func TestBreakerConsecutiveMeansConsecutive(t *testing.T) {
+	b, _ := clockedBreaker(2, time.Minute)
+	for i := 0; i < 20; i++ {
+		if !b.Allow() {
+			t.Fatalf("tripped at alternation %d", i)
+		}
+		if i%2 == 0 {
+			b.Failure()
+		} else {
+			b.Success()
+		}
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("alternating outcomes tripped the breaker")
+	}
+}

@@ -131,6 +131,29 @@ func (r *Ring) Owner(key string) string {
 	return r.members[r.points[i].member]
 }
 
+// Sequence returns every member in the key's failover order: the owner
+// first, then each remaining member as its virtual nodes are first met
+// walking clockwise from the key's hash. The order is a pure function
+// of the key and the member set — every router derives the same
+// successor list — and it is exactly the ownership order that would
+// result from removing the preceding members, so a read that fails
+// over along it lands on the replica that would own the key if the
+// dead owners were dropped from the peers file.
+func (r *Ring) Sequence(key string) []string {
+	h := hashString(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.members))
+	seen := make([]bool, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
 // Members returns the member names in sorted order. The slice is
 // shared; callers must not modify it.
 func (r *Ring) Members() []string { return r.members }

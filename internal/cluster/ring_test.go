@@ -195,3 +195,44 @@ func BenchmarkRingOwner(b *testing.B) {
 		_ = r.Owner(keys[i%len(keys)])
 	}
 }
+
+// TestRingSequence pins the failover-order contract: the sequence
+// starts at the owner, visits every member exactly once, is
+// deterministic, and its tail is the ownership order under member
+// removal — seq[1] is who would own the key if the owner vanished.
+func TestRingSequence(t *testing.T) {
+	mems := members(5)
+	r := mustRing(t, mems, 0)
+	for _, key := range fingerprints(50) {
+		seq := r.Sequence(key)
+		if len(seq) != len(mems) {
+			t.Fatalf("sequence of %d members for %d-member ring", len(seq), len(mems))
+		}
+		if seq[0] != r.Owner(key) {
+			t.Fatalf("sequence starts at %s, owner is %s", seq[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("sequence visits %s twice: %v", m, seq)
+			}
+			seen[m] = true
+		}
+		// Drop the first k members of the sequence; the shrunken ring's
+		// owner must be the next member in the sequence.
+		remaining := mems
+		for k := 0; k < len(mems)-1; k++ {
+			var next []string
+			for _, m := range remaining {
+				if m != seq[k] {
+					next = append(next, m)
+				}
+			}
+			remaining = next
+			shrunk := mustRing(t, remaining, 0)
+			if got := shrunk.Owner(key); got != seq[k+1] {
+				t.Fatalf("after removing %v, owner %s, sequence predicted %s", seq[:k+1], got, seq[k+1])
+			}
+		}
+	}
+}

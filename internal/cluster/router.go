@@ -43,6 +43,18 @@ type RouterConfig struct {
 	// ReadyTimeout bounds each per-shard /readyz probe during
 	// aggregation (default 2s).
 	ReadyTimeout time.Duration
+	// ReadyCacheTTL is how long an aggregated /readyz answer is reused
+	// before shards are probed again, so a tight readiness poller (a
+	// load balancer, an orchestrator, several of each) cannot amplify
+	// its poll rate onto every shard. Default 1s; negative disables
+	// caching.
+	ReadyCacheTTL time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// shard's circuit breaker (default 5); BreakerCooldown is how long
+	// a tripped breaker rejects before admitting a half-open probe
+	// (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// Client is the HTTP client used to reach shards (default: a
 	// dedicated client with no overall timeout — surveys are long-lived
 	// and the replicas enforce their own deadlines).
@@ -81,11 +93,22 @@ type Router struct {
 	order  []Member // scatter order: members sorted by name
 	client *http.Client
 
-	reg      *telemetry.Registry
-	forwards map[string]*telemetry.Counter   // by shard
-	errs     map[string]*telemetry.Counter   // by shard
-	latency  map[string]*telemetry.Histogram // by shard
-	retries  *telemetry.Counter
+	reg       *telemetry.Registry
+	forwards  map[string]*telemetry.Counter   // by shard
+	errs      map[string]*telemetry.Counter   // by shard
+	latency   map[string]*telemetry.Histogram // by shard
+	retries   *telemetry.Counter
+	failovers *telemetry.Counter
+
+	// breakers holds one circuit breaker per shard; breaker outcomes
+	// are fed by every forward attempt (whatever the endpoint), and
+	// consulted to fast-fail writes and steer reads around dead owners.
+	breakers map[string]*Breaker
+
+	// readyMu guards the cached /readyz aggregation.
+	readyMu      sync.Mutex
+	readyCached  []shardReady
+	readyProbeAt time.Time
 
 	mux *http.ServeMux
 }
@@ -113,6 +136,9 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.ReadyTimeout <= 0 {
 		cfg.ReadyTimeout = 2 * time.Second
 	}
+	if cfg.ReadyCacheTTL == 0 {
+		cfg.ReadyCacheTTL = time.Second
+	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
@@ -132,8 +158,15 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		forwards: make(map[string]*telemetry.Counter),
 		errs:     make(map[string]*telemetry.Counter),
 		latency:  make(map[string]*telemetry.Histogram),
+		breakers: make(map[string]*Breaker),
 	}
 	for _, m := range order {
+		b := NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		rt.breakers[m.Name] = b
+		rt.reg.GaugeFunc("fvcd_breaker_state",
+			"Per-shard circuit breaker state: 0 closed, 1 half-open, 2 open.",
+			func() float64 { return float64(b.State()) },
+			telemetry.L("shard", m.Name))
 		rt.forwards[m.Name] = rt.reg.Counter("fvcd_cluster_forwards_total",
 			"Requests forwarded to a shard (attempts, including retries).",
 			telemetry.L("shard", m.Name))
@@ -146,6 +179,8 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	rt.retries = rt.reg.Counter("fvcd_cluster_retries_total",
 		"Forward attempts that were retried after a failure.")
+	rt.failovers = rt.reg.Counter("fvcd_cluster_failover_reads_total",
+		"Read requests served by a ring-successor replica because the owner was tripped or unreachable.")
 	rt.mux = rt.routes()
 	return rt, nil
 }
@@ -163,10 +198,10 @@ func (rt *Router) Handler() http.Handler { return rt.mux }
 func (rt *Router) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/deployments", rt.handleRegister)
-	mux.HandleFunc("GET /v1/deployments/{id}", rt.handleByID)
+	mux.HandleFunc("GET /v1/deployments/{id}", rt.handleReadByID)
 	mux.HandleFunc("PATCH /v1/deployments/{id}", rt.handleByID)
-	mux.HandleFunc("POST /v1/deployments/{id}/query", rt.handleByID)
-	mux.HandleFunc("POST /v1/deployments/{id}/survey", rt.handleByID)
+	mux.HandleFunc("POST /v1/deployments/{id}/query", rt.handleReadByID)
+	mux.HandleFunc("POST /v1/deployments/{id}/survey", rt.handleReadByID)
 	mux.HandleFunc("POST /v1/jobs", rt.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJobScatter)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleJobScatter)
@@ -199,13 +234,29 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 	rt.forward(w, r, rt.ring.Owner(key), body)
 }
 
-// handleByID routes a deployment-scoped request by its path id.
+// handleByID routes a deployment-scoped *write* by its path id. Writes
+// go to the owner and only the owner — mutations have a single writer
+// per id, which is what makes version-ordered anti-entropy repair
+// sound — so a dead owner means 503 + Retry-After, never a silent
+// second writer.
 func (rt *Router) handleByID(w http.ResponseWriter, r *http.Request) {
 	body, err := rt.readBody(w, r)
 	if err != nil {
 		return
 	}
 	rt.forward(w, r, rt.ring.Owner(r.PathValue("id")), body)
+}
+
+// handleReadByID routes a deployment-scoped *read* (inspect, query,
+// survey) with failover: reads only need a mirrored copy of the
+// journal, so when the owner is tripped or unreachable the request
+// walks the id's ring-successor sequence instead of failing.
+func (rt *Router) handleReadByID(w http.ResponseWriter, r *http.Request) {
+	body, err := rt.readBody(w, r)
+	if err != nil {
+		return
+	}
+	rt.forwardRead(w, r, r.PathValue("id"), body)
 }
 
 // handleJobSubmit routes a job submission by the deployment it names,
@@ -360,8 +411,20 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard string, 
 		return
 	}
 	url := base + r.URL.RequestURI()
+	b := rt.breakers[shard]
 	var lastErr error
 	for attempt := 0; attempt < rt.cfg.Retries; attempt++ {
+		if !b.Allow() {
+			// Tripped before the first attempt, or mid-loop by this
+			// request's own failures: fail fast with the shedding
+			// contract instead of burning the remaining retries.
+			msg := fmt.Sprintf("shard %s circuit open", shard)
+			if lastErr != nil {
+				msg += ": " + lastErr.Error()
+			}
+			rt.unavailable(w, msg)
+			return
+		}
 		if attempt > 0 {
 			rt.retries.Inc()
 		}
@@ -371,6 +434,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard string, 
 		}
 		req, err := http.NewRequestWithContext(r.Context(), r.Method, url, rd)
 		if err != nil {
+			b.Success() // not the shard's fault; don't leak a probe slot
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
@@ -382,6 +446,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard string, 
 		resp, err := rt.client.Do(req)
 		rt.latency[shard].ObserveSince(t0)
 		if err != nil {
+			b.Failure()
 			rt.errs[shard].Inc()
 			lastErr = err
 			rt.logf("forward %s %s to %s: %v", r.Method, r.URL.Path, shard, err)
@@ -391,6 +456,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard string, 
 			rt.sleep(r.Context(), rt.backoff(attempt, ""))
 			continue
 		}
+		rt.breakerObserve(b, resp.StatusCode)
 		if retryableStatus(resp.StatusCode) && attempt < rt.cfg.Retries-1 {
 			rt.errs[shard].Inc()
 			retryAfter := resp.Header.Get("Retry-After")
@@ -408,6 +474,109 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard string, 
 	}
 	rt.unavailable(w, fmt.Sprintf("shard %s unavailable after %d attempts: %v",
 		shard, rt.cfg.Retries, lastErr))
+}
+
+// breakerObserve feeds an HTTP answer's status into a shard's breaker.
+// Only 502/503 count as failures — those are "the shard (or its
+// upstream) is down" answers. Everything else, including 429 (alive
+// and load-shedding) and 5xx application errors, proves the shard is
+// reachable and resets the consecutive-failure count.
+func (rt *Router) breakerObserve(b *Breaker, code int) {
+	if code == http.StatusBadGateway || code == http.StatusServiceUnavailable {
+		b.Failure()
+	} else {
+		b.Success()
+	}
+}
+
+// forwardRead serves a deployment read with failover: it walks the
+// id's ring sequence (owner first, then each successor in the order
+// that would inherit the id), one attempt per shard, and relays the
+// first real answer. Shards whose breaker is open are skipped without
+// an attempt; transport errors and 502/503 feed the breaker and move
+// on; a 404 is remembered and the walk continues, because a replica
+// that missed the id's mirror records answers 404 while a later
+// successor may hold the copy — only when every reachable shard says
+// 404 is the last one relayed as the cluster's answer. When nothing is
+// reachable at all the router sheds with its own 503 + Retry-After.
+//
+// Reads never retry one shard (forward's job); redundancy, not
+// repetition, is the availability mechanism here.
+func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	seq := rt.ring.Sequence(key)
+	var lastErr error
+	var notFound *http.Response
+	var notFoundBody []byte
+	for i, shard := range seq {
+		b := rt.breakers[shard]
+		if !b.Allow() {
+			lastErr = fmt.Errorf("shard %s circuit open", shard)
+			continue
+		}
+		base, ok := rt.cfg.Peers.URL(shard)
+		if !ok {
+			b.Success()
+			continue
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), rd)
+		if err != nil {
+			b.Success() // not the shard's fault; don't leak a probe slot
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		t0 := time.Now()
+		rt.forwards[shard].Inc()
+		resp, err := rt.client.Do(req)
+		rt.latency[shard].ObserveSince(t0)
+		if err != nil {
+			b.Failure()
+			rt.errs[shard].Inc()
+			lastErr = err
+			rt.logf("read %s %s via %s: %v", r.Method, r.URL.Path, shard, err)
+			if r.Context().Err() != nil {
+				return // client is gone
+			}
+			continue
+		}
+		rt.breakerObserve(b, resp.StatusCode)
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			notFoundBody, _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			notFound = resp
+			lastErr = fmt.Errorf("shard %s answered 404", shard)
+			continue
+		case retryableStatus(resp.StatusCode):
+			rt.errs[shard].Inc()
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("shard %s answered %d", shard, resp.StatusCode)
+			continue
+		}
+		defer resp.Body.Close()
+		if i > 0 {
+			rt.failovers.Inc()
+			rt.logf("read %s %s failed over to %s", r.Method, r.URL.Path, shard)
+		}
+		copyHeader(w.Header(), resp.Header)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	if notFound != nil {
+		copyHeader(w.Header(), notFound.Header)
+		w.WriteHeader(http.StatusNotFound)
+		w.Write(notFoundBody)
+		return
+	}
+	rt.unavailable(w, fmt.Sprintf("no shard could serve the read (%d tried): %v", len(seq), lastErr))
 }
 
 // unavailable answers the router's own 503 with the cluster-uniform
@@ -473,7 +642,7 @@ type shardReady struct {
 //	           still serves, with the failing shards named)
 //	ok       — every shard is ok (200)
 func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	shards := rt.probeShards(r.Context())
+	shards := rt.cachedShards(r.Context())
 	rollup := ReadyOK
 	reachable := 0
 	for _, s := range shards {
@@ -497,6 +666,28 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]any{"status": rollup, "shards": shards})
+}
+
+// cachedShards returns the shard readiness set, reusing the previous
+// probe while it is younger than ReadyCacheTTL. Readiness is polled by
+// load balancers and orchestrators, often several at once and often
+// sub-second; without the cache every poller's every hit fans out to
+// every shard, so the cluster's probe load would be pollers × shards ×
+// rate. The cache bounds it to shards per TTL regardless of poller
+// count. Probes are serialized under the lock — one slow shard delays
+// concurrent /readyz callers rather than multiplying onto the fleet.
+func (rt *Router) cachedShards(ctx context.Context) []shardReady {
+	if rt.cfg.ReadyCacheTTL < 0 {
+		return rt.probeShards(ctx)
+	}
+	rt.readyMu.Lock()
+	defer rt.readyMu.Unlock()
+	if rt.readyCached != nil && time.Since(rt.readyProbeAt) < rt.cfg.ReadyCacheTTL {
+		return rt.readyCached
+	}
+	rt.readyCached = rt.probeShards(ctx)
+	rt.readyProbeAt = time.Now()
+	return rt.readyCached
 }
 
 // probeShards fetches every member's /readyz concurrently.

@@ -61,6 +61,9 @@ func newTestCluster(t *testing.T, n int, tweak func(*RouterConfig)) ([]*testShar
 		},
 		BackoffBase: time.Millisecond,
 		BackoffCap:  4 * time.Millisecond,
+		// Tests flip shard states between consecutive /readyz hits;
+		// disable the probe cache unless a test opts back in.
+		ReadyCacheTTL: -1,
 	}
 	if tweak != nil {
 		tweak(&cfg)
@@ -152,9 +155,10 @@ func TestRouterRegisterRoutesByKey(t *testing.T) {
 	}
 }
 
-// TestRouterRetriesHonourRetryAfter: a shard shedding with 503 +
-// Retry-After is retried after that exact wait, not the (much larger)
-// configured backoff.
+// TestRouterRetriesHonourRetryAfter: a shard shedding a write with 503
+// + Retry-After is retried after that exact wait, not the (much
+// larger) configured backoff. (Writes exercise forward's retry loop;
+// reads fail over instead of retrying — see the failover tests.)
 func TestRouterRetriesHonourRetryAfter(t *testing.T) {
 	shards, rt := newTestCluster(t, 1, func(cfg *RouterConfig) {
 		cfg.BackoffBase = 5 * time.Second // would blow the test deadline if used
@@ -170,7 +174,7 @@ func TestRouterRetriesHonourRetryAfter(t *testing.T) {
 		writeJSON(w, http.StatusOK, map[string]string{"shard": shards[0].name})
 	})
 	t0 := time.Now()
-	w := do(t, rt, http.MethodGet, "/v1/deployments/x", "")
+	w := do(t, rt, http.MethodPatch, "/v1/deployments/x", "{}")
 	if w.Code != http.StatusOK {
 		t.Fatalf("after retries: %d %s", w.Code, w.Body)
 	}
@@ -191,7 +195,7 @@ func TestRouterRelaysFinalRetryableAnswer(t *testing.T) {
 		w.Header().Set("Retry-After", "0.01")
 		writeError(w, http.StatusServiceUnavailable, "still shedding")
 	})
-	w := do(t, rt, http.MethodGet, "/v1/deployments/x", "")
+	w := do(t, rt, http.MethodPatch, "/v1/deployments/x", "{}")
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("code %d, want 503", w.Code)
 	}
@@ -212,7 +216,7 @@ func TestRouterRelaysFinalRetryableAnswer(t *testing.T) {
 func TestRouterUnavailableShard(t *testing.T) {
 	shards, rt := newTestCluster(t, 1, func(cfg *RouterConfig) { cfg.Retries = 2 })
 	shards[0].srv.Close()
-	w := do(t, rt, http.MethodGet, "/v1/deployments/x", "")
+	w := do(t, rt, http.MethodPatch, "/v1/deployments/x", "{}")
 	if w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("code %d, want 503", w.Code)
 	}

@@ -101,6 +101,9 @@ var (
 	ErrNoID = errors.New("depjournal: record has no id")
 	// ErrUnknownID reports a mutation append for an unregistered id.
 	ErrUnknownID = errors.New("depjournal: mutation for unregistered id")
+	// ErrNotFound reports a lookup (snapshot filter, digest) for an id
+	// the journal does not hold.
+	ErrNotFound = errors.New("depjournal: id not journaled")
 )
 
 // header is the first journal line.
@@ -488,6 +491,76 @@ func (j *Journal) AppendMutations(id string, muts []Record) error {
 		_ = j.compactLocked()
 	}
 	return nil
+}
+
+// Reinstall durably replaces one deployment's journaled history with
+// recs — a registration followed by its mutations, as fetched from a
+// peer's per-id snapshot (SnapshotID). The records are appended as one
+// fsynced batch; replay's last-wins duplicate-registration rule makes
+// the appended registration supersede the local history on the next
+// Open, and the in-memory state is reset to match immediately. This is
+// the anti-entropy apply path: it never merges histories (the fetched
+// canonical stream IS the deployment's state), so a replica that
+// missed arbitrary mirror records converges to the peer's exact bytes.
+func (j *Journal) Reinstall(id string, recs []Record) error {
+	if id == "" {
+		return ErrNoID
+	}
+	if len(recs) == 0 {
+		return errors.New("depjournal: reinstall with no records")
+	}
+	if recs[0].Op != "" {
+		return fmt.Errorf("depjournal: reinstall record 0 is a %q mutation, want a registration", recs[0].Op)
+	}
+	for i := range recs {
+		if recs[i].ID != id {
+			return fmt.Errorf("depjournal: reinstall record %d has id %q, want %q", i, recs[i].ID, id)
+		}
+		if i > 0 && recs[i].Op == "" {
+			return fmt.Errorf("depjournal: reinstall record %d is a second registration", i)
+		}
+		if err := recs[i].validate(); err != nil {
+			return fmt.Errorf("depjournal: reinstall record %d: %w", i, err)
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if err := j.writeLocked(recs); err != nil {
+		return err
+	}
+	muts := append([]Record(nil), recs[1:]...)
+	if i, ok := j.ids[id]; ok {
+		// The superseded registration and its mutations are now dead
+		// lines, reclaimable at the next compaction.
+		j.dupLines += 1 + int64(len(j.deps[i].muts))
+		j.deps[i] = &depState{reg: recs[0], muts: muts}
+	} else {
+		j.ids[id] = len(j.deps)
+		j.deps = append(j.deps, &depState{reg: recs[0], muts: muts})
+	}
+	if j.compactNeededLocked() {
+		_ = j.compactLocked()
+	}
+	return nil
+}
+
+// Version returns a deployment's logical version: the mutation count
+// folded into its registration plus the mutation records that follow
+// it. This equals the served index version (each journaled mutation
+// record is one version bump), so replicas can order their copies of a
+// deployment without comparing record streams.
+func (j *Journal) Version(id string) (uint64, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i, ok := j.ids[id]
+	if !ok {
+		return 0, false
+	}
+	d := j.deps[i]
+	return d.reg.BaseVersion + uint64(len(d.muts)), true
 }
 
 // writeLocked encodes the records as JSONL, writes them through the

@@ -1,0 +1,260 @@
+package depjournal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"testing"
+)
+
+// TestDigestInvariantAcrossHistories pins the anti-entropy foundation:
+// a deployment's digest is a function of its logical state, not of how
+// the journal file reached it. A live journal (registration + mutation
+// appends), a compacted one (mutations folded), and one replayed from
+// a snapshot all digest identically.
+func TestDigestInvariantAcrossHistories(t *testing.T) {
+	j, _ := snapshotJournal(t)
+	before := j.Digests()
+	if len(before) != 3 {
+		t.Fatalf("digests for %d deployments, want 3", len(before))
+	}
+	for id, d := range before {
+		if len(d.Digest) != 64 {
+			t.Fatalf("digest[%s] = %q, want 64 hex chars", id, d.Digest)
+		}
+	}
+
+	// Snapshot-replayed journal (what a warmed peer holds).
+	var buf bytes.Buffer
+	if _, err := j.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	peer := replaySnapshot(t, buf.Bytes())
+	if got := peer.Digests(); !digestsEqual(got, before) {
+		t.Fatalf("snapshot-replayed digests %v, want %v", got, before)
+	}
+
+	// Compaction folds mutations in place; the digest must not move.
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Digests(); !digestsEqual(got, before) {
+		t.Fatalf("post-compaction digests %v, want %v", got, before)
+	}
+
+	// A new mutation must move exactly its deployment's digest and bump
+	// its version by one.
+	if err := j.AppendMutations("aaaa", []Record{
+		{ID: "aaaa", Op: OpReaim, Reaim: []ReaimOp{{I: 0, Orient: -1}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := j.Digests()
+	if after["aaaa"].Digest == before["aaaa"].Digest {
+		t.Fatal("mutation did not change the deployment's digest")
+	}
+	if after["aaaa"].Version != before["aaaa"].Version+1 {
+		t.Fatalf("version %d after one mutation, want %d", after["aaaa"].Version, before["aaaa"].Version+1)
+	}
+	for _, id := range []string{"bbbb", "cccc"} {
+		if after[id] != before[id] {
+			t.Fatalf("mutation of aaaa moved digest[%s]", id)
+		}
+	}
+}
+
+func digestsEqual(a, b map[string]DigestInfo) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDigestIsHashOfSnapshotID pins the wire contract between the
+// digest and the per-id snapshot: the digest is exactly the sha256 of
+// the record lines SnapshotID streams (header excluded), so a replica
+// that installs a fetched per-id snapshot lands on the peer's digest
+// by construction.
+func TestDigestIsHashOfSnapshotID(t *testing.T) {
+	j, _ := snapshotJournal(t)
+	for _, id := range []string{"aaaa", "bbbb", "cccc"} {
+		var buf bytes.Buffer
+		n, err := j.SnapshotID(&buf, id)
+		if err != nil {
+			t.Fatalf("SnapshotID(%s): %v", id, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("SnapshotID reported %d bytes, wrote %d", n, buf.Len())
+		}
+		_, body, ok := bytes.Cut(buf.Bytes(), []byte("\n"))
+		if !ok {
+			t.Fatalf("SnapshotID(%s) wrote no header line", id)
+		}
+		sum := sha256.Sum256(body)
+		d, ok := j.Digest(id)
+		if !ok {
+			t.Fatalf("Digest(%s) not found", id)
+		}
+		if want := hex.EncodeToString(sum[:]); d.Digest != want {
+			t.Fatalf("digest[%s] = %s, want hash of SnapshotID body %s", id, d.Digest, want)
+		}
+	}
+}
+
+// TestSnapshotIDNotFound: an unknown id is ErrNotFound with nothing
+// written, so the serving handler can still answer a clean 404.
+func TestSnapshotIDNotFound(t *testing.T) {
+	j, _ := snapshotJournal(t)
+	var buf bytes.Buffer
+	if _, err := j.SnapshotID(&buf, "zzzz"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err %v, want ErrNotFound", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes written before the not-found answer", buf.Len())
+	}
+}
+
+// TestParseSnapshotRefusesTruncation: ParseSnapshot is the strict
+// variant of the replay parser — a byte-truncated image (a cut
+// transfer) is ErrCorrupt, where Open would tolerate the torn tail.
+func TestParseSnapshotRefusesTruncation(t *testing.T) {
+	j, _ := snapshotJournal(t)
+	var buf bytes.Buffer
+	if _, err := j.SnapshotID(&buf, "aaaa"); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	recs, err := ParseSnapshot(full)
+	if err != nil {
+		t.Fatalf("intact snapshot refused: %v", err)
+	}
+	if len(recs) == 0 || recs[0].ID != "aaaa" || recs[0].Op != "" {
+		t.Fatalf("parsed %+v", recs)
+	}
+	if _, err := ParseSnapshot(full[:len(full)-3]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated snapshot parsed (err %v), want ErrCorrupt", err)
+	}
+}
+
+// TestReinstallConvergesDivergentJournal drives the full anti-entropy
+// repair cycle at the journal layer: a replica that missed mirror
+// records fetches the owner's per-id snapshot, Reinstalls it, and must
+// land on the owner's digest — and keep it across a restart, since
+// Reinstall relies on replay's last-wins rule.
+func TestReinstallConvergesDivergentJournal(t *testing.T) {
+	owner, _ := snapshotJournal(t)
+
+	// The divergent replica has aaaa's registration but missed both of
+	// its mutations, and never saw cccc at all.
+	path := testPath(t)
+	replica, err := Open(path, Options{CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.Append(explicitRec("aaaa", 3)); err != nil {
+		t.Fatal(err)
+	}
+	ownerDigests := owner.Digests()
+	repDigests := replica.Digests()
+	if repDigests["aaaa"] == ownerDigests["aaaa"] {
+		t.Fatal("test premise broken: replica already converged")
+	}
+
+	for _, id := range []string{"aaaa", "cccc"} {
+		var buf bytes.Buffer
+		if _, err := owner.SnapshotID(&buf, id); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ParseSnapshot(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := replica.Reinstall(id, recs); err != nil {
+			t.Fatalf("Reinstall(%s): %v", id, err)
+		}
+	}
+	for _, id := range []string{"aaaa", "cccc"} {
+		got, ok := replica.Digest(id)
+		if !ok || got != ownerDigests[id] {
+			t.Fatalf("digest[%s] = %+v after reinstall, want %+v", id, got, ownerDigests[id])
+		}
+		gotV, _ := replica.Version(id)
+		if gotV != ownerDigests[id].Version {
+			t.Fatalf("Version(%s) = %d, want %d", id, gotV, ownerDigests[id].Version)
+		}
+	}
+
+	// The repair must be durable: a reopened replica replays the
+	// reinstalled registration as last-wins and keeps the digests.
+	if err := replica.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(path, Options{CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	for _, id := range []string{"aaaa", "cccc"} {
+		if got, ok := reopened.Digest(id); !ok || got != ownerDigests[id] {
+			t.Fatalf("reopened digest[%s] = %+v, want %+v", id, got, ownerDigests[id])
+		}
+	}
+}
+
+// TestReinstallValidation: malformed record sets are refused before
+// anything is written.
+func TestReinstallValidation(t *testing.T) {
+	j, _ := snapshotJournal(t)
+	size := j.Size()
+	cases := []struct {
+		name string
+		id   string
+		recs []Record
+	}{
+		{"empty", "aaaa", nil},
+		{"mutation first", "aaaa", []Record{{ID: "aaaa", Op: OpRemove, Remove: []int{0}}}},
+		{"wrong id", "aaaa", []Record{{ID: "bbbb"}}},
+		{"second registration", "aaaa", []Record{{ID: "aaaa"}, {ID: "aaaa"}}},
+	}
+	for _, tc := range cases {
+		if err := j.Reinstall(tc.id, tc.recs); err == nil {
+			t.Errorf("%s: Reinstall accepted", tc.name)
+		}
+	}
+	if j.Size() != size {
+		t.Fatal("refused reinstalls wrote bytes")
+	}
+}
+
+// TestVersionCounts: logical versions count mutation records and
+// survive folding (BaseVersion carries the folded count).
+func TestVersionCounts(t *testing.T) {
+	j, _ := snapshotJournal(t)
+	v, ok := j.Version("aaaa")
+	if !ok || v != 2 {
+		t.Fatalf("Version(aaaa) = %d,%v, want 2", v, ok)
+	}
+	if _, ok := j.Version("zzzz"); ok {
+		t.Fatal("Version of unknown id reported ok")
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := j.Version("aaaa"); v != 2 {
+		t.Fatalf("post-fold Version(aaaa) = %d, want 2", v)
+	}
+	if err := j.AppendMutations("aaaa", []Record{
+		{ID: "aaaa", Op: OpReaim, Reaim: []ReaimOp{{I: 0, Orient: 1}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := j.Version("aaaa"); v != 3 {
+		t.Fatalf("Version(aaaa) = %d after folded+1, want 3", v)
+	}
+}

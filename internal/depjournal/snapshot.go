@@ -35,14 +35,47 @@ func (j *Journal) stageLocked() []stagedDep {
 	return deps
 }
 
+// canonicalize reduces one staged deployment to its snapshot form: a
+// single Folded registration when the mutations fold, the registration
+// and mutations verbatim otherwise. This is the canonical shape of a
+// deployment's record stream — compaction writes it, Snapshot streams
+// it, and the per-deployment content digests hash it — so two replicas
+// holding the same logical state produce identical bytes regardless of
+// how their journal files got there (live appends, mirror batches, a
+// snapshot warm, or any compaction history).
+func canonicalize(d stagedDep, materialize MaterializeFunc) stagedDep {
+	if stageFoldable(d, materialize) {
+		if folded, ok := foldDeployment(d.reg, d.muts, materialize); ok {
+			return stagedDep{reg: folded}
+		}
+		d.unfoldable = true
+	}
+	return d
+}
+
+// encodeDep writes one canonicalized deployment's record lines to enc
+// and returns the line count.
+func encodeDep(enc *json.Encoder, st stagedDep) (int64, error) {
+	if err := enc.Encode(st.reg); err != nil {
+		return 0, fmt.Errorf("depjournal: encode record %s: %w", st.reg.ID, err)
+	}
+	lines := int64(1)
+	for i := range st.muts {
+		if err := enc.Encode(st.muts[i]); err != nil {
+			return 0, fmt.Errorf("depjournal: encode record %s: %w", st.reg.ID, err)
+		}
+		lines++
+	}
+	return lines, nil
+}
+
 // encodeSnapshot writes the compacted snapshot image of deps to w:
-// the journal header, then each deployment either as one Folded
-// registration (when its mutations fold) or as its registration and
-// mutations verbatim. This is THE compaction format — Compact calls it
-// to build the replacement file, Snapshot calls it to stream the same
-// bytes to a peer — so a snapshot always replays through Open exactly
-// like a freshly compacted journal. Returns the staged states as
-// written (so compaction can commit them) and the record line count.
+// the journal header, then each deployment in canonical form. This is
+// THE compaction format — Compact calls it to build the replacement
+// file, Snapshot calls it to stream the same bytes to a peer — so a
+// snapshot always replays through Open exactly like a freshly
+// compacted journal. Returns the staged states as written (so
+// compaction can commit them) and the record line count.
 func encodeSnapshot(w io.Writer, deps []stagedDep, materialize MaterializeFunc) ([]stagedDep, int64, error) {
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(header{Version: Version, Kind: Kind}); err != nil {
@@ -51,24 +84,12 @@ func encodeSnapshot(w io.Writer, deps []stagedDep, materialize MaterializeFunc) 
 	var lines int64
 	out := make([]stagedDep, len(deps))
 	for di, d := range deps {
-		st := d
-		if stageFoldable(d, materialize) {
-			if folded, ok := foldDeployment(d.reg, d.muts, materialize); ok {
-				st = stagedDep{reg: folded}
-			} else {
-				st.unfoldable = true
-			}
+		st := canonicalize(d, materialize)
+		n, err := encodeDep(enc, st)
+		if err != nil {
+			return nil, 0, err
 		}
-		if err := enc.Encode(st.reg); err != nil {
-			return nil, 0, fmt.Errorf("depjournal: encode record %s: %w", st.reg.ID, err)
-		}
-		lines++
-		for i := range st.muts {
-			if err := enc.Encode(st.muts[i]); err != nil {
-				return nil, 0, fmt.Errorf("depjournal: encode record %s: %w", st.reg.ID, err)
-			}
-			lines++
-		}
+		lines += n
 		out[di] = st
 	}
 	return out, lines, nil
@@ -111,4 +132,52 @@ func (j *Journal) Snapshot(w io.Writer) (int64, error) {
 	cw := &countWriter{w: w}
 	_, _, err := encodeSnapshot(cw, deps, materialize)
 	return cw.n, err
+}
+
+// SnapshotID streams the snapshot image of a single deployment — the
+// journal header plus that id's canonical record lines — with the same
+// copy-under-lock discipline as Snapshot. The image replays through
+// ParseSnapshot (or Open) on its own, which is what the anti-entropy
+// reconciler fetches to repair one divergent deployment without
+// shipping the whole journal. ErrNotFound is returned, with nothing
+// written to w, when the id is not journaled.
+func (j *Journal) SnapshotID(w io.Writer, id string) (int64, error) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return 0, ErrClosed
+	}
+	i, ok := j.ids[id]
+	if !ok {
+		j.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	d := j.deps[i]
+	st := stagedDep{reg: d.reg, muts: d.muts, unfoldable: d.unfoldable}
+	materialize := j.materialize
+	j.mu.Unlock()
+
+	cw := &countWriter{w: w}
+	enc := json.NewEncoder(cw)
+	if err := enc.Encode(header{Version: Version, Kind: Kind}); err != nil {
+		return cw.n, fmt.Errorf("depjournal: encode header: %w", err)
+	}
+	_, err := encodeDep(enc, canonicalize(st, materialize))
+	return cw.n, err
+}
+
+// ParseSnapshot decodes a complete snapshot image — the bytes Snapshot
+// or SnapshotID streamed — into its records. Unlike Open, a torn final
+// line is an error here, not tolerance: a fetched snapshot that does
+// not parse to its last byte was truncated in transfer and must be
+// refused, never half-applied.
+func ParseSnapshot(data []byte) ([]Record, error) {
+	recs, _, good, err := parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if good != int64(len(data)) {
+		return nil, fmt.Errorf("%w: truncated snapshot (%d of %d bytes parse)", ErrCorrupt, good, len(data))
+	}
+	return recs, nil
 }

@@ -72,6 +72,21 @@ const (
 	// fail as if every peer were unreachable; the replica then starts
 	// cold and reports degraded readiness while continuing to serve.
 	SnapshotFetch Point = "snapshot-fetch"
+	// MirrorDrop fires inside each mirror-post attempt, before the HTTP
+	// request is sent. An error fails that attempt exactly like a
+	// transport error: it consumes one of the bounded retries, and a
+	// hook that keeps firing exhausts them so the record is dropped and
+	// counted — the sustained-mirror-loss half of the chaos suite.
+	MirrorDrop Point = "mirror-drop"
+	// DigestFetch fires before the anti-entropy reconciler fetches a
+	// peer's digest map. An error skips that peer for the round, as if
+	// it were partitioned away.
+	DigestFetch Point = "digest-fetch"
+	// AntiEntropyApply fires after a divergent deployment's snapshot is
+	// fetched and parsed, before it is applied locally. An error abandons
+	// that repair (it is retried next round), exercising the
+	// repair-interrupted path.
+	AntiEntropyApply Point = "antientropy-apply"
 )
 
 // hook is an armed hook plus the generation it was installed at, so a

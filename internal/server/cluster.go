@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fullview/internal/cluster"
 	"fullview/internal/depcache"
 	"fullview/internal/depjournal"
 	"fullview/internal/faultinject"
@@ -23,10 +24,13 @@ import (
 
 // Cluster-internal routes. They sit off the admission gate — replica
 // traffic must not compete with client compute for slots — and exist
-// only on clustered servers (Config.PeerURLs non-empty).
+// only on clustered servers (Config.PeerURLs non-empty). The paths are
+// the cluster package's constants, so the anti-entropy reconciler and
+// the handlers it talks to cannot drift apart.
 const (
-	snapshotRoute = "GET /v1/internal/snapshot"
+	snapshotRoute = "GET " + cluster.SnapshotPath
 	mirrorRoute   = "POST /v1/internal/mirror"
+	digestRoute   = "GET " + cluster.DigestPath
 )
 
 // DeploymentIDFromRequest computes the deployment id — the network's
@@ -81,8 +85,16 @@ type clusterState struct {
 	snapshotBytes *telemetry.Counter
 	snapshots     *telemetry.Counter
 	mirrorSent    *telemetry.Counter
+	mirrorRetries *telemetry.Counter
 	mirrorDropped *telemetry.Counter
 	mirrorApplied *telemetry.Counter
+	mirrorStale   *telemetry.Counter
+
+	// antientropy is the periodic digest reconciler; present whenever
+	// the server is clustered with a durable journal (its loop only
+	// runs when Config.AntiEntropyInterval is set, but Round stays
+	// drivable for tests and tools).
+	antientropy *cluster.AntiEntropy
 
 	// queues holds one FIFO per peer, so mirrored records reach each
 	// peer in local append order (per-deployment order is what
@@ -114,10 +126,14 @@ func newClusterState(s *Server) *clusterState {
 			"Journal snapshots served to warming peers."),
 		mirrorSent: s.m.reg.Counter("fvcd_cluster_mirror_sent_total",
 			"Journal record batches mirrored to a peer successfully."),
+		mirrorRetries: s.m.reg.Counter("fvcd_mirror_retries_total",
+			"Mirror post attempts retried after a transient failure, before the batch was sent or dropped."),
 		mirrorDropped: s.m.reg.Counter("fvcd_cluster_mirror_dropped_total",
 			"Journal record batches dropped from the mirror stream (queue overflow or peer unreachable past retries)."),
 		mirrorApplied: s.m.reg.Counter("fvcd_cluster_mirror_applied_total",
 			"Journal records applied from peer mirror batches."),
+		mirrorStale: s.m.reg.Counter("fvcd_cluster_mirror_stale_total",
+			"Mirrored records skipped because the local copy already held their version (duplicate delivery)."),
 		queues: make(map[string]chan []depjournal.Record),
 		done:   make(chan struct{}),
 	}
@@ -156,23 +172,46 @@ func (c *clusterState) mirrorWorker(s *Server, peer string, q chan []depjournal.
 	}
 }
 
+// Mirror retry policy: each batch gets mirrorAttempts tries, with
+// doubling backoff from mirrorBackoffBase capped at mirrorBackoffCap
+// (25ms, 50ms, 100ms… never past 400ms). Short and bounded on purpose:
+// the worker is serial per peer, so time spent retrying one batch is
+// head-of-line latency for every batch behind it, and anything the
+// retries cannot save is the anti-entropy reconciler's job anyway.
+// These bounds ride out a peer restart or a dropped connection — the
+// common transient blips — without turning the queue into a stall.
+const (
+	mirrorAttempts    = 4
+	mirrorBackoffBase = 25 * time.Millisecond
+	mirrorBackoffCap  = 400 * time.Millisecond
+)
+
 // postMirror sends one batch to one peer, retrying transport errors
-// and retryable statuses a few times with growing backoff.
+// and retryable statuses per the policy above. Retried attempts count
+// in fvcd_mirror_retries_total; only exhausting them makes the batch a
+// drop. The faultinject.MirrorDrop point fails individual attempts,
+// exactly like a transport error would.
 func (c *clusterState) postMirror(s *Server, peer string, batch []depjournal.Record) bool {
 	body, err := json.Marshal(mirrorBatch{Records: batch})
 	if err != nil {
 		s.logf("cluster: encode mirror batch: %v", err)
 		return false
 	}
-	backoff := 50 * time.Millisecond
-	for attempt := 0; attempt < 3; attempt++ {
+	backoff := mirrorBackoffBase
+	for attempt := 0; attempt < mirrorAttempts; attempt++ {
 		if attempt > 0 {
+			c.mirrorRetries.Inc()
 			select {
 			case <-c.done:
 				return false
 			case <-time.After(backoff):
 			}
-			backoff *= 4
+			if backoff *= 2; backoff > mirrorBackoffCap {
+				backoff = mirrorBackoffCap
+			}
+		}
+		if err := faultinject.Fire(faultinject.MirrorDrop); err != nil {
+			continue
 		}
 		req, err := http.NewRequest(http.MethodPost, peer+"/v1/internal/mirror", bytes.NewReader(body))
 		if err != nil {
@@ -249,13 +288,31 @@ func (s *Server) FlushMirror(ctx context.Context) error {
 }
 
 // handleSnapshot streams the local journal's compacted snapshot — the
-// byte image a local Compact would write — to a warming peer. Appends
-// are not paused (depjournal.Snapshot copies under lock and encodes
-// outside it); records landing mid-stream are simply not in this
-// snapshot and reach the peer through the mirror instead.
+// byte image a local Compact would write — to a warming peer, or, with
+// ?id=, the single-deployment image the anti-entropy reconciler
+// fetches to repair one divergent deployment (404 when the id is not
+// journaled here). Appends are not paused (depjournal copies under
+// lock and encodes outside it); records landing mid-stream are simply
+// not in this snapshot and reach the peer through the mirror instead.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.journal == nil {
 		writeError(w, http.StatusNotFound, "no durable journal on this replica")
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		// Per-id 404s must be answered before any body bytes go out, and
+		// SnapshotID guarantees it writes nothing on an unknown id.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		n, err := s.journal.SnapshotID(w, id)
+		if errors.Is(err, depjournal.ErrNotFound) {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		s.cluster.snapshotBytes.Add(n)
+		if err != nil {
+			s.logf("cluster: per-id snapshot of %s failed after %d bytes: %v", id, n, err)
+			panic(http.ErrAbortHandler)
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -271,6 +328,19 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.logf("cluster: served journal snapshot (%d bytes) to %s", n, r.RemoteAddr)
 }
 
+// handleDigest answers the replica's per-deployment digest map — the
+// anti-entropy comparison input. Cheap enough to serve on demand
+// (sha256 over journal records already in memory), and always computed
+// fresh: a stale digest would mask exactly the divergence the endpoint
+// exists to reveal.
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeError(w, http.StatusNotFound, "no durable journal on this replica")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.journal.Digests())
+}
+
 // handleMirror applies a peer's mirror batch to the local journal:
 // registrations append (idempotent on known ids), mutations append to
 // their deployment's history. Any locally cached entry for a mirrored
@@ -278,7 +348,19 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // next local use must rebuild from the journal. A journal write
 // failure answers 503 + Retry-After (the peer retries); a mutation
 // whose registration never arrived here is answered 422 and dropped —
-// retrying cannot fix it, and the gap heals at the next snapshot warm.
+// retrying cannot fix it, and the gap heals at the next snapshot warm
+// or anti-entropy round.
+//
+// Mutation records arrive stamped with the logical version they
+// produce (applyPatch stamps them), which makes the apply idempotent
+// and gap-safe against the anti-entropy repair path racing the mirror:
+// a record at or below the local version is a duplicate (an AE pull
+// already covered it, or the peer re-sent) and is skipped; a record
+// more than one ahead means intervening mutations were lost here, and
+// appending it would fabricate a history the owner never had — it is
+// skipped too, and the reconciler pulls the authoritative copy
+// instead. Unstamped records (version 0: a pre-stamping peer) apply
+// unconditionally, the old behaviour.
 func (s *Server) handleMirror(w http.ResponseWriter, r *http.Request) {
 	if s.journal == nil {
 		writeError(w, http.StatusNotFound, "no durable journal on this replica")
@@ -295,6 +377,14 @@ func (s *Server) handleMirror(w http.ResponseWriter, r *http.Request) {
 		var err error
 		if rec.Op == "" {
 			err = s.journal.Append(rec)
+		} else if v, ok := s.journal.Version(rec.ID); ok && rec.BaseVersion != 0 && rec.BaseVersion != v+1 {
+			if rec.BaseVersion <= v {
+				s.cluster.mirrorStale.Inc()
+			} else {
+				s.logf("cluster: mirror gap for %s: record is version %d, local is %d (anti-entropy will repair)",
+					rec.ID, rec.BaseVersion, v)
+			}
+			continue
 		} else {
 			err = s.journal.AppendMutations(rec.ID, []depjournal.Record{rec})
 		}
@@ -422,4 +512,57 @@ func (s *Server) setWarmErr(err error) {
 	s.stateMu.Lock()
 	s.warmErr = err
 	s.stateMu.Unlock()
+}
+
+// antiEntropyStore adapts the server to cluster.AntiEntropyStore: the
+// digest side reads the journal, the apply side reinstalls the fetched
+// records and invalidates any cached entry so the next use rebuilds
+// from the repaired journal. Applies deliberately do NOT re-mirror —
+// every replica reconciles for itself, so echoing a repair back into
+// the mirror stream would only add duplicate deliveries.
+type antiEntropyStore struct{ s *Server }
+
+func (a antiEntropyStore) Digests() map[string]depjournal.DigestInfo {
+	return a.s.journal.Digests()
+}
+
+func (a antiEntropyStore) Apply(id string, recs []depjournal.Record) error {
+	if err := a.s.journal.Reinstall(id, recs); err != nil {
+		return err
+	}
+	a.s.cache.Invalidate(id)
+	return nil
+}
+
+// newAntiEntropy builds the reconciler once the journal is open.
+// Called from New on clustered servers with a durable journal; the
+// periodic loop starts only when an interval was configured, but Round
+// stays drivable either way.
+func (s *Server) newAntiEntropy() {
+	ae, err := cluster.NewAntiEntropy(cluster.AntiEntropyConfig{
+		Peers:    s.cluster.peers,
+		Local:    antiEntropyStore{s},
+		Interval: s.cfg.AntiEntropyInterval,
+		Client:   s.cluster.client,
+		Registry: s.m.reg,
+		Logger:   s.cfg.Logger,
+	})
+	if err != nil {
+		// Unreachable by construction (peers and store are non-nil when
+		// this runs), but a reconciler must never take the server down.
+		s.logf("cluster: anti-entropy disabled: %v", err)
+		return
+	}
+	s.cluster.antientropy = ae
+	ae.Start()
+}
+
+// AntiEntropyRound runs one reconciliation pass immediately and
+// returns the number of deployments repaired. Deterministic driver for
+// tests and operational tooling; returns 0 on non-clustered servers.
+func (s *Server) AntiEntropyRound(ctx context.Context) int {
+	if s.cluster == nil || s.cluster.antientropy == nil {
+		return 0
+	}
+	return s.cluster.antientropy.Round(ctx)
 }

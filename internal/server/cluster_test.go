@@ -343,6 +343,9 @@ func TestClusterRouterReadyzRollsUpReplicas(t *testing.T) {
 		Peers:       peers,
 		RegisterKey: DeploymentIDFromRequest,
 		Client:      testClient,
+		// The test kills a replica and re-polls immediately; the probe
+		// cache would serve the pre-kill rollup.
+		ReadyCacheTTL: -1,
 	})
 	if err != nil {
 		t.Fatal(err)

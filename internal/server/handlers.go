@@ -243,6 +243,16 @@ func (s *Server) applyPatch(e *depcache.Entry, req *patchRequest, resp *patchRes
 		}
 		recs = append(recs, depjournal.Record{ID: e.Fingerprint, Op: depjournal.OpAdd, Cameras: cams})
 	}
+	// Stamp each record with the logical version it produces (the index
+	// bumps once per journaled mutation record). The stamps travel with
+	// the records into the mirror stream, letting replicas deduplicate a
+	// mirror batch racing an anti-entropy repair of the same records —
+	// both paths journal identical bytes, so "already at this version"
+	// means "already holds this record".
+	v0 := e.Index.Version()
+	for i := range recs {
+		recs[i].BaseVersion = v0 + uint64(i) + 1
+	}
 	if err := s.persistMutations(e.Fingerprint, recs); err != nil {
 		return err
 	}

@@ -174,6 +174,14 @@ type Config struct {
 	// its own journal file is missing or empty at startup — warms from
 	// a peer snapshot before opening it. Requires StateDir.
 	PeerURLs []string
+	// AntiEntropyInterval is the gap between anti-entropy reconciliation
+	// rounds, in which a clustered replica diffs its per-deployment
+	// journal digests against each peer's GET /v1/internal/digest and
+	// pulls any deployment it is missing or behind on. Zero (the
+	// default) disables the periodic loop — repairs then run only when
+	// driven explicitly (AntiEntropyRound). Only meaningful with
+	// PeerURLs.
+	AntiEntropyInterval time.Duration
 	// Logger receives operational log lines; nil discards them.
 	Logger *log.Logger
 }
@@ -287,6 +295,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if s.cluster != nil && s.journal != nil {
+		s.newAntiEntropy()
+	}
 	if err := s.openJobs(); err != nil {
 		return nil, err
 	}
@@ -385,6 +396,7 @@ func (s *Server) routes() *http.ServeMux {
 	if s.cluster != nil {
 		mux.HandleFunc(snapshotRoute, s.handleSnapshot)
 		mux.HandleFunc(mirrorRoute, s.handleMirror)
+		mux.HandleFunc(digestRoute, s.handleDigest)
 	}
 
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -542,6 +554,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	hs := s.hs
 	s.mu.Unlock()
 	err := hs.Shutdown(ctx)
+	// Stop the anti-entropy loop first — a reconciliation round applies
+	// journal writes, and the journal is about to close.
+	if s.cluster != nil && s.cluster.antientropy != nil {
+		s.cluster.antientropy.Stop()
+	}
 	// Stop the mirror workers after the HTTP drain: handlers enqueue
 	// mirror batches, so none can arrive once the drain completes.
 	// Batches still queued are abandoned — the peers heal from a

@@ -1,0 +1,35 @@
+// Command ringowner prints the cluster member that owns a key on the
+// consistent-hash ring of a peers file. scripts/smoke_fvcd.sh uses it
+// to pick which replica to kill in the owner-downtime round — the
+// failover assertion is only meaningful when the dead replica is the
+// one that owns the deployment under test.
+//
+// Usage:
+//
+//	ringowner peers.json DEPLOYMENT_ID
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fullview/internal/cluster"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: ringowner peers.json KEY\n")
+		os.Exit(2)
+	}
+	peers, err := cluster.LoadPeers(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringowner: %v\n", err)
+		os.Exit(1)
+	}
+	ring, err := peers.Ring()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringowner: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(ring.Owner(os.Args[2]))
+}

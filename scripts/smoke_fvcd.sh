@@ -240,10 +240,12 @@ cat >"$peersfile" <<EOF
 EOF
 
 # start_replica sets $last_pid (command substitution would fork a
-# subshell and lose the cluster_pids bookkeeping).
+# subshell and lose the cluster_pids bookkeeping). Every replica runs
+# the anti-entropy reconciler on a tight interval so the self-healing
+# round below converges quickly.
 start_replica() { # name port logfile
     "$workdir/fvcd" -addr "127.0.0.1:$2" -state "$workdir/cstate-$1" \
-        -cluster "$peersfile" -self "$1" >"$3" 2>&1 &
+        -cluster "$peersfile" -self "$1" -antientropy 300ms >"$3" 2>&1 &
     last_pid=$!
     cluster_pids+=("$last_pid")
 }
@@ -333,6 +335,82 @@ echo "cluster: r2 killed -9 with disk loss, warmed from peer snapshot, answers b
 
 curl -sf "$router/metrics" | grep -q fvcd_cluster_forwards_total \
     || { echo "router /metrics lacks fvcd_cluster_forwards_total"; exit 1; }
+
+# --- Self-healing: mirror loss + anti-entropy -------------------------
+# kill -9 r3 but keep its disk. A deployment registered and patched
+# while it is down loses its mirror batches after bounded retries (r3's
+# socket is gone); the restarted r3 keeps its intact journal — behind,
+# not empty, so there is no snapshot warm — and must reconverge through
+# the anti-entropy reconciler alone, until all three replicas answer
+# byte-identical digest maps.
+kill -9 "$rpid3"
+wait "$rpid3" 2>/dev/null || true
+regbody2='{"profile":"0.3:0.2:0.4,0.7:0.1:0.5","n":120,"seed":23}'
+depid2=$(curl -sf -X POST "http://127.0.0.1:$p1/v1/deployments" -d "$regbody2" \
+    | sed 's/.*"id":"\([^"]*\)".*/\1/')
+[[ -n "$depid2" ]] || { echo "mirror-loss registration returned no id"; exit 1; }
+curl -sf -X PATCH "http://127.0.0.1:$p1/v1/deployments/$depid2" -d "$patch" >/dev/null
+curl -sf -X POST "http://$oracle/v1/deployments" -d "$regbody2" >/dev/null
+curl -sf -X PATCH "http://$oracle/v1/deployments/$depid2" -d "$patch" >/dev/null
+echo "self-healing: $depid2 registered+patched on r1 while r3 was down"
+
+start_replica r3 "$p3" "$workdir/r3-restart.log"; rpid3=$last_pid
+wait_ready "http://127.0.0.1:$p3" "$workdir/r3-restart.log" || exit 1
+
+converged=0
+for _ in $(seq 1 100); do
+    d1=$(curl -sf "http://127.0.0.1:$p1/v1/internal/digest")
+    d2=$(curl -sf "http://127.0.0.1:$p2/v1/internal/digest")
+    d3=$(curl -sf "http://127.0.0.1:$p3/v1/internal/digest")
+    [[ -n "$d1" && "$d1" == "$d2" && "$d1" == "$d3" ]] && { converged=1; break; }
+    sleep 0.1
+done
+[[ "$converged" == 1 ]] || {
+    echo "digests never converged after r3 rejoined:"
+    echo "r1: $d1"; echo "r2: $d2"; echo "r3: $d3"
+    cat "$workdir/r3-restart.log"; exit 1
+}
+# The repaired copy must answer, not just hash: ask r3 directly,
+# bypassing the ring, and compare against the oracle byte-for-byte.
+curl -sf -X POST "http://127.0.0.1:$p3/v1/deployments/$depid2/query" -d "$query" >"$workdir/qh.json"
+curl -sf -X POST "http://$oracle/v1/deployments/$depid2/query" -d "$query" >"$workdir/qho.json"
+diff "$workdir/qh.json" "$workdir/qho.json" \
+    || { echo "anti-entropy-repaired replica's answer diverged from oracle"; exit 1; }
+echo "self-healing: r3 rejoined behind, anti-entropy converged all digests, answers bit-identical"
+
+# --- Self-healing: owner kill + failover reads ------------------------
+# kill -9 the replica that owns $depid on the ring. Reads through the
+# router must fail over to a ring successor's mirrored copy and stay
+# bit-identical to the oracle; writes stay owner-only and shed with
+# 503 + Retry-After; the router exports its breaker states.
+owner=$(go run ./scripts/ringowner "$peersfile" "$depid")
+case "$owner" in
+    r1) ownerpid=$rpid1 ;;
+    r2) ownerpid=$rpid2 ;;
+    r3) ownerpid=$rpid3 ;;
+    *) echo "ringowner printed unknown member '$owner'"; exit 1 ;;
+esac
+kill -9 "$ownerpid"
+wait "$ownerpid" 2>/dev/null || true
+echo "self-healing: owner $owner of $depid killed -9"
+
+curl -sf -X POST "$router/v1/deployments/$depid/query" -d "$query" >"$workdir/qf.json"
+diff "$workdir/qf.json" "$workdir/qo.json" \
+    || { echo "failover read diverged from oracle with owner down"; exit 1; }
+
+wcode=$(curl -s -o "$workdir/wbody.json" -D "$workdir/wheaders.txt" -w '%{http_code}' \
+    -X PATCH "$router/v1/deployments/$depid" -d "$patch")
+[[ "$wcode" == "503" ]] \
+    || { echo "write with dead owner answered $wcode, want 503:"; cat "$workdir/wbody.json"; exit 1; }
+grep -qi '^retry-after:' "$workdir/wheaders.txt" \
+    || { echo "write-rejection 503 carries no Retry-After:"; cat "$workdir/wheaders.txt"; exit 1; }
+
+rmetrics=$(curl -sf "$router/metrics")
+grep -q fvcd_breaker_state <<<"$rmetrics" \
+    || { echo "router /metrics lacks fvcd_breaker_state"; exit 1; }
+grep -q fvcd_cluster_failover_reads_total <<<"$rmetrics" \
+    || { echo "router /metrics lacks fvcd_cluster_failover_reads_total"; exit 1; }
+echo "self-healing: owner-down reads failed over bit-identically, write shed 503+Retry-After"
 
 # TERM everything; the router must drain cleanly like a replica.
 kill -TERM "$routerpid"
