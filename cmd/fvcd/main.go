@@ -133,6 +133,9 @@ func run(args []string, w io.Writer) error {
 		if *clusterFile == "" {
 			return errors.New("-route requires -cluster peers.json")
 		}
+		if *antiEntropy != 0 {
+			return errors.New("-antientropy cannot be combined with -route (the router holds no journal to reconcile)")
+		}
 		peers, err := cluster.LoadPeers(*clusterFile)
 		if err != nil {
 			return err

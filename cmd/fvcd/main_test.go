@@ -61,6 +61,10 @@ func TestAntiEntropyFlagValidation(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "must be positive") {
 		t.Errorf("negative -antientropy: err %v, want a must-be-positive refusal", err)
 	}
+	err = run([]string{"-route", "-antientropy", "5s", "-cluster", "nonexistent.json"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "-antientropy cannot be combined with -route") {
+		t.Errorf("-route -antientropy: err %v, want an explicit refusal, not a silent ignore", err)
+	}
 }
 
 func TestUnlistenableAddrFails(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -183,6 +184,15 @@ func (a *AntiEntropy) Round(ctx context.Context) int {
 				continue
 			}
 			if err := a.pull(ctx, peer, id); err != nil {
+				if errors.Is(err, depjournal.ErrStale) {
+					// The local copy advanced past the digest snapshot
+					// while this round ran (a write or mirror apply
+					// landed); Reinstall's locked version re-check
+					// refused the rollback. Not a fault — the next
+					// round compares fresh digests.
+					a.logf("antientropy: pull %s from %s lost the race to a newer local copy: %v", id, peer, err)
+					continue
+				}
 				a.errs.Inc()
 				a.logf("antientropy: pull %s from %s: %v", id, peer, err)
 				continue

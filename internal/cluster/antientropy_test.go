@@ -148,6 +148,65 @@ func TestAntiEntropyNeverPullsBackwards(t *testing.T) {
 	}
 }
 
+// staleDigestStore reports a digest map frozen below the journal's real
+// versions — the TOCTOU window: a write lands after the reconciler
+// captured its local digests but before the pull applies.
+type staleDigestStore struct {
+	aeStore
+	stale map[string]depjournal.DigestInfo
+}
+
+func (s *staleDigestStore) Digests() map[string]depjournal.DigestInfo { return s.stale }
+
+// TestAntiEntropyStaleRaceDoesNotRollBack: when the local copy advances
+// between the round's digest snapshot and the pull's apply, the
+// journal-level version re-check refuses the rollback; the round treats
+// the lost race as benign (no pull counted, no error counted) and the
+// newer local copy survives.
+func TestAntiEntropyStaleRaceDoesNotRollBack(t *testing.T) {
+	peer := aeJournal(t)
+	if err := peer.Append(aeRec("aaaa", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.AppendMutations("aaaa", aeReaim("aaaa", 2.5)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The local journal is already ahead of the peer (version 2 > 1),
+	// but the store advertises the pre-race digest map in which it was
+	// still behind (version 0), so Round decides to pull.
+	local := aeJournal(t)
+	if err := local.Append(aeRec("aaaa", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := local.AppendMutations("aaaa", aeReaim("aaaa", -1)); err != nil {
+		t.Fatal(err)
+	}
+	before := local.Digests()
+	store := &staleDigestStore{
+		aeStore: aeStore{j: local},
+		stale:   map[string]depjournal.DigestInfo{"aaaa": {Digest: before["aaaa"].Digest, Version: 0}},
+	}
+
+	srv := servePeer(t, peer)
+	ae, err := NewAntiEntropy(AntiEntropyConfig{Peers: []string{srv.URL}, Local: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pulled := ae.Round(context.Background()); pulled != 0 {
+		t.Fatalf("lost race counted %d pulls, want 0", pulled)
+	}
+	if len(store.applied) != 1 {
+		t.Fatalf("apply attempts %v, want exactly one refused attempt", store.applied)
+	}
+	if ae.errs.Value() != 0 {
+		t.Fatalf("error counter %d for a benign lost race, want 0", ae.errs.Value())
+	}
+	if got := local.Digests(); got["aaaa"] != before["aaaa"] {
+		t.Fatalf("stale pull rolled the local copy back: %+v, want %+v", got["aaaa"], before["aaaa"])
+	}
+}
+
 // TestAntiEntropyFaultInjection: DigestFetch errors skip the peer for
 // the round; AntiEntropyApply errors abandon the repair. Both count
 // errors and both heal on the next clean round.

@@ -91,6 +91,17 @@ func (b *Breaker) Success() {
 	b.probing = false
 }
 
+// Release abandons an admitted attempt that never reached the shard
+// (request construction failed, the member had no URL): it clears the
+// half-open probing flag so a later Allow can admit a real probe, and
+// nothing else — no transition to closed, no failure-count reset —
+// because the attempt proved nothing about the shard either way.
+func (b *Breaker) Release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
 // Failure records a failed attempt. In the closed state it counts
 // toward the trip threshold; in the half-open state it re-opens
 // immediately (the probe failed). Failures restart the cooldown clock.

@@ -77,6 +77,45 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 	}
 }
 
+// TestBreakerReleaseFreesProbeWithoutClosing: an admitted attempt that
+// never reached the shard (request construction failed, no URL) frees
+// the half-open probe slot for a real probe without closing the
+// breaker — only an actual shard answer may close it.
+func TestBreakerReleaseFreesProbeWithoutClosing(t *testing.T) {
+	b, now := clockedBreaker(1, time.Minute)
+	b.Allow()
+	b.Failure()
+	*now = now.Add(61 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Release()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %d after Release, want half-open (not closed)", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("released probe slot was not reusable")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe after a Release did not re-open")
+	}
+}
+
+// TestBreakerReleaseKeepsFailureCount: Release in the closed state must
+// not reset the consecutive-failure count the way Success does.
+func TestBreakerReleaseKeepsFailureCount(t *testing.T) {
+	b, _ := clockedBreaker(2, time.Minute)
+	b.Allow()
+	b.Failure()
+	b.Release()
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("Release reset the consecutive-failure count")
+	}
+}
+
 // TestBreakerConsecutiveMeansConsecutive: successes reset the failure
 // count, so a shard failing every other request never trips.
 func TestBreakerConsecutiveMeansConsecutive(t *testing.T) {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -213,6 +214,31 @@ func TestRouterReadyzProbeCache(t *testing.T) {
 		if got := s.hits.Load(); got != 1 {
 			t.Fatalf("shard %s probed %d times across 5 cached /readyz hits, want 1", s.name, got)
 		}
+	}
+}
+
+// TestRouterReadyzCacheSurvivesCancelledPoller: the cached probe runs
+// detached from the triggering caller's context, so a poller arriving
+// with an already-cancelled (or nearly-expired) context cannot poison
+// the shared cache with failed probes for a whole TTL.
+func TestRouterReadyzCacheSurvivesCancelledPoller(t *testing.T) {
+	shards, rt := newTestCluster(t, 2, func(cfg *RouterConfig) { cfg.ReadyCacheTTL = time.Hour })
+	for _, s := range shards {
+		s.set(func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]string{"status": ReadyOK})
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, sr := range rt.cachedShards(ctx) {
+		if sr.Status != ReadyOK {
+			t.Fatalf("cancelled poller cached status %q for %s, want %q", sr.Status, sr.Name, ReadyOK)
+		}
+	}
+	// Whatever that first poller cached is now everyone's answer for the
+	// TTL; a healthy poller must still see the cluster as ok.
+	if w := do(t, rt, http.MethodGet, "/readyz", ""); w.Code != http.StatusOK {
+		t.Fatalf("readyz after a cancelled poller's probe: %d %s", w.Code, w.Body)
 	}
 }
 

@@ -434,7 +434,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard string, 
 		}
 		req, err := http.NewRequestWithContext(r.Context(), r.Method, url, rd)
 		if err != nil {
-			b.Success() // not the shard's fault; don't leak a probe slot
+			b.Release() // not the shard's fault; don't leak a probe slot
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
@@ -515,7 +515,7 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, key string
 		}
 		base, ok := rt.cfg.Peers.URL(shard)
 		if !ok {
-			b.Success()
+			b.Release()
 			continue
 		}
 		var rd io.Reader
@@ -524,7 +524,7 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, key string
 		}
 		req, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), rd)
 		if err != nil {
-			b.Success() // not the shard's fault; don't leak a probe slot
+			b.Release() // not the shard's fault; don't leak a probe slot
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
@@ -685,7 +685,12 @@ func (rt *Router) cachedShards(ctx context.Context) []shardReady {
 	if rt.readyCached != nil && time.Since(rt.readyProbeAt) < rt.cfg.ReadyCacheTTL {
 		return rt.readyCached
 	}
-	rt.readyCached = rt.probeShards(ctx)
+	// Probe detached from the triggering caller's context: the result is
+	// served to every poller for a whole TTL, so one caller arriving with
+	// a cancelled or nearly-expired context must not poison the shared
+	// cache with failed probes. probeShards bounds each probe with
+	// ReadyTimeout on its own.
+	rt.readyCached = rt.probeShards(context.Background())
 	rt.readyProbeAt = time.Now()
 	return rt.readyCached
 }

@@ -104,6 +104,11 @@ var (
 	// ErrNotFound reports a lookup (snapshot filter, digest) for an id
 	// the journal does not hold.
 	ErrNotFound = errors.New("depjournal: id not journaled")
+	// ErrStale reports a Reinstall whose fetched history is not ahead
+	// of the local copy — the local deployment advanced between the
+	// caller's version comparison and the install. The caller lost the
+	// race; re-comparing next round is the recovery.
+	ErrStale = errors.New("depjournal: reinstall is not ahead of the local copy")
 )
 
 // header is the first journal line.
@@ -502,6 +507,14 @@ func (j *Journal) AppendMutations(id string, muts []Record) error {
 // the anti-entropy apply path: it never merges histories (the fetched
 // canonical stream IS the deployment's state), so a replica that
 // missed arbitrary mirror records converges to the peer's exact bytes.
+//
+// The incoming version (the registration's BaseVersion plus its
+// mutation count) is re-checked against the local copy under the
+// journal lock: a reconciler compares versions from a digest map
+// captured earlier, and a write or mirror apply that lands in between
+// must not be rolled back by the now-stale install. A fetch that is
+// not strictly ahead returns ErrStale and journals nothing — the
+// caller re-compares next round.
 func (j *Journal) Reinstall(id string, recs []Record) error {
 	if id == "" {
 		return ErrNoID
@@ -527,6 +540,13 @@ func (j *Journal) Reinstall(id string, recs []Record) error {
 	defer j.mu.Unlock()
 	if j.closed {
 		return ErrClosed
+	}
+	incoming := recs[0].BaseVersion + uint64(len(recs)-1)
+	if i, ok := j.ids[id]; ok {
+		d := j.deps[i]
+		if cur := d.reg.BaseVersion + uint64(len(d.muts)); incoming <= cur {
+			return fmt.Errorf("%w: %s incoming version %d, local %d", ErrStale, id, incoming, cur)
+		}
 	}
 	if err := j.writeLocked(recs); err != nil {
 		return err

@@ -207,6 +207,76 @@ func TestReinstallConvergesDivergentJournal(t *testing.T) {
 	}
 }
 
+// TestReinstallRefusesStale pins the anti-entropy TOCTOU guard: the
+// reconciler compares versions against a digest map captured at round
+// start, so a write that lands between the comparison and the install
+// must not be rolled back by the now-stale fetch. Reinstall re-checks
+// under the journal lock and refuses anything not strictly ahead.
+func TestReinstallRefusesStale(t *testing.T) {
+	owner, _ := snapshotJournal(t)
+	replica, _ := snapshotJournal(t) // identical history: aaaa at version 2
+
+	fetch := func(id string) []Record {
+		t.Helper()
+		var buf bytes.Buffer
+		if _, err := owner.SnapshotID(&buf, id); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := ParseSnapshot(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+
+	// Equal version: nothing to repair, the install is refused with
+	// nothing written.
+	recs := fetch("aaaa")
+	size := replica.Size()
+	if err := replica.Reinstall("aaaa", recs); !errors.Is(err, ErrStale) {
+		t.Fatalf("equal-version reinstall: err %v, want ErrStale", err)
+	}
+	if replica.Size() != size {
+		t.Fatal("refused reinstall wrote bytes")
+	}
+
+	// The race itself: the replica advances past the fetched snapshot
+	// (a write landed after the digest comparison). The stale install
+	// must be refused and the newer local copy kept.
+	if err := replica.AppendMutations("aaaa", []Record{
+		{ID: "aaaa", Op: OpReaim, Reaim: []ReaimOp{{I: 0, Orient: 1.5}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ahead, _ := replica.Digest("aaaa")
+	size = replica.Size()
+	if err := replica.Reinstall("aaaa", recs); !errors.Is(err, ErrStale) {
+		t.Fatalf("behind-version reinstall: err %v, want ErrStale", err)
+	}
+	if replica.Size() != size {
+		t.Fatal("refused reinstall wrote bytes")
+	}
+	if got, _ := replica.Digest("aaaa"); got != ahead {
+		t.Fatalf("refused reinstall moved the digest: %+v, want %+v", got, ahead)
+	}
+
+	// A strictly-ahead fetch still installs: the guard gates rollback,
+	// not repair.
+	if err := owner.AppendMutations("aaaa", []Record{
+		{ID: "aaaa", Op: OpReaim, Reaim: []ReaimOp{{I: 0, Orient: -2}}},
+		{ID: "aaaa", Op: OpReaim, Reaim: []ReaimOp{{I: 1, Orient: 0.5}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.Reinstall("aaaa", fetch("aaaa")); err != nil {
+		t.Fatalf("strictly-ahead reinstall refused: %v", err)
+	}
+	want, _ := owner.Digest("aaaa")
+	if got, _ := replica.Digest("aaaa"); got != want {
+		t.Fatalf("digest %+v after ahead reinstall, want %+v", got, want)
+	}
+}
+
 // TestReinstallValidation: malformed record sets are refused before
 // anything is written.
 func TestReinstallValidation(t *testing.T) {
